@@ -1,0 +1,70 @@
+// Ablation: does preemption's benefit survive write contention?
+//
+// The paper argues preemption is viable because optimistic reads waste no
+// work when paused (§1.2); under write contention, preempted writers can
+// still force first-committer-wins aborts on the high-priority side. This
+// bench sweeps YCSB-A Zipfian skew with long scan transactions as the
+// low-priority stream and reports high-priority latency + abort rates under
+// Wait vs PreemptDB.
+#include "bench/common.h"
+#include "workload/ycsb.h"
+
+using namespace preemptdb;
+using namespace preemptdb::bench;
+
+int main() {
+  int workers = static_cast<int>(EnvInt("PDB_WORKERS", 2));
+  double seconds = EnvDouble("PDB_SECONDS", 1.5);
+
+  std::printf("# YCSB-A + full scans: HP latency/aborts vs Zipfian skew\n");
+  std::printf("%-12s %8s %12s %12s %12s %10s\n", "policy", "theta", "hp/s",
+              "hp-p50(us)", "hp-p99(us)", "hp-aborts");
+
+  for (double theta : {0.0, 0.8, 0.99, 1.2}) {
+    for (auto policy : {sched::Policy::kWait, sched::Policy::kPreempt}) {
+      engine::Engine eng;
+      eng.StartBackgroundGc(20);
+      workload::YcsbConfig ycfg;
+      ycfg.record_count = 30000;
+      ycfg.zipf_theta = theta;
+      ycfg.mix = workload::YcsbMix::kA;
+      workload::YcsbWorkload ycsb(&eng, ycfg);
+      ycsb.Load();
+
+      struct Ctx {
+        workload::YcsbWorkload* y;
+      } ctx{&ycsb};
+      sched::Scheduler::Workload w;
+      w.execute = +[](const sched::Request& req, void* c, int worker) {
+        return static_cast<Ctx*>(c)->y->Execute(req, worker);
+      };
+      w.exec_ctx = &ctx;
+      FastRandom gen_rng(42);
+      w.gen_low = [&](sched::Request* out) {
+        *out = ycsb.GenScanAll(gen_rng);
+        return true;
+      };
+      w.gen_high = [&](sched::Request* out) {
+        *out = ycsb.GenTxn(gen_rng);
+        return true;
+      };
+      auto cfg = BaseConfig(policy, workers);
+      sched::Scheduler s(cfg, w);
+      s.Start();
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          static_cast<int64_t>(seconds * 1000)));
+      s.Stop();
+      const auto& m = s.metrics().type(workload::YcsbWorkload::kYcsbTxn);
+      std::printf("%-12s %8.2f %12.1f %12.1f %12.1f %10lu\n",
+                  sched::PolicyName(policy), theta,
+                  static_cast<double>(m.committed.load()) / seconds,
+                  m.latency.PercentileMicros(50),
+                  m.latency.PercentileMicros(99),
+                  static_cast<unsigned long>(m.aborted.load()));
+    }
+  }
+  std::printf(
+      "# expectation: PreemptDB's latency advantage persists across skew; "
+      "aborts stay bounded (retries absorb FCW conflicts)\n");
+  return 0;
+}

@@ -1,0 +1,187 @@
+// Shared harness for the per-figure benchmark drivers. Each driver
+// reproduces one table/figure from the paper's evaluation (see DESIGN.md §3
+// and EXPERIMENTS.md) and prints the same rows/series the paper reports.
+//
+// Scales default to a small single-core machine and can be raised with
+// environment variables:
+//   PDB_WORKERS       worker threads          (default 2)
+//   PDB_SECONDS       seconds per data point  (default 2)
+//   PDB_TPCC_WH       TPC-C warehouses        (default = workers, as paper)
+//   PDB_TPCC_ITEMS    TPC-C items             (default 10000)
+//   PDB_TPCC_CUST     customers per district  (default 600)
+//   PDB_TPCH_PARTS    TPC-H parts             (default 6000)
+#ifndef PREEMPTDB_BENCH_COMMON_H_
+#define PREEMPTDB_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "engine/engine.h"
+#include "sched/scheduler.h"
+#include "util/random.h"
+#include "workload/tpcc.h"
+#include "workload/tpch.h"
+
+namespace preemptdb::bench {
+
+inline int64_t EnvInt(const char* name, int64_t def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoll(v) : def;
+}
+
+inline double EnvDouble(const char* name, double def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : def;
+}
+
+struct BenchEnv {
+  int workers;
+  double seconds;
+  workload::TpccConfig tpcc;
+  workload::TpchConfig tpch;
+
+  static BenchEnv FromEnv() {
+    BenchEnv e;
+    e.workers = static_cast<int>(EnvInt("PDB_WORKERS", 2));
+    e.seconds = EnvDouble("PDB_SECONDS", 2.0);
+    e.tpcc.warehouses =
+        static_cast<int>(EnvInt("PDB_TPCC_WH", e.workers));
+    e.tpcc.items = static_cast<int>(EnvInt("PDB_TPCC_ITEMS", 10000));
+    e.tpcc.customers_per_district =
+        static_cast<int>(EnvInt("PDB_TPCC_CUST", 600));
+    e.tpcc.initial_orders_per_district = e.tpcc.customers_per_district;
+    e.tpch.parts = static_cast<int>(EnvInt("PDB_TPCH_PARTS", 6000));
+    e.tpch.suppliers = std::max(100, e.tpch.parts / 20);
+    return e;
+  }
+};
+
+// The paper's mixed workload: TPC-C (short, high-priority) + TPC-H Q2
+// (long, low-priority) over one engine instance. Loaded once per process
+// and reused across scheduler configurations.
+class MixedBench {
+ public:
+  explicit MixedBench(const BenchEnv& env)
+      : env_(env), tpcc_(&engine_, env.tpcc), tpch_(&engine_, env.tpch) {
+    std::fprintf(stderr,
+                 "# loading TPC-C (%d wh, %d items) + TPC-H (%d parts)...\n",
+                 env.tpcc.warehouses, env.tpcc.items, env.tpch.parts);
+    tpcc_.Load();
+    tpch_.Load();
+  }
+
+  static Rc Execute(const sched::Request& req, void* ctx, int worker_id) {
+    auto* self = static_cast<MixedBench*>(ctx);
+    if (req.type == workload::TpchWorkload::kQ2) {
+      return self->tpch_.Execute(req, worker_id);
+    }
+    return self->tpcc_.Execute(req, worker_id);
+  }
+
+  // hp_stream=false: no high-priority requests (Fig. 8 overhead mode).
+  // standard_mix=true: LP stream is the five-transaction TPC-C mix instead
+  // of Q2 (Fig. 8 runs standard TPC-C as low priority).
+  sched::Scheduler::Workload Hooks(bool hp_stream = true,
+                                   bool standard_mix = false) {
+    sched::Scheduler::Workload w;
+    w.execute = &MixedBench::Execute;
+    w.exec_ctx = this;
+    if (standard_mix) {
+      w.gen_low = [this](sched::Request* out) {
+        *out = tpcc_.GenStandardMix(rng_);
+        return true;
+      };
+    } else {
+      w.gen_low = [this](sched::Request* out) {
+        *out = tpch_.GenQ2(rng_);
+        return true;
+      };
+    }
+    if (hp_stream) {
+      w.gen_high = [this](sched::Request* out) {
+        *out = tpcc_.GenHighPriority(rng_);
+        return true;
+      };
+    }
+    return w;
+  }
+
+  workload::TpccWorkload& tpcc() { return tpcc_; }
+  workload::TpchWorkload& tpch() { return tpch_; }
+  engine::Engine& engine() { return engine_; }
+  const BenchEnv& env() const { return env_; }
+
+ private:
+  BenchEnv env_;
+  engine::Engine engine_;
+  workload::TpccWorkload tpcc_;
+  workload::TpchWorkload tpch_;
+  FastRandom rng_{0xbe9cull};
+};
+
+struct TypeStats {
+  double tps = 0;
+  double p50_us = 0, p90_us = 0, p99_us = 0, p999_us = 0;
+  double geomean_us = 0;
+  uint64_t committed = 0, aborted = 0;
+};
+
+struct RunResult {
+  TypeStats neworder, payment, q2;
+  double duration_s = 0;
+  uint64_t uipis = 0;
+  uint64_t hp_dropped = 0;
+};
+
+inline TypeStats Snapshot(const sched::TxnTypeMetrics& m, double secs) {
+  TypeStats s;
+  s.committed = m.committed.load();
+  s.aborted = m.aborted.load();
+  s.tps = static_cast<double>(s.committed) / secs;
+  s.p50_us = m.latency.PercentileMicros(50);
+  s.p90_us = m.latency.PercentileMicros(90);
+  s.p99_us = m.latency.PercentileMicros(99);
+  s.p999_us = m.latency.PercentileMicros(99.9);
+  s.geomean_us = m.latency.GeoMeanMicros();
+  return s;
+}
+
+// Runs the mixed workload under `cfg` for `seconds`, returning per-type
+// throughput and latency stats.
+inline RunResult RunMixed(MixedBench& bench, sched::SchedulerConfig cfg,
+                          double seconds, bool hp_stream = true,
+                          bool standard_mix = false) {
+  sched::Scheduler s(cfg, bench.Hooks(hp_stream, standard_mix));
+  s.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(
+      static_cast<int64_t>(seconds * 1000)));
+  s.Stop();
+  RunResult r;
+  r.duration_s = seconds;
+  r.neworder =
+      Snapshot(s.metrics().type(workload::TpccWorkload::kNewOrder), seconds);
+  r.payment =
+      Snapshot(s.metrics().type(workload::TpccWorkload::kPayment), seconds);
+  r.q2 = Snapshot(s.metrics().type(workload::TpchWorkload::kQ2), seconds);
+  r.uipis = s.uipis_sent();
+  r.hp_dropped = s.hp_dropped();
+  return r;
+}
+
+inline sched::SchedulerConfig BaseConfig(sched::Policy policy, int workers) {
+  sched::SchedulerConfig cfg;
+  cfg.policy = policy;
+  cfg.num_workers = workers;
+  cfg.lp_queue_capacity = 1;    // paper §6.1 defaults
+  cfg.hp_queue_capacity = 4;
+  cfg.arrival_interval_us = 1000;
+  cfg.yield_interval_records = 10000;
+  cfg.starvation_threshold = 100.0;
+  return cfg;
+}
+
+}  // namespace preemptdb::bench
+
+#endif  // PREEMPTDB_BENCH_COMMON_H_

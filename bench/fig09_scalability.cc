@@ -1,0 +1,31 @@
+// Figure 9: scalability of the mixed workload under Wait / Cooperative /
+// PreemptDB across worker counts — throughput of NewOrder, Payment and Q2.
+//
+// Paper shape: all policies scale similarly and PreemptDB maintains the same
+// throughput as the baselines (preemption does not trade throughput for
+// latency). Note: this machine oversubscribes one physical core, so absolute
+// scaling flattens; the policies should still track each other.
+#include "bench/common.h"
+
+using namespace preemptdb;
+using namespace preemptdb::bench;
+
+int main() {
+  BenchEnv env = BenchEnv::FromEnv();
+  MixedBench bench(env);
+
+  std::printf("# Fig.9: mixed-workload throughput vs worker count\n");
+  std::printf("%-12s %8s %14s %14s %12s\n", "policy", "workers",
+              "neworder/s", "payment/s", "q2/s");
+
+  for (auto policy : {sched::Policy::kWait, sched::Policy::kCooperative,
+                      sched::Policy::kPreempt}) {
+    for (int workers = 1; workers <= env.workers; workers *= 2) {
+      RunResult r = RunMixed(bench, BaseConfig(policy, workers), env.seconds);
+      std::printf("%-12s %8d %14.1f %14.1f %12.2f\n",
+                  sched::PolicyName(policy), workers, r.neworder.tps,
+                  r.payment.tps, r.q2.tps);
+    }
+  }
+  return 0;
+}

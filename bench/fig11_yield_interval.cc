@@ -1,0 +1,53 @@
+// Figure 11: Cooperative's yield interval vs throughput (top) and latency
+// (bottom), including the handcrafted variant and PreemptDB for reference.
+//
+// Paper shape: yielding very frequently (interval 1) helps NewOrder latency
+// but hurts Q2; coarse intervals (10k+) leave NewOrder with high latency.
+// Cooperative (Handcrafted) — yields placed right outside Q2's nested query
+// block every 1000 blocks — behaves comparably to PreemptDB, but required
+// workload-specific engineering.
+#include "bench/common.h"
+
+using namespace preemptdb;
+using namespace preemptdb::bench;
+
+int main() {
+  BenchEnv env = BenchEnv::FromEnv();
+  MixedBench bench(env);
+
+  std::printf("# Fig.11: yield interval sweep (Cooperative)\n");
+  std::printf("%-22s %12s %10s %12s %12s %12s\n", "variant", "neworder/s",
+              "q2/s", "no-p50(us)", "no-p99(us)", "q2-p99(ms)");
+
+  auto print_row = [](const char* name, const RunResult& r) {
+    std::printf("%-22s %12.1f %10.2f %12.1f %12.1f %12.2f\n", name,
+                r.neworder.tps, r.q2.tps, r.neworder.p50_us,
+                r.neworder.p99_us, r.q2.p99_us / 1000.0);
+  };
+
+  for (uint64_t interval : {1ull, 10ull, 100ull, 1000ull, 10000ull,
+                            100000ull}) {
+    auto cfg = BaseConfig(sched::Policy::kCooperative, env.workers);
+    cfg.yield_interval_records = interval;
+    RunResult r = RunMixed(bench, cfg, env.seconds);
+    char name[64];
+    std::snprintf(name, sizeof(name), "Cooperative(%lu)",
+                  static_cast<unsigned long>(interval));
+    print_row(name, r);
+  }
+
+  {
+    // Handcrafted: yield right outside Q2's nested query block, every 1000
+    // blocks (paper §6.3).
+    auto cfg = BaseConfig(sched::Policy::kCooperative, env.workers);
+    cfg.handcrafted_q2_blocks = 1000;
+    RunResult r = RunMixed(bench, cfg, env.seconds);
+    print_row("Cooperative(Handcraft)", r);
+  }
+  {
+    auto cfg = BaseConfig(sched::Policy::kPreempt, env.workers);
+    RunResult r = RunMixed(bench, cfg, env.seconds);
+    print_row("PreemptDB", r);
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// §4.2 microbenchmarks: cost of PreemptDB's transaction context switching
+// primitives — raw fiber switch, full voluntary round trip between
+// transaction contexts, CLS access, and non-preemptible region enter/exit.
+#include <benchmark/benchmark.h>
+
+#include "cls/context_local.h"
+#include "uintr/fiber.h"
+#include "uintr/uintr.h"
+
+using namespace preemptdb;
+
+namespace {
+
+// --- Raw fiber switch ping-pong ---
+
+struct PingPong {
+  void* main_rsp = nullptr;
+  void* fiber_rsp = nullptr;
+};
+PingPong g_pp;
+
+void PongEntry(void*) {
+  while (true) pdb_fiber_switch(&g_pp.fiber_rsp, g_pp.main_rsp);
+}
+
+void BM_RawFiberSwitchRoundTrip(benchmark::State& state) {
+  uintr::Fiber fiber(&PongEntry, nullptr, 64 * 1024);
+  g_pp.fiber_rsp = fiber.initial_rsp();
+  for (auto _ : state) {
+    pdb_fiber_switch(&g_pp.main_rsp, g_pp.fiber_rsp);
+  }
+}
+BENCHMARK(BM_RawFiberSwitchRoundTrip);
+
+// --- Full voluntary context switch (SwapToPreempt + SwapToMain), i.e. the
+// paper's swap_context path including TCB bookkeeping ---
+
+void IdlePreemptLoop(void*) {
+  while (true) uintr::SwapToMain();
+}
+
+void BM_TransactionContextRoundTrip(benchmark::State& state) {
+  uintr::RegisterReceiver(&IdlePreemptLoop, nullptr, 64 * 1024);
+  for (auto _ : state) {
+    uintr::SwapToPreempt();
+  }
+  uintr::UnregisterReceiver();
+}
+BENCHMARK(BM_TransactionContextRoundTrip);
+
+// --- CLS access vs plain thread_local ---
+
+cls::ContextLocal<uint64_t> g_cls_var;
+thread_local uint64_t g_tls_var;
+
+void BM_ClsAccess(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(++g_cls_var.Get());
+  }
+}
+BENCHMARK(BM_ClsAccess);
+
+void BM_PlainThreadLocalAccess(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(++g_tls_var);
+  }
+}
+BENCHMARK(BM_PlainThreadLocalAccess);
+
+// --- Non-preemptible region enter/exit (TCB::lock/unlock, §4.4) ---
+
+void BM_NonPreemptibleRegion(benchmark::State& state) {
+  for (auto _ : state) {
+    uintr::NonPreemptibleRegion guard;
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_NonPreemptibleRegion);
+
+// --- Guarded allocation (operator new wrapped in a region; the raw
+// malloc-vs-guard delta is isolated in ablation_preempt_modes) ---
+
+void BM_NewDelete64(benchmark::State& state) {
+  for (auto _ : state) {
+    char* p = new char[64];
+    benchmark::DoNotOptimize(p);
+    delete[] p;
+  }
+}
+BENCHMARK(BM_NewDelete64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Microbenchmarks for the lock-free scheduling queues.
+#include <benchmark/benchmark.h>
+
+#include "sched/request.h"
+#include "sync/mpmc_queue.h"
+#include "sync/spsc_queue.h"
+
+using namespace preemptdb;
+
+namespace {
+
+void BM_SpscPushPop(benchmark::State& state) {
+  SpscQueue<uint64_t> q(64);
+  uint64_t v;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.TryPush(1));
+    benchmark::DoNotOptimize(q.TryPop(&v));
+  }
+}
+BENCHMARK(BM_SpscPushPop);
+
+void BM_SpscPushPopRequest(benchmark::State& state) {
+  // The actual element type flowing through worker queues.
+  SpscQueue<sched::Request> q(4);
+  sched::Request r;
+  r.type = 1;
+  sched::Request out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.TryPush(r));
+    benchmark::DoNotOptimize(q.TryPop(&out));
+  }
+}
+BENCHMARK(BM_SpscPushPopRequest);
+
+void BM_MpmcPushPop(benchmark::State& state) {
+  MpmcQueue<uint64_t> q(64);
+  uint64_t v;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.TryPush(1));
+    benchmark::DoNotOptimize(q.TryPop(&v));
+  }
+}
+BENCHMARK(BM_MpmcPushPop);
+
+void BM_SpscBatchDrain(benchmark::State& state) {
+  // Scheduler-side pattern: fill the HP queue, worker drains it.
+  const int batch = static_cast<int>(state.range(0));
+  SpscQueue<sched::Request> q(batch);
+  sched::Request r;
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) q.TryPush(r);
+    sched::Request out;
+    while (q.TryPop(&out)) benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_SpscBatchDrain)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

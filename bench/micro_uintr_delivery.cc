@@ -1,0 +1,76 @@
+// §6.1 microbenchmark: user-interrupt delivery latency between two threads.
+//
+// The paper measures real UINTR delivery "consistently lower than 1us".
+// This simulated backend delivers via thread-directed signals, which costs a
+// few microseconds — same order-of-magnitude advantage over the
+// millisecond-scale scheduling delays it competes with (see DESIGN.md §1).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "uintr/uintr.h"
+#include "util/clock.h"
+#include "util/histogram.h"
+
+using namespace preemptdb;
+
+namespace {
+
+std::atomic<uint64_t> g_send_tsc{0};
+LatencyHistogram g_hist;
+std::atomic<uint64_t> g_received{0};
+
+void PreemptEntry(void*) {
+  while (true) {
+    uint64_t sent = g_send_tsc.exchange(0, std::memory_order_acq_rel);
+    if (sent != 0) {
+      uint64_t delta = RdtscP() - sent;
+      g_hist.RecordNanos(static_cast<uint64_t>(TscToUs(delta) * 1000.0));
+      g_received.fetch_add(1, std::memory_order_release);
+    }
+    uintr::SwapToMain();
+  }
+}
+
+}  // namespace
+
+int main() {
+  (void)TscCyclesPerUs();  // calibrate before measuring
+  std::atomic<uintr::Receiver*> recv{nullptr};
+  std::atomic<bool> stop{false};
+  std::thread worker([&] {
+    recv.store(uintr::RegisterReceiver(&PreemptEntry, nullptr));
+    volatile uint64_t sink = 0;
+    while (!stop.load(std::memory_order_acquire)) sink = sink + 1;
+    uintr::UnregisterReceiver();
+  });
+  while (recv.load() == nullptr) std::this_thread::yield();
+
+  constexpr int kRounds = 2000;
+  for (int i = 0; i < kRounds; ++i) {
+    uint64_t target = g_received.load(std::memory_order_acquire) + 1;
+    g_send_tsc.store(RdtscP(), std::memory_order_release);
+    uintr::SendUipi(recv.load());
+    // Wait for the handler to take the measurement before the next round.
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(50);
+    while (g_received.load(std::memory_order_acquire) < target &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+  }
+  stop.store(true);
+  worker.join();
+
+  std::printf("# uintr delivery latency, sender -> handler (us)\n");
+  std::printf("samples=%lu p50=%.2f p90=%.2f p99=%.2f p99.9=%.2f max=%.2f\n",
+              static_cast<unsigned long>(g_hist.Count()),
+              g_hist.PercentileMicros(50), g_hist.PercentileMicros(90),
+              g_hist.PercentileMicros(99), g_hist.PercentileMicros(99.9),
+              static_cast<double>(g_hist.MaxNanos()) / 1000.0);
+  std::printf(
+      "# paper (real UINTR hardware): consistently < 1us; simulated "
+      "signal-based delivery is a small constant factor above\n");
+  return 0;
+}

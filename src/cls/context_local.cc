@@ -1,0 +1,123 @@
+#include "cls/context_local.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "uintr/uintr.h"
+
+namespace preemptdb::cls::internal {
+
+namespace {
+
+struct SlotDesc {
+  size_t size;
+  size_t align;
+  SlotCtor ctor;
+  SlotDtor dtor;
+};
+
+std::mutex g_registry_mu;
+std::vector<SlotDesc>& Registry() {
+  // Function-local static: safe under static-init-order rules since
+  // ContextLocal objects may register during static initialization.
+  static std::vector<SlotDesc>* r = new std::vector<SlotDesc>();
+  return *r;
+}
+
+// Per-context slot storage. Lazily grown; slot memory is constructed on
+// first access so registration order vs. arena creation order is irrelevant.
+class Arena {
+ public:
+  Arena() = default;
+  ~Arena() {
+    std::vector<SlotDesc> descs;
+    {
+      std::lock_guard<std::mutex> g(g_registry_mu);
+      descs = Registry();
+    }
+    for (size_t i = 0; i < ptrs_.size(); ++i) {
+      if (ptrs_[i] != nullptr) {
+        descs[i].dtor(ptrs_[i]);
+        ::operator delete(ptrs_[i], std::align_val_t(descs[i].align));
+      }
+    }
+  }
+  PDB_DISALLOW_COPY_AND_ASSIGN(Arena);
+
+  void* Slot(int idx) {
+    if (PDB_UNLIKELY(static_cast<size_t>(idx) >= ptrs_.size() ||
+                     ptrs_[idx] == nullptr)) {
+      return SlowSlot(idx);
+    }
+    return ptrs_[idx];
+  }
+
+ private:
+  void* SlowSlot(int idx) {
+    SlotDesc d;
+    {
+      std::lock_guard<std::mutex> g(g_registry_mu);
+      PDB_CHECK(static_cast<size_t>(idx) < Registry().size());
+      d = Registry()[idx];
+    }
+    if (static_cast<size_t>(idx) >= ptrs_.size()) ptrs_.resize(idx + 1);
+    void* p = ::operator new(d.size, std::align_val_t(d.align));
+    d.ctor(p);
+    ptrs_[idx] = p;
+    return p;
+  }
+
+  std::vector<void*> ptrs_;
+};
+
+// Arena owner for threads without a uintr receiver: cleaned up at thread
+// exit via thread_local destruction.
+struct ThreadArenaOwner {
+  Arena* arena = nullptr;
+  ~ThreadArenaOwner() { delete arena; }
+};
+thread_local ThreadArenaOwner tls_thread_arena;
+
+Arena* CurrentArena() {
+  uintr::Tcb* tcb = uintr::CurrentTcb();
+  if (PDB_LIKELY(tcb->cls_arena != nullptr)) {
+    return static_cast<Arena*>(tcb->cls_arena);
+  }
+  // First CLS touch from this context: attach an arena. Allocation may be
+  // interrupted mid-way, so bracket it (operator new is itself guarded, but
+  // the tcb field assignment must also be atomic w.r.t. preemption).
+  uintr::NonPreemptibleRegion guard;
+  auto* arena = new Arena();
+  tcb->cls_arena = arena;
+  if (uintr::CurrentReceiver() == nullptr) {
+    // Unregistered thread: tie the arena's lifetime to the thread.
+    tls_thread_arena.arena = arena;
+  }
+  return arena;
+}
+
+}  // namespace
+
+int RegisterSlot(size_t size, size_t align, SlotCtor ctor, SlotDtor dtor) {
+  std::lock_guard<std::mutex> g(g_registry_mu);
+  Registry().push_back(SlotDesc{size, align, ctor, dtor});
+  return static_cast<int>(Registry().size()) - 1;
+}
+
+void* SlotPtr(int slot) { return CurrentArena()->Slot(slot); }
+
+int NumSlots() {
+  std::lock_guard<std::mutex> g(g_registry_mu);
+  return static_cast<int>(Registry().size());
+}
+
+void DestroyArenaOf(void* tcb_opaque) {
+  auto* tcb = static_cast<uintr::Tcb*>(tcb_opaque);
+  if (tcb->cls_arena != nullptr) {
+    delete static_cast<Arena*>(tcb->cls_arena);
+    tcb->cls_arena = nullptr;
+  }
+}
+
+}  // namespace preemptdb::cls::internal

@@ -1,0 +1,74 @@
+// Context-local storage (paper §4.3). A worker thread hosts two transaction
+// contexts that must not share "thread-local" engine state (log buffers,
+// RNGs, arenas, scratch counters): after a preemption both contexts would
+// otherwise write the same TLS variables.
+//
+// The paper steals the initialized TLS block of a dormant pthread and swaps
+// the fs base at context switch so unmodified libraries keep working. That
+// trick needs an OS/toolchain-specific loader dance; here every
+// engine-internal thread-local is declared as ContextLocal<T> instead, which
+// resolves through the *current context's* slot arena. The arena pointer
+// rides in the TCB, so a context switch transparently switches every
+// ContextLocal at once — the same swap-at-switch semantics, at library level.
+//
+// Threads that never register a uintr receiver get a private per-thread
+// arena, so ContextLocal<T> degrades to plain thread_local for them.
+#ifndef PREEMPTDB_CLS_CONTEXT_LOCAL_H_
+#define PREEMPTDB_CLS_CONTEXT_LOCAL_H_
+
+#include <cstddef>
+#include <new>
+
+#include "util/macros.h"
+
+namespace preemptdb::cls {
+
+namespace internal {
+
+using SlotCtor = void (*)(void* storage);
+using SlotDtor = void (*)(void* storage);
+
+// Registers a CLS slot; returns its index. Called from ContextLocal
+// constructors (typically namespace-scope objects at static-init time, but
+// dynamic registration works too).
+int RegisterSlot(size_t size, size_t align, SlotCtor ctor, SlotDtor dtor);
+
+// Storage of `slot` in the calling context's arena, constructing it (and the
+// arena) on first touch.
+void* SlotPtr(int slot);
+
+// Number of registered slots (tests/diagnostics).
+int NumSlots();
+
+// Frees the arena attached to the given TCB (worker teardown).
+void DestroyArenaOf(void* tcb);
+
+}  // namespace internal
+
+// A variable with one independent instance per transaction context.
+// T must be default-constructible; construction happens lazily on first
+// access from each context.
+template <typename T>
+class ContextLocal {
+ public:
+  ContextLocal()
+      : slot_(internal::RegisterSlot(sizeof(T), alignof(T), &Construct,
+                                     &Destroy)) {}
+  PDB_DISALLOW_COPY_AND_ASSIGN(ContextLocal);
+
+  T& Get() const { return *static_cast<T*>(internal::SlotPtr(slot_)); }
+  T* operator->() const { return &Get(); }
+  T& operator*() const { return Get(); }
+
+  int slot_index() const { return slot_; }
+
+ private:
+  static void Construct(void* p) { new (p) T(); }
+  static void Destroy(void* p) { static_cast<T*>(p)->~T(); }
+
+  const int slot_;
+};
+
+}  // namespace preemptdb::cls
+
+#endif  // PREEMPTDB_CLS_CONTEXT_LOCAL_H_

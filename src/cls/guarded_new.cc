@@ -1,0 +1,83 @@
+// Preemption-safe global allocator shims (paper §4.4).
+//
+// glibc malloc/free take internal arena locks with no deadlock detection. If
+// a preemption lands while the main context holds such a lock and the
+// preemptive context then allocates, the worker thread self-deadlocks. The
+// paper wraps the memory allocator in non-preemptible regions; linking this
+// translation unit does the same for every operator new/delete in the
+// process: the interrupt handler sees npreempt_depth > 0 and returns without
+// switching, so no context switch can ever land inside the allocator.
+//
+// The guard costs two thread-local increments per allocation (see
+// bench/ablation_preempt_modes for the measured overhead).
+
+#include <cstdlib>
+#include <new>
+
+#include "uintr/uintr.h"
+
+namespace {
+
+void* GuardedAlloc(std::size_t size, std::size_t align) {
+  preemptdb::uintr::NonPreemptibleEnter();
+  void* p = align > alignof(std::max_align_t)
+                ? std::aligned_alloc(align, (size + align - 1) / align * align)
+                : std::malloc(size);
+  preemptdb::uintr::NonPreemptibleExit();
+  return p;
+}
+
+void GuardedFree(void* p) {
+  preemptdb::uintr::NonPreemptibleEnter();
+  std::free(p);
+  preemptdb::uintr::NonPreemptibleExit();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = GuardedAlloc(size ? size : 1, 0);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return GuardedAlloc(size ? size : 1, 0);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return GuardedAlloc(size ? size : 1, 0);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = GuardedAlloc(size ? size : 1, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return GuardedAlloc(size ? size : 1, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { GuardedFree(p); }
+void operator delete[](void* p) noexcept { GuardedFree(p); }
+void operator delete(void* p, std::size_t) noexcept { GuardedFree(p); }
+void operator delete[](void* p, std::size_t) noexcept { GuardedFree(p); }
+void operator delete(void* p, std::align_val_t) noexcept { GuardedFree(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { GuardedFree(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  GuardedFree(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  GuardedFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  GuardedFree(p);
+}

@@ -1,0 +1,130 @@
+#include "core/preemptdb.h"
+
+#include <sched.h>
+
+#include <chrono>
+#include <thread>
+
+namespace preemptdb {
+
+// Heap-allocated submission: owned by the queue until a worker runs it.
+struct DB::Closure {
+  TxnFn fn;
+  std::atomic<Rc>* rc_out = nullptr;       // non-null for SubmitAndWait
+  std::atomic<bool>* done_flag = nullptr;  // set after rc_out
+};
+
+std::unique_ptr<DB> DB::Open(const Options& options) {
+  return std::unique_ptr<DB>(new DB(options));
+}
+
+DB::DB(const Options& options) {
+  lp_submissions_ = std::make_unique<MpmcQueue<Closure*>>(1 << 12);
+  hp_submissions_ = std::make_unique<MpmcQueue<Closure*>>(1 << 12);
+  if (options.gc_interval_ms > 0) {
+    engine_.StartBackgroundGc(options.gc_interval_ms);
+  }
+  if (options.start_scheduler) {
+    sched::Scheduler::Workload workload;
+    workload.execute = &DB::ExecuteThunk;
+    workload.exec_ctx = this;
+    workload.gen_low = [this](sched::Request* out) {
+      return PopSubmission(sched::Priority::kLow, out);
+    };
+    workload.gen_high = [this](sched::Request* out) {
+      return PopSubmission(sched::Priority::kHigh, out);
+    };
+    // Submissions carry owned closures: a shed request must be requeued,
+    // never dropped, or Drain()/SubmitAndWait() would wait forever.
+    workload.on_shed = [this](const sched::Request& r) {
+      auto* c = reinterpret_cast<Closure*>(r.params[0]);
+      while (!hp_submissions_->TryPush(c)) sched_yield();
+    };
+    scheduler_ =
+        std::make_unique<sched::Scheduler>(options.scheduler, workload);
+    scheduler_->Start();
+  }
+}
+
+DB::~DB() {
+  if (scheduler_ != nullptr) {
+    Drain();
+    scheduler_->Stop();
+  }
+  // Free any closures that never ran (engine-only DBs or races at exit).
+  Closure* c;
+  while (lp_submissions_->TryPop(&c)) delete c;
+  while (hp_submissions_->TryPop(&c)) delete c;
+}
+
+bool DB::PopSubmission(sched::Priority priority, sched::Request* out) {
+  auto& q = priority == sched::Priority::kHigh ? *hp_submissions_
+                                               : *lp_submissions_;
+  Closure* c;
+  if (!q.TryPop(&c)) return false;
+  out->type = 0;
+  out->params[0] = reinterpret_cast<uint64_t>(c);
+  return true;
+}
+
+Rc DB::ExecuteThunk(const sched::Request& req, void* ctx, int /*worker_id*/) {
+  auto* db = static_cast<DB*>(ctx);
+  auto* c = reinterpret_cast<Closure*>(req.params[0]);
+  Rc rc = c->fn(db->engine_);
+  if (c->rc_out != nullptr) {
+    c->rc_out->store(rc, std::memory_order_release);
+  }
+  if (c->done_flag != nullptr) {
+    c->done_flag->store(true, std::memory_order_release);
+  }
+  delete c;
+  db->completed_.fetch_add(1, std::memory_order_release);
+  return rc;
+}
+
+bool DB::Submit(sched::Priority priority, TxnFn fn) {
+  PDB_CHECK_MSG(scheduler_ != nullptr, "DB opened without a scheduler");
+  auto* c = new Closure{std::move(fn), nullptr, nullptr};
+  auto& q = priority == sched::Priority::kHigh ? *hp_submissions_
+                                               : *lp_submissions_;
+  if (!q.TryPush(c)) {
+    delete c;
+    return false;
+  }
+  submitted_.fetch_add(1, std::memory_order_release);
+  return true;
+}
+
+Rc DB::SubmitAndWait(sched::Priority priority, TxnFn fn) {
+  PDB_CHECK_MSG(scheduler_ != nullptr, "DB opened without a scheduler");
+  std::atomic<Rc> rc{Rc::kError};
+  std::atomic<bool> done{false};
+  auto* c = new Closure{std::move(fn), &rc, &done};
+  auto& q = priority == sched::Priority::kHigh ? *hp_submissions_
+                                               : *lp_submissions_;
+  while (!q.TryPush(c)) sched_yield();
+  submitted_.fetch_add(1, std::memory_order_release);
+  while (!done.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  return rc.load(std::memory_order_acquire);
+}
+
+void DB::Drain() {
+  while (completed_.load(std::memory_order_acquire) <
+         submitted_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+sched::Metrics& DB::metrics() {
+  PDB_CHECK(scheduler_ != nullptr);
+  return scheduler_->metrics();
+}
+
+sched::Scheduler& DB::scheduler() {
+  PDB_CHECK(scheduler_ != nullptr);
+  return *scheduler_;
+}
+
+}  // namespace preemptdb

@@ -1,0 +1,97 @@
+// PreemptDB public API.
+//
+// A DB bundles the memory-optimized MVCC storage engine with the preemptive
+// scheduling runtime (scheduler thread + worker threads with two transaction
+// contexts each). Applications either run transactions inline on their own
+// thread (Execute) or submit them tagged with a priority (Submit /
+// SubmitAndWait), in which case high-priority transactions preempt
+// in-progress low-priority ones via simulated user interrupts.
+//
+//   preemptdb::DB::Options opts;
+//   opts.scheduler.policy = preemptdb::sched::Policy::kPreempt;
+//   auto db = preemptdb::DB::Open(opts);
+//   auto* t = db->CreateTable("accounts");
+//   db->Execute([&](preemptdb::engine::Engine& eng) {
+//     auto* txn = eng.Begin();
+//     txn->Insert(t, 42, "hello");
+//     return txn->Commit();
+//   });
+//   db->SubmitAndWait(preemptdb::sched::Priority::kHigh, ...);
+#ifndef PREEMPTDB_CORE_PREEMPTDB_H_
+#define PREEMPTDB_CORE_PREEMPTDB_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "engine/engine.h"
+#include "sched/scheduler.h"
+#include "sync/mpmc_queue.h"
+
+namespace preemptdb {
+
+// A user transaction body: do work through the engine, return the final
+// status (typically the Commit() result).
+using TxnFn = std::function<Rc(engine::Engine&)>;
+
+class DB {
+ public:
+  struct Options {
+    sched::SchedulerConfig scheduler;
+    // Start the scheduling runtime; if false the DB is engine-only and
+    // Submit* are unavailable (Execute still works).
+    bool start_scheduler = true;
+    // Background version-GC period; 0 disables (collect manually via
+    // engine().CollectGarbage()).
+    uint64_t gc_interval_ms = 50;
+  };
+
+  static std::unique_ptr<DB> Open(const Options& options);
+  ~DB();
+  PDB_DISALLOW_COPY_AND_ASSIGN(DB);
+
+  // --- Engine-level access (caller's thread) ---
+  engine::Engine& engine() { return engine_; }
+  engine::Table* CreateTable(const std::string& name) {
+    return engine_.CreateTable(name);
+  }
+  engine::Table* GetTable(const std::string& name) const {
+    return engine_.GetTable(name);
+  }
+
+  // Runs `fn` inline on the calling thread.
+  Rc Execute(const TxnFn& fn) { return fn(engine_); }
+
+  // --- Scheduled execution ---
+
+  // Enqueues `fn` with the given priority; returns false if the submission
+  // queue is full. Completion is recorded in metrics().
+  bool Submit(sched::Priority priority, TxnFn fn);
+
+  // Submits and blocks until the transaction ran; returns its status.
+  Rc SubmitAndWait(sched::Priority priority, TxnFn fn);
+
+  // Blocks until all submissions made so far have been executed.
+  void Drain();
+
+  sched::Metrics& metrics();
+  sched::Scheduler& scheduler();
+
+ private:
+  struct Closure;
+
+  explicit DB(const Options& options);
+  static Rc ExecuteThunk(const sched::Request& req, void* ctx, int worker_id);
+  bool PopSubmission(sched::Priority priority, sched::Request* out);
+
+  engine::Engine engine_;
+  std::unique_ptr<sched::Scheduler> scheduler_;
+  std::unique_ptr<MpmcQueue<Closure*>> lp_submissions_;
+  std::unique_ptr<MpmcQueue<Closure*>> hp_submissions_;
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+};
+
+}  // namespace preemptdb
+
+#endif  // PREEMPTDB_CORE_PREEMPTDB_H_

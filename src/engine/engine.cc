@@ -1,0 +1,95 @@
+#include "engine/engine.h"
+
+#include "cls/context_local.h"
+#include "engine/hooks.h"
+
+namespace preemptdb::engine {
+
+namespace hooks {
+thread_local YieldFn yield_fn = nullptr;
+thread_local uint64_t yield_interval = 0;
+thread_local uint64_t access_counter = 0;
+thread_local uint64_t q2_block_interval = 0;
+thread_local uint64_t q2_block_counter = 0;
+}  // namespace hooks
+
+namespace {
+
+// One Transaction object per transaction context (paper §4.3): the paused
+// low-priority transaction and the preempting high-priority one coexist on
+// the same worker with fully separate state.
+cls::ContextLocal<Transaction> tls_transaction;
+
+}  // namespace
+
+namespace {
+std::atomic<uint64_t> g_engine_instances{0};
+}  // namespace
+
+Engine::Engine()
+    : instance_id_(g_engine_instances.fetch_add(1,
+                                                std::memory_order_relaxed)) {}
+
+Engine::~Engine() { StopBackgroundGc(); }
+
+uint64_t Engine::MinActiveBegin() const {
+  SpinLatchGuard g(active_latch_);
+  uint64_t min = UINT64_MAX;
+  for (const auto& slot : active_slots_) {
+    uint64_t b = slot->load(std::memory_order_acquire);
+    if (b != 0 && b < min) min = b;
+  }
+  return min == UINT64_MAX ? ReadTs() : min;
+}
+
+void Engine::RegisterActiveSlot(ActiveSlot slot) {
+  SpinLatchGuard g(active_latch_);
+  active_slots_.push_back(std::move(slot));
+}
+
+void Engine::StartBackgroundGc(uint64_t interval_ms) {
+  if (gc_thread_.joinable()) return;
+  gc_stop_.store(false, std::memory_order_release);
+  gc_thread_ = std::thread([this, interval_ms] {
+    while (!gc_stop_.load(std::memory_order_acquire)) {
+      CollectGarbage();
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  });
+}
+
+void Engine::StopBackgroundGc() {
+  if (!gc_thread_.joinable()) return;
+  gc_stop_.store(true, std::memory_order_release);
+  gc_thread_.join();
+}
+
+Table* Engine::CreateTable(const std::string& name) {
+  SpinLatchGuard g(ddl_latch_);
+  PDB_CHECK_MSG(GetTableLocked(name) == nullptr, "table already exists");
+  auto id = static_cast<uint32_t>(tables_.size());
+  tables_.push_back(std::make_unique<Table>(name, id));
+  return tables_.back().get();
+}
+
+Table* Engine::GetTable(const std::string& name) const {
+  SpinLatchGuard g(ddl_latch_);
+  return GetTableLocked(name);
+}
+
+Table* Engine::GetTableLocked(const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (t->name() == name) return t.get();
+  }
+  return nullptr;
+}
+
+Transaction* Engine::Begin(IsolationLevel iso) {
+  Transaction* t = &tls_transaction.Get();
+  PDB_CHECK_MSG(t->state() != TxnState::kActive,
+                "previous transaction in this context is still active");
+  t->Reset(this, iso);
+  return t;
+}
+
+}  // namespace preemptdb::engine

@@ -1,0 +1,90 @@
+// The ERMIA-style memory-optimized storage engine PreemptDB is built on
+// (paper §2.2): tables with indirection arrays and version chains, a
+// centralized commit-timestamp counter, per-context redo log buffers, and
+// transactions bound to the calling transaction context via CLS.
+#ifndef PREEMPTDB_ENGINE_ENGINE_H_
+#define PREEMPTDB_ENGINE_ENGINE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/gc.h"
+#include "engine/log.h"
+#include "engine/table.h"
+#include "engine/transaction.h"
+#include "util/macros.h"
+
+namespace preemptdb::engine {
+
+class Engine {
+ public:
+  Engine();
+  ~Engine();
+  PDB_DISALLOW_COPY_AND_ASSIGN(Engine);
+
+  // DDL (not transactional; call before concurrent use).
+  Table* CreateTable(const std::string& name);
+  Table* GetTable(const std::string& name) const;
+
+  // Begins a transaction in the calling transaction context. Each context
+  // (not merely each thread) owns an independent Transaction object through
+  // CLS, so a preempting high-priority transaction never clobbers the paused
+  // low-priority transaction's state on the same worker (paper §4.3).
+  Transaction* Begin(IsolationLevel iso = IsolationLevel::kSnapshot);
+
+  // Timestamp counter (paper §2.2: "drawn from a centralized counter").
+  uint64_t ReadTs() const { return ts_.load(std::memory_order_acquire); }
+  uint64_t NextCommitTs() {
+    return ts_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+  LogManager& log_manager() { return log_manager_; }
+  GarbageCollector& gc() { return gc_; }
+
+  // --- Version garbage collection ---
+
+  // Smallest begin timestamp among active transactions, or the current
+  // counter value when none are active (the GC eligibility watermark).
+  uint64_t MinActiveBegin() const;
+
+  // Runs one GC pass; returns the number of versions freed.
+  uint64_t CollectGarbage() { return gc_.Collect(MinActiveBegin()); }
+
+  // Optional background collector (period in milliseconds). Idempotent.
+  void StartBackgroundGc(uint64_t interval_ms);
+  void StopBackgroundGc();
+
+  // Transaction-side registration of the per-context activity slot used by
+  // MinActiveBegin (slots outlive both parties via shared ownership).
+  using ActiveSlot = std::shared_ptr<std::atomic<uint64_t>>;
+  void RegisterActiveSlot(ActiveSlot slot);
+
+  // Process-unique engine instance id (address reuse across Engine
+  // lifetimes must not confuse per-transaction registration caches).
+  uint64_t instance_id() const { return instance_id_; }
+
+  // Aggregate abort counters (diagnostics / tests).
+  std::atomic<uint64_t> commits{0};
+  std::atomic<uint64_t> aborts{0};
+
+ private:
+  Table* GetTableLocked(const std::string& name) const;
+
+  std::atomic<uint64_t> ts_{0};
+  std::vector<std::unique_ptr<Table>> tables_;
+  mutable SpinLatch ddl_latch_;
+  LogManager log_manager_;
+  GarbageCollector gc_{this};
+  mutable SpinLatch active_latch_;
+  std::vector<ActiveSlot> active_slots_;
+  std::thread gc_thread_;
+  std::atomic<bool> gc_stop_{false};
+  const uint64_t instance_id_;
+};
+
+}  // namespace preemptdb::engine
+
+#endif  // PREEMPTDB_ENGINE_ENGINE_H_

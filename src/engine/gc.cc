@@ -1,0 +1,90 @@
+#include "engine/gc.h"
+
+#include <algorithm>
+
+#include "engine/engine.h"
+
+namespace preemptdb::engine {
+
+GarbageCollector::~GarbageCollector() {
+  // Engine teardown: no transactions remain; reclaim everything still
+  // pending. Retired (still linked) versions are owned by the OID arrays
+  // and freed by their table's chain walk, so only limbo (already unlinked)
+  // versions are freed here.
+  for (const Limbo& l : limbo_) Version::Free(l.victim);
+}
+
+void GarbageCollector::Retire(Version* prev, Version* victim,
+                              uint64_t retire_ts) {
+  PDB_DCHECK(victim != nullptr && prev != nullptr);
+  SpinLatchGuard g(latch_);
+  retired_.push_back(Retired{prev, victim, retire_ts});
+  retired_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void GarbageCollector::RetireUnlinked(Version* victim, uint64_t unlink_ts) {
+  SpinLatchGuard g(latch_);
+  limbo_.push_back(Limbo{victim, unlink_ts});
+  retired_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t GarbageCollector::Collect(uint64_t min_active_begin) {
+  if (!collect_latch_.TryLock()) return 0;  // another pass in flight
+
+  // Phase 1: splice out retired versions no active snapshot can need.
+  std::vector<Retired> to_unlink;
+  {
+    SpinLatchGuard g(latch_);
+    auto it = retired_.begin();
+    while (it != retired_.end()) {
+      if (it->retire_ts <= min_active_begin) {
+        to_unlink.push_back(*it);
+        it = retired_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (!to_unlink.empty()) {
+    // Oldest victims first: a victim deeper in a chain must be spliced
+    // before the (newer) victim that is its predecessor, or the splice
+    // would write through an already-unlinked node and resurrect the deep
+    // victim. retire_ts order gives exactly that (stable for equal ts).
+    std::stable_sort(to_unlink.begin(), to_unlink.end(),
+                     [](const Retired& a, const Retired& b) {
+                       return a.retire_ts < b.retire_ts;
+                     });
+    for (const Retired& r : to_unlink) {
+      PDB_DCHECK(r.prev->next == r.victim);
+      r.prev->next = r.victim->next;
+    }
+    // Publish the splices through the timestamp counter: every transaction
+    // beginning at or after unlink_ts observes the shortened chains.
+    uint64_t unlink_ts = engine_->NextCommitTs();
+    SpinLatchGuard g(latch_);
+    for (const Retired& r : to_unlink) {
+      limbo_.push_back(Limbo{r.victim, unlink_ts});
+    }
+  }
+
+  // Phase 2: free limbo versions past their grace period.
+  std::vector<Version*> to_free;
+  {
+    SpinLatchGuard g(latch_);
+    auto it = limbo_.begin();
+    while (it != limbo_.end()) {
+      if (it->unlink_ts <= min_active_begin) {
+        to_free.push_back(it->victim);
+        it = limbo_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (Version* v : to_free) Version::Free(v);
+  freed_count_.fetch_add(to_free.size(), std::memory_order_relaxed);
+  collect_latch_.Unlock();
+  return to_free.size();
+}
+
+}  // namespace preemptdb::engine

@@ -1,0 +1,98 @@
+// Epoch-style version garbage collection.
+//
+// Multi-versioning retains superseded versions for readers of older
+// snapshots (paper §2.2). Like ERMIA, reclamation is decoupled from forward
+// processing: commit retires displaced committed versions, and a collector
+// pass frees them once no active transaction can reach them.
+//
+// Safety argument (two phases, both keyed off the engine's commit-timestamp
+// counter, which readers load with acquire semantics at Begin):
+//
+//   retire(prev, victim, retire_ts):  victim was displaced by a version that
+//       committed at retire_ts. Snapshots with begin_ts < retire_ts may
+//       still need victim; it stays fully linked.
+//   unlink phase: once min(active begin_ts) >= retire_ts, no current or
+//       future snapshot resolves to victim. The collector splices it out of
+//       the chain (prev->next = victim->next; the chain above a committed
+//       version is append-only at the head, so prev's next still points at
+//       victim) and bumps the counter to obtain unlink_ts. The bump is an
+//       acq_rel RMW on the same atomic every Begin acquires, so any
+//       transaction with begin_ts >= unlink_ts observes the splice.
+//   free phase: once min(active begin_ts) >= unlink_ts, no active
+//       transaction can have loaded a pointer to victim — transactions
+//       active at unlink time have since finished, and later ones see the
+//       spliced chain — so the memory is returned to the allocator.
+//
+// Aborted versions are unlinked inline by Abort and enter the free phase
+// directly.
+#ifndef PREEMPTDB_ENGINE_GC_H_
+#define PREEMPTDB_ENGINE_GC_H_
+
+#include <atomic>
+#include <deque>
+#include <vector>
+
+#include "engine/version.h"
+#include "util/latch.h"
+#include "util/macros.h"
+
+namespace preemptdb::engine {
+
+class Engine;
+
+class GarbageCollector {
+ public:
+  explicit GarbageCollector(Engine* engine) : engine_(engine) {}
+  PDB_DISALLOW_COPY_AND_ASSIGN(GarbageCollector);
+
+  ~GarbageCollector();
+
+  // Commit path: `victim` (a committed version) was displaced by a version
+  // committed at `retire_ts`; `prev` is that newer version.
+  void Retire(Version* prev, Version* victim, uint64_t retire_ts);
+
+  // Abort path: `victim` has already been unlinked from its chain;
+  // `unlink_ts` is a counter value obtained after the splice.
+  void RetireUnlinked(Version* victim, uint64_t unlink_ts);
+
+  // Runs one collection pass: splices reclaimable retired versions and
+  // frees limbo versions past their grace period. `min_active_begin` is the
+  // smallest begin timestamp among active transactions (or the current
+  // counter value if none are active). Returns the number of versions
+  // freed. Not reentrant; one collector at a time (internally serialized).
+  uint64_t Collect(uint64_t min_active_begin);
+
+  uint64_t retired_count() const {
+    return retired_count_.load(std::memory_order_relaxed);
+  }
+  uint64_t freed_count() const {
+    return freed_count_.load(std::memory_order_relaxed);
+  }
+  uint64_t pending_count() const {
+    SpinLatchGuard g(latch_);
+    return retired_.size() + limbo_.size();
+  }
+
+ private:
+  struct Retired {
+    Version* prev;
+    Version* victim;
+    uint64_t retire_ts;
+  };
+  struct Limbo {
+    Version* victim;
+    uint64_t unlink_ts;
+  };
+
+  Engine* const engine_;
+  mutable SpinLatch latch_;
+  std::deque<Retired> retired_;  // ordered by retire_ts (commit order-ish)
+  std::deque<Limbo> limbo_;      // ordered by unlink_ts
+  SpinLatch collect_latch_;      // serializes Collect passes
+  std::atomic<uint64_t> retired_count_{0};
+  std::atomic<uint64_t> freed_count_{0};
+};
+
+}  // namespace preemptdb::engine
+
+#endif  // PREEMPTDB_ENGINE_GC_H_

@@ -1,0 +1,61 @@
+// Scheduler hooks embedded in the storage engine.
+//
+// Cooperative scheduling (paper §2.1 / §6.1) is implemented exactly as the
+// paper describes: "the system maintains a counter at the storage engine
+// interfaces and yields regularly at a fixed interval" of record accesses.
+// The engine calls OnRecordAccess() on every record read; when a yield
+// function is installed and the interval elapses, it is invoked so the worker
+// can check its high-priority queue.
+//
+// The handcrafted variant (Fig. 11) instead places the yield "right outside
+// the nested query block of Q2, every 1000 nested blocks": the Q2
+// implementation calls OnQ2Block() and the record-access hook stays disabled.
+#ifndef PREEMPTDB_ENGINE_HOOKS_H_
+#define PREEMPTDB_ENGINE_HOOKS_H_
+
+#include <cstdint>
+
+namespace preemptdb::engine::hooks {
+
+using YieldFn = void (*)();
+
+// All state is thread-local: yields happen on the worker's main context only
+// (the installed function must no-op when called from the preemptive
+// context, which the scheduler's implementation guarantees).
+extern thread_local YieldFn yield_fn;
+extern thread_local uint64_t yield_interval;       // records per yield; 0=off
+extern thread_local uint64_t access_counter;
+extern thread_local uint64_t q2_block_interval;    // blocks per yield; 0=off
+extern thread_local uint64_t q2_block_counter;
+
+inline void OnRecordAccess() {
+  if (yield_interval == 0) return;
+  if (++access_counter >= yield_interval) {
+    access_counter = 0;
+    if (yield_fn != nullptr) yield_fn();
+  }
+}
+
+// Called by the handcrafted Q2 implementation at nested-block boundaries.
+inline void OnQ2Block() {
+  if (q2_block_interval == 0) return;
+  if (++q2_block_counter >= q2_block_interval) {
+    q2_block_counter = 0;
+    if (yield_fn != nullptr) yield_fn();
+  }
+}
+
+inline void Install(YieldFn fn, uint64_t record_interval,
+                    uint64_t block_interval) {
+  yield_fn = fn;
+  yield_interval = record_interval;
+  q2_block_interval = block_interval;
+  access_counter = 0;
+  q2_block_counter = 0;
+}
+
+inline void Uninstall() { Install(nullptr, 0, 0); }
+
+}  // namespace preemptdb::engine::hooks
+
+#endif  // PREEMPTDB_ENGINE_HOOKS_H_

@@ -1,0 +1,24 @@
+#include "engine/log.h"
+
+namespace preemptdb::engine {
+
+void LogBuffer::Append(LogManager* lm, uint32_t table_id, Oid oid,
+                       const void* payload, uint32_t size, bool deleted) {
+  size_t need = sizeof(LogRecordHeader) + size;
+  PDB_CHECK_MSG(need <= kCapacity, "redo record exceeds log buffer");
+  if (pos_ + need > kCapacity) Seal(lm);
+  LogRecordHeader hdr{table_id, size, oid, static_cast<uint8_t>(deleted)};
+  std::memcpy(buf_ + pos_, &hdr, sizeof(hdr));
+  if (size > 0) std::memcpy(buf_ + pos_ + sizeof(hdr), payload, size);
+  pos_ += need;
+  ++records_;
+}
+
+void LogBuffer::Seal(LogManager* lm) {
+  if (pos_ == 0) return;
+  lm->Sink(buf_, pos_, records_);
+  pos_ = 0;
+  records_ = 0;
+}
+
+}  // namespace preemptdb::engine

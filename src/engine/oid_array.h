@@ -1,0 +1,85 @@
+// Indirection (OID) array: maps a table-local object id to the head of its
+// version chain (ERMIA's indirection design). Two-level chunked layout so the
+// array can grow lock-free on the read path while loaders allocate.
+#ifndef PREEMPTDB_ENGINE_OID_ARRAY_H_
+#define PREEMPTDB_ENGINE_OID_ARRAY_H_
+
+#include <array>
+#include <atomic>
+#include <memory>
+
+#include "engine/version.h"
+#include "util/latch.h"
+#include "util/macros.h"
+
+namespace preemptdb::engine {
+
+class OidArray {
+ public:
+  static constexpr size_t kChunkBits = 16;
+  static constexpr size_t kChunkSize = 1ull << kChunkBits;  // entries/chunk
+  static constexpr size_t kMaxChunks = 1ull << 14;          // ~1B entries
+
+  OidArray() {
+    for (auto& c : chunks_) c.store(nullptr, std::memory_order_relaxed);
+  }
+
+  ~OidArray() {
+    for (auto& c : chunks_) {
+      Chunk* chunk = c.load(std::memory_order_relaxed);
+      if (chunk == nullptr) continue;
+      for (auto& head : *chunk) {
+        Version* v = head.load(std::memory_order_relaxed);
+        while (v != nullptr) {
+          Version* next = v->next;
+          Version::Free(v);
+          v = next;
+        }
+      }
+      delete chunk;
+    }
+  }
+
+  PDB_DISALLOW_COPY_AND_ASSIGN(OidArray);
+
+  Oid Allocate() {
+    Oid oid = next_.fetch_add(1, std::memory_order_relaxed);
+    EnsureChunk(oid >> kChunkBits);
+    return oid;
+  }
+
+  std::atomic<Version*>& Head(Oid oid) {
+    Chunk* chunk = chunks_[oid >> kChunkBits].load(std::memory_order_acquire);
+    PDB_DCHECK(chunk != nullptr);
+    return (*chunk)[oid & (kChunkSize - 1)];
+  }
+
+  const std::atomic<Version*>& Head(Oid oid) const {
+    return const_cast<OidArray*>(this)->Head(oid);
+  }
+
+  uint64_t AllocatedCount() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  using Chunk = std::array<std::atomic<Version*>, kChunkSize>;
+
+  void EnsureChunk(size_t idx) {
+    PDB_CHECK_MSG(idx < kMaxChunks, "OID array capacity exceeded");
+    if (chunks_[idx].load(std::memory_order_acquire) != nullptr) return;
+    SpinLatchGuard g(grow_latch_);
+    if (chunks_[idx].load(std::memory_order_relaxed) != nullptr) return;
+    auto* chunk = new Chunk();
+    for (auto& head : *chunk) head.store(nullptr, std::memory_order_relaxed);
+    chunks_[idx].store(chunk, std::memory_order_release);
+  }
+
+  std::array<std::atomic<Chunk*>, kMaxChunks> chunks_;
+  std::atomic<Oid> next_{0};
+  SpinLatch grow_latch_;
+};
+
+}  // namespace preemptdb::engine
+
+#endif  // PREEMPTDB_ENGINE_OID_ARRAY_H_

@@ -1,0 +1,21 @@
+#include "engine/table.h"
+
+namespace preemptdb::engine {
+
+Table::Table(std::string name, uint32_t id) : name_(std::move(name)), id_(id) {}
+
+index::BTree* Table::CreateSecondaryIndex(const std::string& name) {
+  PDB_CHECK_MSG(GetSecondaryIndex(name) == nullptr,
+                "secondary index already exists");
+  secondary_.emplace_back(name, std::make_unique<index::BTree>());
+  return secondary_.back().second.get();
+}
+
+index::BTree* Table::GetSecondaryIndex(const std::string& name) const {
+  for (const auto& [n, idx] : secondary_) {
+    if (n == name) return idx.get();
+  }
+  return nullptr;
+}
+
+}  // namespace preemptdb::engine

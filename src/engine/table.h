@@ -1,0 +1,51 @@
+// A table = an OID (indirection) array of version chains plus a primary
+// B+-tree index mapping 64-bit keys to OIDs, with optional secondary indexes
+// that also map (encoded) keys to OIDs.
+#ifndef PREEMPTDB_ENGINE_TABLE_H_
+#define PREEMPTDB_ENGINE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/oid_array.h"
+#include "engine/version.h"
+#include "index/btree.h"
+#include "util/macros.h"
+
+namespace preemptdb::engine {
+
+class Table {
+ public:
+  Table(std::string name, uint32_t id);
+  PDB_DISALLOW_COPY_AND_ASSIGN(Table);
+
+  const std::string& name() const { return name_; }
+  uint32_t id() const { return id_; }
+
+  index::BTree& primary() { return primary_; }
+  const index::BTree& primary() const { return primary_; }
+
+  OidArray& oids() { return oids_; }
+
+  std::atomic<Version*>& Head(Oid oid) { return oids_.Head(oid); }
+
+  // Secondary indexes are created before concurrent use (DDL is not
+  // transactional) and map encoded secondary keys to OIDs.
+  index::BTree* CreateSecondaryIndex(const std::string& name);
+  index::BTree* GetSecondaryIndex(const std::string& name) const;
+
+  uint64_t RowCountApprox() const { return primary_.Size(); }
+
+ private:
+  const std::string name_;
+  const uint32_t id_;
+  OidArray oids_;
+  index::BTree primary_;
+  std::vector<std::pair<std::string, std::unique_ptr<index::BTree>>>
+      secondary_;
+};
+
+}  // namespace preemptdb::engine
+
+#endif  // PREEMPTDB_ENGINE_TABLE_H_

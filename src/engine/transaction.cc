@@ -1,0 +1,402 @@
+#include "engine/transaction.h"
+
+#include <sched.h>
+
+#include "cls/context_local.h"
+#include "engine/engine.h"
+#include "engine/hooks.h"
+#include "uintr/uintr.h"
+
+namespace preemptdb::engine {
+
+namespace {
+
+// Per-context redo log buffer (the paper's flagship CLS example, §4.3).
+cls::ContextLocal<LogBuffer> tls_log_buffer;
+
+}  // namespace
+
+Transaction::~Transaction() {
+  if (active_slot_ != nullptr) {
+    active_slot_->store(0, std::memory_order_release);
+  }
+}
+
+void Transaction::Reset(Engine* engine, IsolationLevel iso) {
+  engine_ = engine;
+  iso_ = iso;
+  state_ = TxnState::kActive;
+  begin_ts_ = engine->ReadTs();
+  commit_ts_.store(0, std::memory_order_release);
+  write_set_.clear();
+  read_set_.clear();
+  if (write_set_.capacity() == 0) write_set_.reserve(64);
+  if (read_set_.capacity() == 0) read_set_.reserve(256);
+  // Publish activity for the GC watermark. A begin timestamp of 0 means
+  // idle, so shift by one (visibility uses begin_ts_ directly; the slot is
+  // only a lower bound and the +1 would only make it less conservative, so
+  // publish begin_ts_ but never 0).
+  if (registered_engine_id_ != engine->instance_id()) {
+    if (active_slot_ == nullptr) {
+      active_slot_ = std::make_shared<std::atomic<uint64_t>>(0);
+    }
+    engine->RegisterActiveSlot(active_slot_);
+    registered_engine_id_ = engine->instance_id();
+  }
+  active_slot_->store(begin_ts_ == 0 ? 1 : begin_ts_,
+                      std::memory_order_release);
+}
+
+void Transaction::Deactivate() {
+  if (active_slot_ != nullptr) {
+    active_slot_->store(0, std::memory_order_release);
+  }
+}
+
+Version* Transaction::FindVisible(Table* table, Oid oid) {
+  uint64_t snapshot = iso_ == IsolationLevel::kReadCommitted
+                          ? UINT64_MAX >> 1
+                          : begin_ts_;
+  Version* v = table->Head(oid).load(std::memory_order_acquire);
+  while (v != nullptr) {
+    uint64_t clsn = v->clsn.load(std::memory_order_acquire);
+    if (PDB_LIKELY(!(clsn & kInFlightBit))) {
+      // Committed version.
+      if (clsn <= snapshot) return v;
+      v = v->next;
+      continue;
+    }
+    Transaction* owner = Version::OwnerOf(clsn);
+    if (owner == nullptr) {  // aborted residue; skip
+      v = v->next;
+      continue;
+    }
+    if (owner == this) return v;  // read-your-writes
+    // In-flight by another transaction. If its commit is in progress with a
+    // timestamp inside our snapshot, wait for the stamp (commit stamping is
+    // non-preemptible, so this spin is always short and can never dead-spin
+    // against a paused context on the same core). kCommittingTs means the
+    // timestamp is being drawn right now — it may land inside our snapshot,
+    // so wait until it is known.
+    uint64_t octs = owner->CommitTsRelaxed();
+    if (octs == kCommittingTs || (octs != 0 && octs <= snapshot)) {
+      if (v->clsn.load(std::memory_order_acquire) != clsn) continue;  // moved
+      sched_yield();
+      continue;
+    }
+    // Not committing into our snapshot: invisible (octs == 0 guarantees any
+    // future commit timestamp postdates our snapshot because the sentinel is
+    // published before the counter is bumped). Re-check clsn to close the
+    // owner-slot-reuse race (a stamped clsn would have changed first).
+    if (v->clsn.load(std::memory_order_acquire) != clsn) continue;
+    v = v->next;
+  }
+  return nullptr;
+}
+
+void Transaction::TrackRead(Table* table, Oid oid, Version* v) {
+  if (iso_ == IsolationLevel::kSerializable) {
+    read_set_.push_back(ReadEntry{table, oid, v});
+  }
+}
+
+Rc Transaction::ReadOid(Table* table, Oid oid, Slice* out) {
+  PDB_DCHECK(state_ == TxnState::kActive);
+  hooks::OnRecordAccess();
+  Version* v = FindVisible(table, oid);
+  TrackRead(table, oid, v);
+  if (v == nullptr || v->deleted) return Rc::kNotFound;
+  *out = Slice(v->Data(), v->size);
+  return Rc::kOk;
+}
+
+Rc Transaction::Read(Table* table, index::Key key, Slice* out) {
+  index::Value oid;
+  if (!table->primary().Lookup(key, &oid)) {
+    hooks::OnRecordAccess();
+    return Rc::kNotFound;
+  }
+  return ReadOid(table, oid, out);
+}
+
+Rc Transaction::ReadBySecondary(Table* table, const index::BTree* sec,
+                                index::Key key, Slice* out) {
+  index::Value oid;
+  if (!sec->Lookup(key, &oid)) {
+    hooks::OnRecordAccess();
+    return Rc::kNotFound;
+  }
+  return ReadOid(table, oid, out);
+}
+
+Rc Transaction::InstallWrite(Table* table, Oid oid, std::string_view payload,
+                             bool deleted) {
+  // The install sequence (inspect head, allocate, CAS) must not be paused
+  // half-way: the preemptive context could otherwise observe and conflict
+  // with a torn write-set of its own worker.
+  uintr::NonPreemptibleRegion guard;
+  std::atomic<Version*>& head_slot = table->Head(oid);
+  Version* head = head_slot.load(std::memory_order_acquire);
+  if (head != nullptr) {
+    uint64_t clsn = head->clsn.load(std::memory_order_acquire);
+    if (clsn & kInFlightBit) {
+      Transaction* owner = Version::OwnerOf(clsn);
+      if (owner != nullptr && owner != this) {
+        return Rc::kAbortWriteConflict;  // first-committer-wins, eagerly
+      }
+    } else if (iso_ != IsolationLevel::kReadCommitted && clsn > begin_ts_) {
+      // A newer committed version exists: under SI we must not clobber it.
+      return Rc::kAbortWriteConflict;
+    }
+  }
+  Version* v = Version::Make(this, payload.data(),
+                             static_cast<uint32_t>(payload.size()), deleted,
+                             head);
+  if (!head_slot.compare_exchange_strong(head, v,
+                                         std::memory_order_acq_rel)) {
+    Version::Free(v);
+    return Rc::kAbortWriteConflict;
+  }
+  write_set_.push_back(WriteEntry{table, oid, v});
+  return Rc::kOk;
+}
+
+Rc Transaction::Insert(Table* table, index::Key key, std::string_view payload) {
+  return InsertWithSecondaries(table, key, payload, nullptr, 0);
+}
+
+Rc Transaction::InsertWithSecondaries(Table* table, index::Key key,
+                                      std::string_view payload,
+                                      const SecondaryEntry* secs, int nsecs) {
+  PDB_DCHECK(state_ == TxnState::kActive);
+  hooks::OnRecordAccess();
+  index::Value existing_oid;
+  if (table->primary().Lookup(key, &existing_oid)) {
+    // The key has an OID. It is a duplicate only if some version is visible
+    // and live; a tombstoned or fully-aborted chain can be overwritten.
+    Version* vis = FindVisible(table, existing_oid);
+    if (vis != nullptr && !vis->deleted) return Rc::kKeyExists;
+    Rc rc = InstallWrite(table, existing_oid, payload, /*deleted=*/false);
+    if (!IsOk(rc)) return rc;
+    // Secondary entries may or may not already exist; upsert them.
+    for (int i = 0; i < nsecs; ++i) {
+      secs[i].index->Upsert(secs[i].key, existing_oid);
+    }
+    return Rc::kOk;
+  }
+  Oid oid = table->oids().Allocate();
+  Rc install_rc = InstallWrite(table, oid, payload, /*deleted=*/false);
+  PDB_CHECK(IsOk(install_rc));  // fresh OID: no competition possible
+  if (!table->primary().Insert(key, oid)) {
+    // Lost an insert race on the key. Undo our version (unlink first, then
+    // mark; see AbortLocked) and report conflict. The OID was never
+    // published through any index, so the version can go straight to limbo.
+    Version* v = write_set_.back().version;
+    write_set_.pop_back();
+    table->Head(oid).store(nullptr, std::memory_order_release);
+    v->clsn.store(kInFlightBit, std::memory_order_release);
+    engine_->gc().RetireUnlinked(v, engine_->NextCommitTs());
+    return Rc::kAbortWriteConflict;
+  }
+  for (int i = 0; i < nsecs; ++i) {
+    secs[i].index->Upsert(secs[i].key, oid);
+  }
+  return Rc::kOk;
+}
+
+Rc Transaction::Update(Table* table, index::Key key, std::string_view payload) {
+  PDB_DCHECK(state_ == TxnState::kActive);
+  hooks::OnRecordAccess();
+  index::Value oid;
+  if (!table->primary().Lookup(key, &oid)) return Rc::kNotFound;
+  Version* vis = FindVisible(table, oid);
+  if (vis == nullptr || vis->deleted) return Rc::kNotFound;
+  return InstallWrite(table, oid, payload, /*deleted=*/false);
+}
+
+Rc Transaction::Delete(Table* table, index::Key key) {
+  PDB_DCHECK(state_ == TxnState::kActive);
+  hooks::OnRecordAccess();
+  index::Value oid;
+  if (!table->primary().Lookup(key, &oid)) return Rc::kNotFound;
+  Version* vis = FindVisible(table, oid);
+  if (vis == nullptr || vis->deleted) return Rc::kNotFound;
+  return InstallWrite(table, oid, std::string_view(), /*deleted=*/true);
+}
+
+Rc Transaction::Scan(Table* table, index::Key lo, index::Key hi,
+                     const ScanCallback& cb) {
+  PDB_DCHECK(state_ == TxnState::kActive);
+  Rc rc = Rc::kOk;
+  table->primary().Scan(lo, hi, [&](index::Key k, index::Value oid) {
+    hooks::OnRecordAccess();
+    Version* v = FindVisible(table, oid);
+    TrackRead(table, oid, v);
+    if (v == nullptr || v->deleted) return true;  // invisible: keep scanning
+    return cb(k, Slice(v->Data(), v->size));
+  });
+  return rc;
+}
+
+Rc Transaction::ScanSecondary(Table* table, const index::BTree* sec,
+                              index::Key lo, index::Key hi,
+                              const ScanCallback& cb) {
+  PDB_DCHECK(state_ == TxnState::kActive);
+  sec->Scan(lo, hi, [&](index::Key k, index::Value oid) {
+    hooks::OnRecordAccess();
+    Version* v = FindVisible(table, oid);
+    TrackRead(table, oid, v);
+    if (v == nullptr || v->deleted) return true;
+    return cb(k, Slice(v->Data(), v->size));
+  });
+  return Rc::kOk;
+}
+
+Rc Transaction::ScanSecondaryReverse(Table* table, const index::BTree* sec,
+                                     index::Key lo, index::Key hi,
+                                     const ScanCallback& cb) {
+  PDB_DCHECK(state_ == TxnState::kActive);
+  sec->ScanReverse(lo, hi, [&](index::Key k, index::Value oid) {
+    hooks::OnRecordAccess();
+    Version* v = FindVisible(table, oid);
+    TrackRead(table, oid, v);
+    if (v == nullptr || v->deleted) return true;
+    return cb(k, Slice(v->Data(), v->size));
+  });
+  return Rc::kOk;
+}
+
+bool Transaction::ValidateReads(uint64_t commit_ts) const {
+  // OCC certification: each point read must still be the newest state, i.e.,
+  // nothing committed (or is committing earlier than us) on top of what we
+  // read. Record latching in address order inside the enclosing
+  // non-preemptible region mirrors the paper's §4.4 example; with
+  // first-committer-wins writes, validation reduces to head inspection.
+  for (const ReadEntry& r : read_set_) {
+    // Walk from the head past our own writes and aborted residue; the read
+    // is valid if the version we saw (possibly our own in-flight write) is
+    // still the newest relevant state.
+    Version* v = r.table->Head(r.oid).load(std::memory_order_acquire);
+    bool ok = false;
+    while (v != nullptr) {
+      if (v == r.version) {
+        ok = true;
+        break;
+      }
+      uint64_t clsn = v->clsn.load(std::memory_order_acquire);
+      if (clsn & kInFlightBit) {
+        Transaction* owner = Version::OwnerOf(clsn);
+        if (owner == this || owner == nullptr) {
+          v = v->next;
+          continue;
+        }
+        // In-flight by another txn: it commits after us unless it already
+        // holds (or is about to hold) an earlier commit timestamp. Wait out
+        // the sentinel — commit is non-preemptible, so this is short.
+        uint64_t octs = owner->CommitTsRelaxed();
+        while (octs == kCommittingTs &&
+               v->clsn.load(std::memory_order_acquire) == clsn) {
+          CpuPause();
+          octs = owner->CommitTsRelaxed();
+        }
+        if (v->clsn.load(std::memory_order_acquire) != clsn) continue;
+        if (octs != 0 && octs != kCommittingTs && octs < commit_ts) {
+          return false;
+        }
+        v = v->next;
+        continue;
+      }
+      // First committed version below the in-flight fringe is not what we
+      // read: someone overwrote it.
+      break;
+    }
+    if (!ok && !(v == nullptr && r.version == nullptr)) return false;
+  }
+  return true;
+}
+
+Rc Transaction::Commit() {
+  PDB_DCHECK(state_ == TxnState::kActive);
+  if (write_set_.empty() && iso_ != IsolationLevel::kSerializable) {
+    state_ = TxnState::kCommitted;
+    engine_->commits.fetch_add(1, std::memory_order_relaxed);
+    Deactivate();
+    return Rc::kOk;
+  }
+  // Commit is non-preemptible (paper §4.4: "transaction
+  // validation/commit/abort logics"): a paused half-committed transaction
+  // would dead-spin readers running in the other context of this worker.
+  uintr::NonPreemptibleRegion guard;
+  // Announce "committing" before drawing the timestamp: a reader that
+  // observes 0 afterwards can conclude our timestamp will postdate its
+  // snapshot; a reader that observes the sentinel waits for the real value.
+  commit_ts_.store(kCommittingTs, std::memory_order_seq_cst);
+  uint64_t cts = engine_->NextCommitTs();
+  commit_ts_.store(cts, std::memory_order_release);
+
+  if (iso_ == IsolationLevel::kSerializable && !ValidateReads(cts)) {
+    commit_ts_.store(0, std::memory_order_release);
+    AbortLocked();
+    return Rc::kAbortSerialization;
+  }
+
+  LogBuffer& log = tls_log_buffer.Get();
+  for (const WriteEntry& w : write_set_) {
+    w.version->clsn.store(cts, std::memory_order_release);
+    log.Append(&engine_->log_manager(), w.table->id(), w.oid,
+               w.version->Data(), w.version->size, w.version->deleted);
+  }
+  log.Seal(&engine_->log_manager());
+  // Retire displaced committed predecessors for the garbage collector
+  // (iterating the write set in order retires deeper victims first, which
+  // GarbageCollector::Collect relies on for equal retire timestamps).
+  for (const WriteEntry& w : write_set_) {
+    Version* old = w.version->next;
+    if (old != nullptr &&
+        !(old->clsn.load(std::memory_order_acquire) & kInFlightBit)) {
+      engine_->gc().Retire(w.version, old, cts);
+    }
+  }
+  state_ = TxnState::kCommitted;
+  engine_->commits.fetch_add(1, std::memory_order_relaxed);
+  Deactivate();
+  return Rc::kOk;
+}
+
+void Transaction::Abort() {
+  PDB_DCHECK(state_ == TxnState::kActive);
+  uintr::NonPreemptibleRegion guard;
+  AbortLocked();
+}
+
+void Transaction::AbortLocked() {
+  // Unlink our in-flight versions newest-first. Only this transaction can
+  // have stacked versions above its own (any other writer would have
+  // aborted on seeing our in-flight head), so the head CAS cannot fail.
+  for (auto it = write_set_.rbegin(); it != write_set_.rend(); ++it) {
+    Version* v = it->version;
+    // Unlink BEFORE marking aborted: once marked, another writer would no
+    // longer conflict on this head and could stack a version on top,
+    // invalidating the CAS. While still in-flight-owned, nobody else can
+    // touch the head.
+    Version* expected = v;
+    bool swapped = it->table->Head(it->oid).compare_exchange_strong(
+        expected, v->next, std::memory_order_acq_rel);
+    PDB_CHECK_MSG(swapped, "abort unlink lost the chain head");
+    v->clsn.store(kInFlightBit, std::memory_order_release);  // aborted mark
+  }
+  if (!write_set_.empty()) {
+    // Hand the unlinked versions to the collector: concurrent readers may
+    // still hold pointers, so they sit in limbo until every transaction
+    // active at unlink time has finished.
+    uint64_t unlink_ts = engine_->NextCommitTs();
+    for (const WriteEntry& w : write_set_) {
+      engine_->gc().RetireUnlinked(w.version, unlink_ts);
+    }
+  }
+  state_ = TxnState::kAborted;
+  engine_->aborts.fetch_add(1, std::memory_order_relaxed);
+  Deactivate();
+}
+
+}  // namespace preemptdb::engine

@@ -1,0 +1,163 @@
+// Transactions over the multi-versioned store (paper §2.2).
+//
+// Concurrency control: snapshot isolation by default — reads traverse the
+// version chain latch-free and pick the newest version committed at or before
+// the transaction's begin timestamp; writes install in-flight versions at the
+// chain head with first-committer-wins conflict detection (an in-flight or
+// newer committed head aborts the writer). Read-committed reads the newest
+// committed version; serializable adds OCC-style read-set certification at
+// commit (Kung-Robinson via [25], as the paper's §2.2 suggests).
+//
+// Preemption interplay: forward processing takes no latches for reads, so a
+// preempted reader wastes no work and blocks nobody — the paper's key
+// assumption. Commit/abort install-and-stamp sections run inside
+// non-preemptible regions so a paused transaction can never be observed
+// mid-commit by the other context of the same worker (§4.4).
+#ifndef PREEMPTDB_ENGINE_TRANSACTION_H_
+#define PREEMPTDB_ENGINE_TRANSACTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "engine/table.h"
+#include "engine/version.h"
+#include "util/macros.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace preemptdb::engine {
+
+class Engine;
+
+enum class IsolationLevel : uint8_t {
+  kReadCommitted,
+  kSnapshot,
+  kSerializable,
+};
+
+enum class TxnState : uint8_t { kIdle, kActive, kCommitted, kAborted };
+
+class Transaction {
+ public:
+  Transaction() = default;
+  ~Transaction();
+  PDB_DISALLOW_COPY_AND_ASSIGN(Transaction);
+
+  // --- Point operations (primary index) ---
+
+  // Reads the visible version of `key`; zero-copy, valid until txn end.
+  Rc Read(Table* table, index::Key key, Slice* out);
+
+  // Reads through a secondary index entry (maps to the same OID space).
+  Rc ReadBySecondary(Table* table, const index::BTree* sec, index::Key key,
+                     Slice* out);
+
+  // Reads by OID directly (engine-internal and loader paths).
+  Rc ReadOid(Table* table, Oid oid, Slice* out);
+
+  Rc Insert(Table* table, index::Key key, std::string_view payload);
+
+  // Inserts and also registers `sec_key` in the given secondary indexes.
+  struct SecondaryEntry {
+    index::BTree* index;
+    index::Key key;
+  };
+  Rc InsertWithSecondaries(Table* table, index::Key key,
+                           std::string_view payload,
+                           const SecondaryEntry* secs, int nsecs);
+
+  Rc Update(Table* table, index::Key key, std::string_view payload);
+  Rc Delete(Table* table, index::Key key);
+
+  // --- Range operations ---
+
+  // Visible-version scan over primary-key range [lo, hi]. The callback
+  // returns false to stop early. Counts one record access per visited key
+  // (feeding the cooperative-yield hook).
+  using ScanCallback = std::function<bool(index::Key, Slice)>;
+  Rc Scan(Table* table, index::Key lo, index::Key hi, const ScanCallback& cb);
+
+  // Scan over a secondary index; emits (secondary key, row payload).
+  Rc ScanSecondary(Table* table, const index::BTree* sec, index::Key lo,
+                   index::Key hi, const ScanCallback& cb);
+
+  // Descending variant over a secondary index (newest-first lookups).
+  Rc ScanSecondaryReverse(Table* table, const index::BTree* sec, index::Key lo,
+                          index::Key hi, const ScanCallback& cb);
+
+  // --- Lifecycle ---
+
+  Rc Commit();
+  void Abort();
+
+  TxnState state() const { return state_; }
+  uint64_t begin_ts() const { return begin_ts_; }
+  IsolationLevel isolation() const { return iso_; }
+  // Published commit state consulted by readers of in-flight versions:
+  // 0 = not committing (a commit timestamp, if ever drawn, will postdate any
+  //     snapshot that can currently observe this state);
+  // kCommittingTs = the transaction is drawing its commit timestamp right
+  //     now — readers must wait for the real value;
+  // else = the commit timestamp; versions are being stamped.
+  // The sentinel is stored *before* the timestamp counter is bumped, so a
+  // reader that sees 0 can safely treat the writes as invisible.
+  static constexpr uint64_t kCommittingTs = UINT64_MAX;
+  uint64_t CommitTsRelaxed() const {
+    return commit_ts_.load(std::memory_order_acquire);
+  }
+
+  size_t write_set_size() const { return write_set_.size(); }
+  size_t read_set_size() const { return read_set_.size(); }
+
+ private:
+  friend class Engine;
+
+  struct WriteEntry {
+    Table* table;
+    Oid oid;
+    Version* version;
+  };
+  struct ReadEntry {
+    Table* table;
+    Oid oid;
+    Version* version;  // nullptr when the read observed "no visible version"
+  };
+
+  void Reset(Engine* engine, IsolationLevel iso);
+
+  // Returns the version of `oid` visible to this transaction (own in-flight
+  // writes included), or nullptr. Spins out concurrent committers.
+  Version* FindVisible(Table* table, Oid oid);
+
+  // Installs an in-flight version at the head of `oid`'s chain.
+  Rc InstallWrite(Table* table, Oid oid, std::string_view payload,
+                  bool deleted);
+
+  void TrackRead(Table* table, Oid oid, Version* v);
+  bool ValidateReads(uint64_t commit_ts) const;
+  // Abort body; caller holds a non-preemptible region.
+  void AbortLocked();
+
+  // Ends the transaction: clears the GC activity slot.
+  void Deactivate();
+
+  Engine* engine_ = nullptr;
+  IsolationLevel iso_ = IsolationLevel::kSnapshot;
+  TxnState state_ = TxnState::kIdle;
+  uint64_t begin_ts_ = 0;
+  std::atomic<uint64_t> commit_ts_{0};
+  std::vector<WriteEntry> write_set_;
+  std::vector<ReadEntry> read_set_;
+  // GC visibility: shared with the engine's registry so neither side can
+  // dangle; holds begin_ts while active, 0 otherwise.
+  std::shared_ptr<std::atomic<uint64_t>> active_slot_;
+  uint64_t registered_engine_id_ = UINT64_MAX;
+};
+
+}  // namespace preemptdb::engine
+
+#endif  // PREEMPTDB_ENGINE_TRANSACTION_H_

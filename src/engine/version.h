@@ -1,0 +1,69 @@
+// Multi-version record representation (paper §2.2, following ERMIA/Adya's
+// model): each record is an ordered new-to-old chain of versions, each tagged
+// with the commit timestamp (clsn) of the creating transaction. Reads
+// traverse the chain latch-free — the property that makes pausing a reader
+// free of wasted work and hence preemption viable.
+#ifndef PREEMPTDB_ENGINE_VERSION_H_
+#define PREEMPTDB_ENGINE_VERSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+
+#include "util/macros.h"
+
+namespace preemptdb::engine {
+
+class Transaction;
+
+// clsn encoding:
+//   committed:  the commit timestamp (< 2^63)
+//   in-flight:  kInFlightBit | pointer-to-owner-Transaction
+//   aborted:    kInFlightBit alone (owner cleared)
+inline constexpr uint64_t kInFlightBit = 1ull << 63;
+
+struct Version {
+  std::atomic<uint64_t> clsn;
+  Version* next;  // older version (immutable once linked)
+  uint32_t size;
+  bool deleted;  // tombstone
+  // Payload bytes follow the struct (flexible layout, allocated together).
+
+  char* Data() { return reinterpret_cast<char*>(this) + sizeof(Version); }
+  const char* Data() const {
+    return reinterpret_cast<const char*>(this) + sizeof(Version);
+  }
+
+  bool IsInFlight(uint64_t clsn_val) const {
+    return (clsn_val & kInFlightBit) != 0;
+  }
+
+  static Transaction* OwnerOf(uint64_t clsn_val) {
+    return reinterpret_cast<Transaction*>(clsn_val & ~kInFlightBit);
+  }
+
+  static uint64_t MakeInFlight(Transaction* owner) {
+    return kInFlightBit | reinterpret_cast<uint64_t>(owner);
+  }
+
+  // Allocates a version with an inline copy of `payload`.
+  static Version* Make(Transaction* owner, const void* payload, uint32_t size,
+                       bool deleted, Version* next) {
+    void* mem = ::operator new(sizeof(Version) + size);
+    auto* v = static_cast<Version*>(mem);
+    v->clsn.store(MakeInFlight(owner), std::memory_order_relaxed);
+    v->next = next;
+    v->size = size;
+    v->deleted = deleted;
+    if (size > 0) std::memcpy(v->Data(), payload, size);
+    return v;
+  }
+
+  static void Free(Version* v) { ::operator delete(v); }
+};
+
+using Oid = uint64_t;
+
+}  // namespace preemptdb::engine
+
+#endif  // PREEMPTDB_ENGINE_VERSION_H_

@@ -1,0 +1,119 @@
+// In-memory B+-tree with optimistic lock coupling (OLC), mapping fixed-width
+// 64-bit keys to OIDs. This is the table access method of the ERMIA-style
+// substrate (paper §2.2): readers traverse latch-free with version
+// validation; writers latch individual nodes only around modification.
+//
+// Preemption safety (paper §4.4): every public operation executes inside a
+// non-preemptible region. A transaction preempted while holding a node latch
+// would deadlock the preemptive context of the same thread (a reader spinning
+// on ReadLock can never make progress because the latch holder is paused on
+// the same core), which is exactly the scenario the paper's TCB::lock()
+// machinery exists to prevent.
+#ifndef PREEMPTDB_INDEX_BTREE_H_
+#define PREEMPTDB_INDEX_BTREE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "util/latch.h"
+#include "util/macros.h"
+
+namespace preemptdb::index {
+
+using Key = uint64_t;
+using Value = uint64_t;
+
+namespace internal {
+
+inline constexpr int kLeafCapacity = 64;
+inline constexpr int kInnerCapacity = 64;
+
+enum class NodeType : uint8_t { kInner, kLeaf };
+
+struct NodeBase {
+  OptLatch latch;
+  NodeType type;
+  uint16_t count = 0;
+
+  explicit NodeBase(NodeType t) : type(t) {}
+  bool IsLeaf() const { return type == NodeType::kLeaf; }
+};
+
+struct LeafNode : NodeBase {
+  Key keys[kLeafCapacity];
+  Value values[kLeafCapacity];
+
+  LeafNode() : NodeBase(NodeType::kLeaf) {}
+  bool IsFull() const { return count == kLeafCapacity; }
+  // Index of first key >= k.
+  int LowerBound(Key k) const;
+  // Splits this (locked) leaf; returns the new right sibling and its
+  // separator key (first key of the right node).
+  LeafNode* Split(Key* sep);
+};
+
+struct InnerNode : NodeBase {
+  // count separator keys, count+1 children.
+  Key keys[kInnerCapacity];
+  NodeBase* children[kInnerCapacity + 1];
+
+  InnerNode() : NodeBase(NodeType::kInner) {}
+  bool IsFull() const { return count == kInnerCapacity; }
+  int ChildIndex(Key k) const;
+  void InsertChild(Key sep, NodeBase* child);
+  InnerNode* Split(Key* sep);
+};
+
+}  // namespace internal
+
+class BTree {
+ public:
+  BTree();
+  ~BTree();
+  PDB_DISALLOW_COPY_AND_ASSIGN(BTree);
+
+  // Returns false if the key is absent.
+  bool Lookup(Key key, Value* value) const;
+
+  // Inserts key->value; returns false (no change) if the key exists.
+  bool Insert(Key key, Value value);
+
+  // Unconditional upsert; returns true if a new key was inserted.
+  bool Upsert(Key key, Value value);
+
+  // Removes the key; returns false if absent. Leaves may become underfull
+  // (no rebalancing — standard for memory-optimized research engines).
+  bool Remove(Key key);
+
+  // In-order scan over [begin, end]; the callback returns false to stop.
+  // The iteration is a sequence of optimistic leaf snapshots: each leaf's
+  // content is validated before its entries are emitted, so the scan never
+  // emits torn data, though it may miss/duplicate entries racing with
+  // concurrent splits of *later* leaves (snapshot-consistency at the record
+  // level is the MVCC layer's job, not the index's).
+  using ScanCallback = std::function<bool(Key, Value)>;
+  void Scan(Key begin, Key end, const ScanCallback& cb) const;
+
+  // Descending scan over [begin, end], starting at end.
+  void ScanReverse(Key begin, Key end, const ScanCallback& cb) const;
+
+  uint64_t Size() const { return size_.load(std::memory_order_relaxed); }
+
+ private:
+  struct ScanChunk;
+  bool LookupOnce(Key key, Value* value, bool* ok) const;
+  bool InsertOnce(Key key, Value value, bool upsert, bool* inserted);
+  bool RemoveOnce(Key key, bool* removed);
+  // Collects one leaf's worth of entries with key >= from (ascending) or
+  // key <= from (descending). Returns false on a version conflict (retry).
+  bool CollectChunk(Key from, bool ascending, ScanChunk* out) const;
+  void FreeSubtree(internal::NodeBase* node);
+
+  std::atomic<internal::NodeBase*> root_;
+  std::atomic<uint64_t> size_{0};
+};
+
+}  // namespace preemptdb::index
+
+#endif  // PREEMPTDB_INDEX_BTREE_H_

@@ -1,0 +1,73 @@
+// Scheduling policies and their knobs (paper §5/§6.1).
+#ifndef PREEMPTDB_SCHED_CONFIG_H_
+#define PREEMPTDB_SCHED_CONFIG_H_
+
+#include <cstdint>
+
+#include "uintr/uintr.h"
+
+namespace preemptdb::sched {
+
+enum class Policy : uint8_t {
+  // Non-preemptive FIFO with a high/low priority queue pair: high-priority
+  // work is taken only at transaction boundaries ("Wait").
+  kWait,
+  // Engine-level cooperative yielding every `yield_interval_records` record
+  // accesses ("Cooperative"); handcrafted_q2_blocks > 0 switches to the
+  // workload-specific handcrafted variant of Fig. 11.
+  kCooperative,
+  // Userspace-interrupt preemption with batched on-demand preemption and
+  // starvation prevention ("PreemptDB").
+  kPreempt,
+};
+
+inline const char* PolicyName(Policy p) {
+  switch (p) {
+    case Policy::kWait:
+      return "Wait";
+    case Policy::kCooperative:
+      return "Cooperative";
+    case Policy::kPreempt:
+      return "PreemptDB";
+  }
+  return "?";
+}
+
+struct SchedulerConfig {
+  Policy policy = Policy::kWait;
+  int num_workers = 4;
+
+  // Paper defaults (§6.1): LP queue size 1, HP queue size 4, batch =
+  // workers * hp_queue_capacity, arrival interval 1 ms.
+  size_t lp_queue_capacity = 1;
+  size_t hp_queue_capacity = 4;
+  uint64_t arrival_interval_us = 1000;
+  // 0 = workers * hp_queue_capacity.
+  size_t hp_batch_size = 0;
+
+  // Cooperative knobs.
+  uint64_t yield_interval_records = 10000;
+  uint64_t handcrafted_q2_blocks = 0;  // >0: handcrafted variant
+
+  // PreemptDB knobs.
+  double starvation_threshold = 100.0;  // L_max; >=100 disables
+  uintr::PendingMode pending_mode = uintr::PendingMode::kDrop;
+
+  // Fig. 8 overhead mode: periodically interrupt workers although no
+  // high-priority requests exist.
+  bool send_empty_interrupts = false;
+
+  // Whether workers register uintr receivers at all ("without uintr
+  // mechanisms" baseline of Fig. 8). Cooperative and Preempt require it.
+  bool register_receivers = true;
+
+  size_t EffectiveHpBatch() const {
+    return hp_batch_size != 0
+               ? hp_batch_size
+               : static_cast<size_t>(num_workers) * hp_queue_capacity;
+  }
+};
+
+}  // namespace preemptdb::sched
+
+#endif  // PREEMPTDB_SCHED_CONFIG_H_

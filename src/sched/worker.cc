@@ -1,0 +1,198 @@
+#include "sched/worker.h"
+
+#include <sched.h>
+
+#include <chrono>
+#include <thread>
+
+#include "engine/hooks.h"
+#include "util/clock.h"
+
+namespace preemptdb::sched {
+
+namespace {
+// The worker owning the current thread (for hook thunks).
+thread_local Worker* tls_worker = nullptr;
+}  // namespace
+
+Worker::Worker(int id, const SchedulerConfig& config, ExecuteFn execute,
+               void* exec_ctx, Metrics* metrics)
+    : id_(id),
+      config_(config),
+      execute_(execute),
+      exec_ctx_(exec_ctx),
+      metrics_(metrics),
+      lp_queue_(config.lp_queue_capacity),
+      hp_queue_(config.hp_queue_capacity) {}
+
+Worker::~Worker() {
+  if (thread_.joinable()) {
+    RequestStop();
+    Join();
+  }
+}
+
+void Worker::Start() { thread_ = std::thread([this] { ThreadBody(); }); }
+
+void Worker::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Worker::PreemptEntryThunk(void* self) {
+  static_cast<Worker*>(self)->PreemptLoop();
+}
+
+void Worker::YieldHookThunk() {
+  Worker* w = tls_worker;
+  if (w != nullptr) w->YieldHook();
+}
+
+void Worker::ThreadBody() {
+  tls_worker = this;
+  if (config_.register_receivers) {
+    receiver_.store(uintr::RegisterReceiver(&PreemptEntryThunk, this,
+                                            uintr::kDefaultFiberStackBytes,
+                                            config_.pending_mode),
+                    std::memory_order_release);
+    // Delivery is enabled only while a low-priority transaction runs
+    // (Stui/Clui brackets in MainLoop).
+    uintr::Clui();
+  }
+  if (config_.policy == Policy::kCooperative) {
+    // Engine-interface yield counter (paper §6.1), or the handcrafted Q2
+    // block hook for the Fig. 11 variant.
+    if (config_.handcrafted_q2_blocks > 0) {
+      engine::hooks::Install(&YieldHookThunk, 0, config_.handcrafted_q2_blocks);
+    } else {
+      engine::hooks::Install(&YieldHookThunk, config_.yield_interval_records,
+                             0);
+    }
+  }
+  ready_.store(true, std::memory_order_release);
+  MainLoop();
+  engine::hooks::Uninstall();
+  if (config_.register_receivers) {
+    uintr::UnregisterReceiver();
+    receiver_.store(nullptr, std::memory_order_release);
+  }
+}
+
+void Worker::RunRequest(const Request& req, bool count_starvation) {
+  uint64_t c0 = count_starvation ? RdtscP() : 0;
+  Rc rc = execute_(req, exec_ctx_, id_);
+  uint64_t done = MonoNanos();
+  metrics_->Record(req.type, req.gen_ns, done, rc);
+  if (count_starvation) {
+    th_cycles_.fetch_add(RdtscP() - c0, std::memory_order_relaxed);
+  }
+}
+
+double Worker::StarvationLevel() const {
+  uint64_t t0 = t0_cycles_.load(std::memory_order_acquire);
+  if (t0 == 0) return 0.0;  // no LP transaction to starve
+  uint64_t th = th_cycles_.load(std::memory_order_acquire);
+  uint64_t now = RdtscP();
+  if (now <= t0) return 0.0;
+  return static_cast<double>(th) / static_cast<double>(now - t0);
+}
+
+bool Worker::StarvationExceeded() const {
+  return StarvationLevel() >= config_.starvation_threshold;
+}
+
+void Worker::MainLoop() {
+  // Regular-path queue preference (paper §4.1): under Wait/Cooperative the
+  // worker checks the high-priority queue first at every transaction
+  // boundary and exhausts it before the next Q2 — that is the only way HP
+  // work runs at all. Under PreemptDB the regular path serves low-priority
+  // transactions (HP work arrives via preemption, Fig. 5 path 1) and falls
+  // back to the HP queue only when no LP work exists (path 2, e.g. after a
+  // dropped interrupt); preferring HP here would let a constant HP stream
+  // keep Q2 from ever *starting*, which no starvation threshold could fix.
+  const bool prefer_hp = config_.policy != Policy::kPreempt;
+  int idle_polls = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    Request req;
+    auto try_hp = [&] {
+      // The drain is wrapped in a non-preemptible region so an interrupt
+      // arriving here is dropped rather than stacking a second drain on
+      // top of this one.
+      uintr::NonPreemptibleRegion guard;
+      return hp_queue_.TryPop(&req);
+    };
+    auto run_hp = [&] {
+      idle_polls = 0;
+      RunRequest(req, /*count_starvation=*/false);
+      hp_executed_.fetch_add(1, std::memory_order_relaxed);
+    };
+    if (prefer_hp && try_hp()) {
+      run_hp();
+      continue;
+    }
+    if (lp_queue_.TryPop(&req)) {
+      idle_polls = 0;
+      // Start-of-LP bookkeeping (paper Fig. 7): record T0, reset T_h.
+      th_cycles_.store(0, std::memory_order_release);
+      t0_cycles_.store(RdtscP(), std::memory_order_release);
+      // Interrupts are meaningful only while a low-priority transaction is
+      // in progress — that is what preemption pauses. Masking delivery
+      // outside this window (clui/stui, §2.3) keeps a saturating
+      // high-priority stream from interrupt-storming the regular path so
+      // hard that it never reaches the next low-priority transaction.
+      uintr::Stui();
+      RunRequest(req, /*count_starvation=*/false);
+      uintr::Clui();
+      t0_cycles_.store(0, std::memory_order_release);
+      lp_executed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (!prefer_hp && try_hp()) {
+      run_hp();
+      continue;
+    }
+    idle_polls = idle_polls < 1000 ? idle_polls + 1 : idle_polls;
+    if (idle_polls > 100) {
+      // Deep idle: sleep instead of spinning so active threads (and signal
+      // deliveries) get the core promptly on small machines.
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    } else {
+      sched_yield();
+    }
+  }
+}
+
+void Worker::PreemptLoop() {
+  // Body of the preemptive context (Fig. 5 context 2). Entered passively via
+  // user interrupt (PreemptDB) or voluntarily at yield points (Cooperative);
+  // drains the high-priority queue, then swaps back to the paused
+  // transaction.
+  while (true) {
+    if (!stop_.load(std::memory_order_acquire)) {
+      // Execute at most one batch per activation (paper §5: the interrupt
+      // asks the worker "to execute the batch immediately"), bounded by the
+      // starvation threshold. Without the batch bound, a scheduler that
+      // refills faster than the drain would trap the worker in this
+      // context forever and the paused low-priority transaction — and the
+      // regular path itself — would never resume.
+      Request req;
+      size_t budget = config_.hp_queue_capacity;
+      while (budget-- > 0 && !StarvationExceeded() &&
+             hp_queue_.TryPop(&req)) {
+        RunRequest(req, /*count_starvation=*/true);
+        hp_executed_.fetch_add(1, std::memory_order_relaxed);
+        hp_executed_preempt_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    uintr::SwapToMain();
+  }
+}
+
+void Worker::YieldHook() {
+  // Cooperative yield point: only meaningful on the main context with
+  // pending high-priority work.
+  if (uintr::InPreemptContext()) return;
+  if (hp_queue_.Empty()) return;
+  uintr::SwapToPreempt();
+}
+
+}  // namespace preemptdb::sched

@@ -1,0 +1,103 @@
+// Worker threads (paper Fig. 5): each worker owns a low- and a high-priority
+// scheduling queue and two transaction contexts. The main context runs the
+// regular scheduling path; the preemptive context is entered either by a
+// user interrupt (PreemptDB policy) or voluntarily at yield points
+// (Cooperative policy), drains the high-priority queue subject to the
+// starvation-prevention policy, and swaps back.
+#ifndef PREEMPTDB_SCHED_WORKER_H_
+#define PREEMPTDB_SCHED_WORKER_H_
+
+#include <atomic>
+#include <thread>
+
+#include "sched/config.h"
+#include "sched/request.h"
+#include "sync/spsc_queue.h"
+#include "uintr/uintr.h"
+#include "util/macros.h"
+
+namespace preemptdb::sched {
+
+class Worker {
+ public:
+  Worker(int id, const SchedulerConfig& config, ExecuteFn execute,
+         void* exec_ctx, Metrics* metrics);
+  ~Worker();
+  PDB_DISALLOW_COPY_AND_ASSIGN(Worker);
+
+  void Start();
+  void RequestStop() { stop_.store(true, std::memory_order_release); }
+  void Join();
+
+  int id() const { return id_; }
+
+  // Producer side is the scheduling thread only (SPSC).
+  SpscQueue<Request>& lp_queue() { return lp_queue_; }
+  SpscQueue<Request>& hp_queue() { return hp_queue_; }
+
+  // Receiver handle for SendUipi; null until the worker thread registered.
+  uintr::Receiver* receiver() const {
+    return receiver_.load(std::memory_order_acquire);
+  }
+
+  // Starvation level L = T_h / (T_1 - T_0) of the in-progress low-priority
+  // transaction (paper §5, Fig. 7); 0 when none is active.
+  double StarvationLevel() const;
+
+  // True once the worker thread is up and polling.
+  bool Ready() const { return ready_.load(std::memory_order_acquire); }
+
+  uint64_t lp_executed() const {
+    return lp_executed_.load(std::memory_order_relaxed);
+  }
+  uint64_t hp_executed() const {
+    return hp_executed_.load(std::memory_order_relaxed);
+  }
+  uint64_t hp_executed_preempt() const {
+    return hp_executed_preempt_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static void PreemptEntryThunk(void* self);
+  static void YieldHookThunk();
+
+  void ThreadBody();
+  void MainLoop();
+  void PreemptLoop();  // context-2 body; never returns
+  void YieldHook();    // cooperative yield point
+
+  // Runs one request and records metrics. `count_starvation` accumulates
+  // its cycles into T_h (used when running in the preemptive context above a
+  // paused low-priority transaction).
+  void RunRequest(const Request& req, bool count_starvation);
+
+  // True if the starvation threshold forbids running more high-priority
+  // work on this worker right now.
+  bool StarvationExceeded() const;
+
+  const int id_;
+  const SchedulerConfig& config_;
+  const ExecuteFn execute_;
+  void* const exec_ctx_;
+  Metrics* const metrics_;
+
+  SpscQueue<Request> lp_queue_;
+  SpscQueue<Request> hp_queue_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> ready_{false};
+  std::atomic<uintr::Receiver*> receiver_{nullptr};
+
+  // Starvation accounting, shared between the two contexts (paper Fig. 7).
+  std::atomic<uint64_t> t0_cycles_{0};  // 0 = no LP transaction in progress
+  std::atomic<uint64_t> th_cycles_{0};
+
+  std::atomic<uint64_t> lp_executed_{0};
+  std::atomic<uint64_t> hp_executed_{0};
+  std::atomic<uint64_t> hp_executed_preempt_{0};
+};
+
+}  // namespace preemptdb::sched
+
+#endif  // PREEMPTDB_SCHED_WORKER_H_

@@ -1,0 +1,98 @@
+// Bounded multi-producer multi-consumer queue (Vyukov's array-based design).
+// Used for admission control in front of the scheduler and wherever more than
+// one producer can enqueue work.
+#ifndef PREEMPTDB_SYNC_MPMC_QUEUE_H_
+#define PREEMPTDB_SYNC_MPMC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+#include "util/macros.h"
+
+namespace preemptdb {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(size_t capacity_pow2) : mask_(capacity_pow2 - 1) {
+    PDB_CHECK(capacity_pow2 >= 2 &&
+              (capacity_pow2 & (capacity_pow2 - 1)) == 0);
+    cells_ = std::make_unique<Cell[]>(capacity_pow2);
+    for (size_t i = 0; i < capacity_pow2; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+  PDB_DISALLOW_COPY_AND_ASSIGN(MpmcQueue);
+
+  size_t Capacity() const { return mask_ + 1; }
+
+  bool TryPush(T value) {
+    Cell* cell;
+    size_t pos = head_.load(std::memory_order_relaxed);
+    while (true) {
+      cell = &cells_[pos & mask_];
+      size_t seq = cell->sequence.load(std::memory_order_acquire);
+      intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool TryPop(T* out) {
+    Cell* cell;
+    size_t pos = tail_.load(std::memory_order_relaxed);
+    while (true) {
+      cell = &cells_[pos & mask_];
+      size_t seq = cell->sequence.load(std::memory_order_acquire);
+      intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    *out = std::move(cell->value);
+    cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  size_t SizeApprox() const {
+    size_t head = head_.load(std::memory_order_acquire);
+    size_t tail = tail_.load(std::memory_order_acquire);
+    return head >= tail ? head - tail : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<size_t> sequence;
+    T value;
+  };
+
+  const size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  PDB_CACHELINE_ALIGNED std::atomic<size_t> head_{0};
+  PDB_CACHELINE_ALIGNED std::atomic<size_t> tail_{0};
+};
+
+}  // namespace preemptdb
+
+#endif  // PREEMPTDB_SYNC_MPMC_QUEUE_H_

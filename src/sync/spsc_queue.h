@@ -1,0 +1,72 @@
+// Bounded single-producer single-consumer ring buffer. Used for the
+// per-worker scheduling queues: the scheduler thread is the only producer and
+// the owning worker the only consumer (paper §4.1/§6.1 "lock-free
+// high-priority transaction queues").
+#ifndef PREEMPTDB_SYNC_SPSC_QUEUE_H_
+#define PREEMPTDB_SYNC_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace preemptdb {
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(size_t capacity)
+      : capacity_(capacity + 1), slots_(capacity + 1) {
+    PDB_CHECK(capacity > 0);
+  }
+  PDB_DISALLOW_COPY_AND_ASSIGN(SpscQueue);
+
+  // Capacity as requested at construction.
+  size_t Capacity() const { return capacity_ - 1; }
+
+  bool TryPush(T value) {
+    size_t head = head_.load(std::memory_order_relaxed);
+    size_t next = Advance(head);
+    if (next == tail_.load(std::memory_order_acquire)) return false;  // full
+    slots_[head] = std::move(value);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  bool TryPop(T* out) {
+    size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return false;  // empty
+    *out = std::move(slots_[tail]);
+    tail_.store(Advance(tail), std::memory_order_release);
+    return true;
+  }
+
+  bool Empty() const {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+  size_t Size() const {
+    size_t head = head_.load(std::memory_order_acquire);
+    size_t tail = tail_.load(std::memory_order_acquire);
+    return head >= tail ? head - tail : head + capacity_ - tail;
+  }
+
+  bool Full() const { return Size() == Capacity(); }
+
+  // Free slots from the producer's perspective.
+  size_t FreeSlots() const { return Capacity() - Size(); }
+
+ private:
+  size_t Advance(size_t i) const { return (i + 1) % capacity_; }
+
+  const size_t capacity_;  // physical size (one slot is a sentinel)
+  std::vector<T> slots_;
+  PDB_CACHELINE_ALIGNED std::atomic<size_t> head_{0};  // producer side
+  PDB_CACHELINE_ALIGNED std::atomic<size_t> tail_{0};  // consumer side
+};
+
+}  // namespace preemptdb
+
+#endif  // PREEMPTDB_SYNC_SPSC_QUEUE_H_

@@ -1,0 +1,70 @@
+#include "uintr/fiber.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+extern "C" {
+// Defined in fiber_switch.S.
+void pdb_fiber_trampoline();
+
+void pdb_fiber_exit() {
+  std::fprintf(stderr, "preemptdb: fiber entry function returned\n");
+  std::abort();
+}
+}
+
+namespace preemptdb::uintr {
+
+namespace {
+size_t PageSize() {
+  static const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  return page;
+}
+}  // namespace
+
+Fiber::Fiber(FiberEntry entry, void* arg, size_t stack_bytes) {
+  const size_t page = PageSize();
+  // Round the usable stack to whole pages and add one guard page below it.
+  stack_bytes_ = (stack_bytes + page - 1) & ~(page - 1);
+  mapping_bytes_ = stack_bytes_ + page;
+  mapping_ = mmap(nullptr, mapping_bytes_, PROT_READ | PROT_WRITE,
+                  MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  PDB_CHECK_MSG(mapping_ != MAP_FAILED, "fiber stack mmap failed");
+  PDB_CHECK(mprotect(mapping_, page, PROT_NONE) == 0);
+
+  // Build the initial frame so the first pdb_fiber_switch into this fiber
+  // pops rbp/rbx/r12/r13/r14/r15 and returns into pdb_fiber_trampoline with
+  // rbx = entry and r12 = arg.
+  uintptr_t top = reinterpret_cast<uintptr_t>(mapping_) + mapping_bytes_;
+  top &= ~static_cast<uintptr_t>(15);  // 16-byte align
+  top -= 64;                           // scratch headroom above the frame
+
+  // pdb_fiber_switch pops r15,r14,r13,r12,rbx,rbp (in that order, from the
+  // lowest address up) and then returns, so lay the frame out accordingly.
+  uint64_t* sp = reinterpret_cast<uint64_t*>(top);
+  *--sp = reinterpret_cast<uint64_t>(&pdb_fiber_trampoline);  // return slot
+  *--sp = 0;                                   // rbp
+  *--sp = reinterpret_cast<uint64_t>(entry);   // rbx
+  *--sp = reinterpret_cast<uint64_t>(arg);     // r12
+  *--sp = 0;                                   // r13
+  *--sp = 0;                                   // r14
+  *--sp = 0;                                   // r15
+  initial_rsp_ = sp;
+}
+
+Fiber::~Fiber() {
+  if (mapping_ != nullptr) munmap(mapping_, mapping_bytes_);
+}
+
+bool Fiber::ContainsAddress(const void* addr) const {
+  auto a = reinterpret_cast<uintptr_t>(addr);
+  auto lo = reinterpret_cast<uintptr_t>(mapping_) + PageSize();
+  auto hi = reinterpret_cast<uintptr_t>(mapping_) + mapping_bytes_;
+  return a >= lo && a < hi;
+}
+
+}  // namespace preemptdb::uintr

@@ -1,0 +1,54 @@
+// Stackful fibers: the execution substrate for PreemptDB's per-worker
+// transaction contexts (paper §4.2). A Fiber owns a guard-paged stack whose
+// initial frame resumes at pdb_fiber_trampoline, which invokes the entry
+// function. Switching is done with pdb_fiber_switch (fiber_switch.S).
+#ifndef PREEMPTDB_UINTR_FIBER_H_
+#define PREEMPTDB_UINTR_FIBER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/macros.h"
+
+extern "C" {
+// Defined in fiber_switch.S.
+void pdb_fiber_switch(void** save_rsp, void* restore_rsp);
+// Called if a fiber entry function returns (it must not); aborts.
+void pdb_fiber_exit();
+}
+
+namespace preemptdb::uintr {
+
+using FiberEntry = void (*)(void* arg);
+
+inline constexpr size_t kDefaultFiberStackBytes = 512 * 1024;
+
+class Fiber {
+ public:
+  // Builds a fiber whose first activation runs entry(arg). The stack is
+  // mmap-ed with an inaccessible guard page at the low end so overflow faults
+  // instead of corrupting neighbouring memory.
+  Fiber(FiberEntry entry, void* arg,
+        size_t stack_bytes = kDefaultFiberStackBytes);
+  ~Fiber();
+  PDB_DISALLOW_COPY_AND_ASSIGN(Fiber);
+
+  // The stack pointer to pass as `restore_rsp` for the first switch into this
+  // fiber. After that, the owner tracks the live value (e.g., in a TCB).
+  void* initial_rsp() const { return initial_rsp_; }
+
+  size_t stack_bytes() const { return stack_bytes_; }
+
+  // True if `addr` lies within this fiber's usable stack.
+  bool ContainsAddress(const void* addr) const;
+
+ private:
+  void* mapping_ = nullptr;   // base of the mmap (guard page included)
+  size_t mapping_bytes_ = 0;  // total mapped size
+  void* initial_rsp_ = nullptr;
+  size_t stack_bytes_ = 0;    // usable stack size
+};
+
+}  // namespace preemptdb::uintr
+
+#endif  // PREEMPTDB_UINTR_FIBER_H_

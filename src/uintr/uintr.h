@@ -1,0 +1,136 @@
+// Simulated user interrupts (Intel UINTR) for PreemptDB.
+//
+// On real hardware (paper §2.3) a scheduler thread executes `senduipi` and
+// the receiving thread traps into a userspace handler with the interrupted
+// register state pushed as a uintr frame; `uiret` resumes it. This module
+// reproduces those semantics on stock Linux with thread-directed SIGURG:
+//
+//   SendUipi(receiver)  ->  pthread_kill(thread, SIGURG)
+//   uintr handler       ->  SIGURG handler (kernel pushes the full signal
+//                           frame, the uintr-frame analog, on the preempted
+//                           context's stack)
+//   uiret               ->  sigreturn when the handler eventually returns
+//   clui / stui         ->  per-thread delivery-enabled flag (Clui/Stui)
+//
+// The handler performs the paper's passive context switch (Fig. 6/Alg. 1):
+// it saves the current transaction context into its TCB via pdb_fiber_switch
+// and resumes the preemptive context. The preemptive context later performs
+// the atomic active switch (Alg. 2) back with SwapToMain(), which lands back
+// inside the handler, whose return pops the frozen frame — precisely the
+// paper's "indirect jump to saved RIP" epilogue, with the kernel doing the
+// register restore for us.
+//
+// Non-preemptible regions (paper §4.4) are a nested per-context counter in
+// the TCB: if an interrupt arrives with the counter above zero the handler
+// returns without switching. Two conflict modes are provided:
+//   kDrop  — paper behaviour: the interrupt is dropped; the request is picked
+//            up later via the regular scheduling path.
+//   kDefer — extension: the switch fires at the outermost NonPreemptibleExit.
+// See DESIGN.md §1 for the full substitution argument and
+// uintr_backend_native.h for the real-UINTR instruction sequence.
+#ifndef PREEMPTDB_UINTR_UINTR_H_
+#define PREEMPTDB_UINTR_UINTR_H_
+
+#include <pthread.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "uintr/fiber.h"
+#include "util/macros.h"
+
+namespace preemptdb::uintr {
+
+// Transaction control block: the per-context state the paper stores when
+// pausing a transaction (§4.2). Register state lives on the context's stack
+// (saved_rsp); the fields the handler consults live here. `volatile` fields
+// are read from the signal handler on the same thread.
+struct Tcb {
+  void* saved_rsp = nullptr;            // stack top while switched out
+  volatile uint32_t npreempt_depth = 0; // TCB::lock()/unlock() nesting
+  volatile bool preempt_pending = false;  // deferred interrupt flag
+  void* cls_arena = nullptr;            // owned by src/cls (opaque here)
+  int id = 0;                           // 0 = main, 1 = preemptive context
+};
+
+enum class PendingMode : uint8_t { kDrop, kDefer };
+
+struct ReceiverStats {
+  std::atomic<uint64_t> received{0};
+  std::atomic<uint64_t> switched{0};           // passive switches taken
+  std::atomic<uint64_t> deferred_taken{0};     // kDefer switches at unlock
+  std::atomic<uint64_t> dropped_in_switch{0};  // RIP-range-check analog
+  std::atomic<uint64_t> dropped_in_preempt{0}; // already in context 2
+  std::atomic<uint64_t> dropped_disabled{0};   // clui in effect
+  std::atomic<uint64_t> dropped_npreempt{0};   // non-preemptible region
+};
+
+class Receiver;
+
+// Registers the calling thread as a user-interrupt receiver and creates its
+// preemptive context, whose first activation runs entry(arg). The entry
+// function must loop forever, calling SwapToMain() whenever it wants to
+// resume the interrupted transaction. Returns a handle senders may use from
+// any thread. One receiver per thread.
+Receiver* RegisterReceiver(FiberEntry entry, void* arg,
+                           size_t stack_bytes = kDefaultFiberStackBytes,
+                           PendingMode mode = PendingMode::kDrop);
+
+// Tears down the calling thread's receiver. The preemptive context must be
+// parked (i.e., the thread must be running its main context).
+void UnregisterReceiver();
+
+// The calling thread's receiver, or nullptr.
+Receiver* CurrentReceiver();
+
+// TCB of the context the calling thread is currently executing. For threads
+// that never registered a receiver this returns a per-thread dummy TCB so
+// non-preemptible regions and CLS work uniformly everywhere.
+Tcb* CurrentTcb();
+
+// senduipi analog: deliver a user interrupt to `r`'s thread. Safe from any
+// thread. Returns false if the receiver is being torn down.
+bool SendUipi(Receiver* r);
+
+// Voluntary (active) switches between the two contexts of the calling
+// thread. SwapToPreempt may only be called from the main context and
+// SwapToMain from the preemptive context. Both implement the paper's atomic
+// active switch: delivery is logically masked for the duration (the handler's
+// in-switch check refuses to stack a second switch on a half-saved TCB).
+void SwapToPreempt();
+void SwapToMain();
+
+// True if the calling thread is currently executing its preemptive context.
+bool InPreemptContext();
+
+// clui/stui analogs: disable/enable user-interrupt delivery for the calling
+// thread. Nesting is not counted (matches the instructions' semantics); use
+// non-preemptible regions for nesting.
+void Clui();
+void Stui();
+bool UintrEnabled();
+
+// Non-preemptible regions (paper §4.4): nested; per current context.
+void NonPreemptibleEnter();
+void NonPreemptibleExit();
+bool InNonPreemptibleRegion();
+
+class NonPreemptibleRegion {
+ public:
+  NonPreemptibleRegion() { NonPreemptibleEnter(); }
+  ~NonPreemptibleRegion() { NonPreemptibleExit(); }
+  PDB_DISALLOW_COPY_AND_ASSIGN(NonPreemptibleRegion);
+};
+
+// Stats for the calling thread's receiver (must be registered).
+const ReceiverStats& Stats();
+// Stats for an arbitrary receiver handle (sender side).
+const ReceiverStats& StatsOf(const Receiver* r);
+
+// Number of passive+deferred switches on this receiver — used by tests.
+uint64_t SwitchCount(const Receiver* r);
+
+}  // namespace preemptdb::uintr
+
+#endif  // PREEMPTDB_UINTR_UINTR_H_

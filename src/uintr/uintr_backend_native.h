@@ -1,0 +1,82 @@
+// Native Intel UINTR backend — porting guide.
+//
+// This header documents the exact hardware path the paper uses, for porting
+// this repository to a Sapphire-Rapids-class machine running Intel's
+// uintr-enabled kernel (github.com/intel/uintr-linux-kernel, Linux 6.2).
+// It compiles only when the toolchain targets -muintr and the kernel exposes
+// the uintr_* syscalls; the simulated SIGURG backend in uintr.cc is used
+// everywhere else and implements identical semantics (see DESIGN.md §1).
+//
+// Hardware/kernel mapping of this module's API:
+//
+//   RegisterReceiver:
+//     uintr_register_handler(handler, 0)        // syscall 471
+//     fd = uintr_create_fd(vector, 0)           // syscall 473 (receiver fd)
+//   Sender setup (scheduler thread):
+//     uipi_index = uintr_register_sender(fd, 0) // syscall 474
+//   SendUipi:
+//     _senduipi(uipi_index)                     // <x86gprintrin.h>
+//   Clui/Stui:
+//     _clui() / _stui()
+//   Handler return (uiret):
+//     the compiler emits it for functions marked
+//     __attribute__((interrupt)) when built with -muintr; our handler is
+//     instead a small assembly thunk (paper Alg. 1) because it must move RSP
+//     to the other context's TCB between the register save and restore.
+//
+// The handler thunk per paper Alg. 1:
+//
+//   interrupt_handler:
+//     cmpq  $.swap_context_end, 8(%rsp)   # RIP in the uintr frame
+//     jg    .continue
+//     cmpq  $.swap_context_start, 8(%rsp)
+//     jg    .exit                         # interrupted an active switch
+//   .continue:
+//     push  <all general registers>
+//     xsave <extended state>              # FP/SIMD, paper §2.3
+//     call  uintr_handler_helper          # C++: CLS swap, npreempt check,
+//                                         # returns destination RSP
+//     movq  %rax, %rsp
+//     xrstor / pop <registers>
+//     uiret                               # pops RIP/RFLAGS/RSP, re-enables
+//   .exit:
+//     uiret
+//
+// The active switch (paper Alg. 2) additionally brackets with clui/stui and
+// performs the red-zone-respecting indirect jump:
+//
+//   swap_context:
+//   .swap_context_start:
+//     clui
+//     push <callee-saved registers>
+//     call swap_context_helper
+//     movq %rax, %rsp
+//     pop  <callee-saved registers>
+//     movq %rcx, -0x80(%rsp)              # stash RIP below the red zone
+//     stui
+//     jmp  *-0x80(%rsp)
+//   .swap_context_end:
+//
+// In the simulated backend, the kernel's signal frame plays the uintr frame's
+// role (it already contains the XSAVE area), SIGURG's sa_mask plays the
+// CPU's "interrupts disabled inside the handler" rule, and the in_switch
+// flag plays the RIP-range check.
+#ifndef PREEMPTDB_UINTR_UINTR_BACKEND_NATIVE_H_
+#define PREEMPTDB_UINTR_UINTR_BACKEND_NATIVE_H_
+
+#if defined(__UINTR__)
+#include <x86gprintrin.h>
+
+namespace preemptdb::uintr::native {
+
+inline void SendUipiHw(unsigned long long uipi_index) {
+  _senduipi(uipi_index);
+}
+inline void CluiHw() { _clui(); }
+inline void StuiHw() { _stui(); }
+inline bool TestUiHw() { return _testui(); }
+
+}  // namespace preemptdb::uintr::native
+#endif  // __UINTR__
+
+#endif  // PREEMPTDB_UINTR_UINTR_BACKEND_NATIVE_H_

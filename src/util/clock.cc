@@ -1,0 +1,36 @@
+#include "util/clock.h"
+
+#include <time.h>
+
+namespace preemptdb {
+
+uint64_t MonoNanos() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+namespace {
+
+double CalibrateTsc() {
+  // Measure TSC frequency against CLOCK_MONOTONIC over a short window. 10ms
+  // keeps startup fast while staying well above timer resolution.
+  uint64_t t0 = MonoNanos();
+  uint64_t c0 = RdtscP();
+  uint64_t target = t0 + 10 * 1000 * 1000;
+  uint64_t t1 = t0;
+  while (t1 < target) t1 = MonoNanos();
+  uint64_t c1 = RdtscP();
+  return static_cast<double>(c1 - c0) * 1000.0 /
+         static_cast<double>(t1 - t0);
+}
+
+}  // namespace
+
+double TscCyclesPerUs() {
+  static const double rate = CalibrateTsc();
+  return rate;
+}
+
+}  // namespace preemptdb

@@ -1,0 +1,35 @@
+// Cycle-accurate timing (rdtscp, as the paper uses for starvation accounting)
+// plus wall-clock helpers.
+#ifndef PREEMPTDB_UTIL_CLOCK_H_
+#define PREEMPTDB_UTIL_CLOCK_H_
+
+#include <x86intrin.h>
+
+#include <cstdint>
+
+namespace preemptdb {
+
+// Serialized timestamp counter read. The paper records T0/T1/Th with rdtscp.
+inline uint64_t RdtscP() {
+  unsigned aux;
+  return __rdtscp(&aux);
+}
+
+inline uint64_t Rdtsc() { return __rdtsc(); }
+
+// Calibrated once at startup; cycles per microsecond of the invariant TSC.
+double TscCyclesPerUs();
+
+// Monotonic wall clock in nanoseconds (clock_gettime MONOTONIC).
+uint64_t MonoNanos();
+
+inline uint64_t MonoMicros() { return MonoNanos() / 1000; }
+
+// Convert a TSC delta to microseconds using the calibrated rate.
+inline double TscToUs(uint64_t cycles) {
+  return static_cast<double>(cycles) / TscCyclesPerUs();
+}
+
+}  // namespace preemptdb
+
+#endif  // PREEMPTDB_UTIL_CLOCK_H_

@@ -1,0 +1,122 @@
+#include "util/histogram.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace preemptdb {
+
+LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets) {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+int LatencyHistogram::BucketFor(uint64_t nanos) {
+  if (nanos < kSubBuckets) return static_cast<int>(nanos);
+  // Value with most-significant bit e lands in octave [2^e, 2^(e+1)),
+  // subdivided into kSubBuckets buckets of width 2^(e - kSubBucketBits).
+  int e = 63 - __builtin_clzll(nanos);
+  int shift = e - kSubBucketBits;
+  int sub = static_cast<int>(nanos >> shift) & (kSubBuckets - 1);
+  int idx = (e - kSubBucketBits + 1) * kSubBuckets + sub;
+  if (idx >= kNumBuckets) idx = kNumBuckets - 1;
+  return idx;
+}
+
+uint64_t LatencyHistogram::BucketMidpoint(int bucket) {
+  if (bucket < kSubBuckets) return static_cast<uint64_t>(bucket);
+  int e = bucket / kSubBuckets + kSubBucketBits - 1;
+  int sub = bucket % kSubBuckets;
+  int shift = e - kSubBucketBits;
+  uint64_t lo = (static_cast<uint64_t>(kSubBuckets) + sub) << shift;
+  return lo + (1ull << shift) / 2;
+}
+
+void LatencyHistogram::RecordNanos(uint64_t nanos) {
+  buckets_[BucketFor(nanos)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(nanos, std::memory_order_relaxed);
+  uint64_t prev = min_.load(std::memory_order_relaxed);
+  while (nanos < prev &&
+         !min_.compare_exchange_weak(prev, nanos, std::memory_order_relaxed)) {
+  }
+  prev = max_.load(std::memory_order_relaxed);
+  while (nanos > prev &&
+         !max_.compare_exchange_weak(prev, nanos, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t LatencyHistogram::PercentileNanos(double p) const {
+  uint64_t total = Count();
+  if (total == 0) return 0;
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * total);
+  if (rank >= total) rank = total - 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen > rank) return BucketMidpoint(i);
+  }
+  return MaxNanos();
+}
+
+double LatencyHistogram::MeanNanos() const {
+  uint64_t n = Count();
+  if (n == 0) return 0;
+  return static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+         static_cast<double>(n);
+}
+
+double LatencyHistogram::GeoMeanNanos() const {
+  uint64_t n = Count();
+  if (n == 0) return 0;
+  double log_sum = 0;
+  uint64_t counted = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    uint64_t mid = BucketMidpoint(i);
+    if (mid == 0) mid = 1;
+    log_sum += std::log(static_cast<double>(mid)) * static_cast<double>(c);
+    counted += c;
+  }
+  if (counted == 0) return 0;
+  return std::exp(log_sum / static_cast<double>(counted));
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    uint64_t c = other.buckets_[i].load(std::memory_order_relaxed);
+    if (c) buckets_[i].fetch_add(c, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  uint64_t omin = other.min_.load(std::memory_order_relaxed);
+  uint64_t prev = min_.load(std::memory_order_relaxed);
+  while (omin < prev &&
+         !min_.compare_exchange_weak(prev, omin, std::memory_order_relaxed)) {
+  }
+  uint64_t omax = other.max_.load(std::memory_order_relaxed);
+  prev = max_.load(std::memory_order_relaxed);
+  while (omax > prev &&
+         !max_.compare_exchange_weak(prev, omax, std::memory_order_relaxed)) {
+  }
+}
+
+std::string LatencyHistogram::SummaryMicros() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "p50=%.1fus p90=%.1fus p99=%.1fus p99.9=%.1fus",
+                PercentileMicros(50), PercentileMicros(90),
+                PercentileMicros(99), PercentileMicros(99.9));
+  return buf;
+}
+
+}  // namespace preemptdb

@@ -1,0 +1,71 @@
+// Log-bucketed latency histogram with percentile and geometric-mean queries.
+// The paper reports p50/p90/p99/p99.9 end-to-end latency (Fig. 10) and
+// geometric means (Fig. 13); this recorder backs every bench harness.
+#ifndef PREEMPTDB_UTIL_HISTOGRAM_H_
+#define PREEMPTDB_UTIL_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace preemptdb {
+
+// Thread-safe (relaxed atomic counters) latency histogram over nanosecond
+// samples. Buckets have ~1.6% relative width: 64 sub-buckets per power of
+// two, covering 1ns .. ~1100s.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBucketBits = 6;  // 64 sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kOctaves = 40;
+  static constexpr int kNumBuckets = kOctaves * kSubBuckets;
+
+  LatencyHistogram();
+  PDB_DISALLOW_COPY_AND_ASSIGN(LatencyHistogram);
+
+  void RecordNanos(uint64_t nanos);
+  void RecordMicros(double micros) {
+    RecordNanos(static_cast<uint64_t>(micros * 1000.0));
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+
+  // Value (ns) at percentile p in [0, 100]. Returns 0 on an empty histogram.
+  uint64_t PercentileNanos(double p) const;
+  double PercentileMicros(double p) const {
+    return static_cast<double>(PercentileNanos(p)) / 1000.0;
+  }
+
+  double MeanNanos() const;
+  // Geometric mean, as used by the paper's Fig. 13.
+  double GeoMeanNanos() const;
+  double GeoMeanMicros() const { return GeoMeanNanos() / 1000.0; }
+
+  uint64_t MinNanos() const { return min_.load(std::memory_order_relaxed); }
+  uint64_t MaxNanos() const { return max_.load(std::memory_order_relaxed); }
+
+  void Reset();
+
+  // Merge counts from another histogram (used to combine per-worker locals).
+  void Merge(const LatencyHistogram& other);
+
+  // "p50=.. p90=.. p99=.. p99.9=.." in microseconds.
+  std::string SummaryMicros() const;
+
+ private:
+  static int BucketFor(uint64_t nanos);
+  static uint64_t BucketMidpoint(int bucket);
+
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+}  // namespace preemptdb
+
+#endif  // PREEMPTDB_UTIL_HISTOGRAM_H_

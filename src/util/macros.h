@@ -1,0 +1,57 @@
+// Common macros and small helpers shared across PreemptDB.
+#ifndef PREEMPTDB_UTIL_MACROS_H_
+#define PREEMPTDB_UTIL_MACROS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#define PDB_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;          \
+  TypeName& operator=(const TypeName&) = delete
+
+#define PDB_LIKELY(x) __builtin_expect(!!(x), 1)
+#define PDB_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+// Hardware destructive interference size; 64 bytes on every x86-64 part we
+// target. Used to pad hot shared structures against false sharing.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+#define PDB_CACHELINE_ALIGNED alignas(kCacheLineSize)
+
+// Always-fatal assertion: used for invariants that must hold even in release
+// builds (the engine relies on them for memory safety).
+#define PDB_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (PDB_UNLIKELY(!(cond))) {                                            \
+      ::std::fprintf(stderr, "PDB_CHECK failed: %s at %s:%d\n", #cond,      \
+                     __FILE__, __LINE__);                                   \
+      ::std::abort();                                                       \
+    }                                                                       \
+  } while (0)
+
+#define PDB_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (PDB_UNLIKELY(!(cond))) {                                            \
+      ::std::fprintf(stderr, "PDB_CHECK failed: %s (%s) at %s:%d\n", #cond, \
+                     msg, __FILE__, __LINE__);                              \
+      ::std::abort();                                                       \
+    }                                                                       \
+  } while (0)
+
+#ifndef NDEBUG
+#define PDB_DCHECK(cond) PDB_CHECK(cond)
+#else
+#define PDB_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#endif
+
+namespace preemptdb {
+
+// CPU relax hint for spin loops.
+inline void CpuPause() { __builtin_ia32_pause(); }
+
+}  // namespace preemptdb
+
+#endif  // PREEMPTDB_UTIL_MACROS_H_

@@ -1,0 +1,119 @@
+// Fast PRNGs and TPC-C/Zipfian helpers. Engine and workload code must not use
+// glibc rand() (not preemption-safe and serializes on an internal lock).
+#ifndef PREEMPTDB_UTIL_RANDOM_H_
+#define PREEMPTDB_UTIL_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "util/macros.h"
+
+namespace preemptdb {
+
+// xorshift128+ — fast, decent quality, 16 bytes of state.
+class FastRandom {
+ public:
+  explicit FastRandom(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    s0_ = SplitMix(seed);
+    s1_ = SplitMix(s0_);
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t UniformU64(uint64_t lo, uint64_t hi) {
+    PDB_DCHECK(hi >= lo);
+    return lo + Next() % (hi - lo + 1);
+  }
+
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    return static_cast<int64_t>(
+        UniformU64(0, static_cast<uint64_t>(hi - lo))) + lo;
+  }
+
+  double NextDouble() {  // [0, 1)
+    return (Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // TPC-C NURand (clause 2.1.6). C is fixed per run which is spec-compliant
+  // for a single load.
+  int64_t NURand(int64_t a, int64_t x, int64_t y) {
+    static constexpr int64_t kC = 42;
+    return (((Uniform(0, a) | Uniform(x, y)) + kC) % (y - x + 1)) + x;
+  }
+
+  // Random alphanumeric string of length in [lo, hi].
+  std::string AString(int lo, int hi) {
+    static constexpr char kChars[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    int len = static_cast<int>(Uniform(lo, hi));
+    std::string s(len, 'x');
+    for (int i = 0; i < len; ++i) s[i] = kChars[Next() % 62];
+    return s;
+  }
+
+  std::string NString(int lo, int hi) {
+    int len = static_cast<int>(Uniform(lo, hi));
+    std::string s(len, '0');
+    for (int i = 0; i < len; ++i) s[i] = static_cast<char>('0' + Next() % 10);
+    return s;
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t z) {
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_, s1_;
+};
+
+// Zipfian generator over [0, n) (Gray et al., SIGMOD '94 rejection-free
+// formulation as popularized by YCSB).
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta, uint64_t seed = 1)
+      : n_(n), theta_(theta), rng_(seed) {
+    PDB_CHECK(n > 0);
+    zetan_ = Zeta(n, theta);
+    zeta2_ = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t Next() {
+    double u = rng_.NextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(i, theta);
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  FastRandom rng_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace preemptdb
+
+#endif  // PREEMPTDB_UTIL_RANDOM_H_

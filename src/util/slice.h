@@ -1,0 +1,35 @@
+// Non-owning byte span for zero-copy record reads. Committed versions are
+// immutable and never freed during a run, so a Slice obtained from a read
+// stays valid for the reading transaction's lifetime.
+#ifndef PREEMPTDB_UTIL_SLICE_H_
+#define PREEMPTDB_UTIL_SLICE_H_
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace preemptdb {
+
+struct Slice {
+  const char* data = nullptr;
+  size_t size = 0;
+
+  Slice() = default;
+  Slice(const char* d, size_t n) : data(d), size(n) {}
+  explicit Slice(std::string_view sv) : data(sv.data()), size(sv.size()) {}
+
+  std::string ToString() const { return std::string(data, size); }
+  std::string_view View() const { return std::string_view(data, size); }
+  bool empty() const { return size == 0; }
+
+  // Reinterpret the payload as a fixed-layout row struct.
+  template <typename T>
+  const T* As() const {
+    return size >= sizeof(T) ? reinterpret_cast<const T*>(data) : nullptr;
+  }
+};
+
+}  // namespace preemptdb
+
+#endif  // PREEMPTDB_UTIL_SLICE_H_

@@ -1,0 +1,54 @@
+// Transaction-level return codes, modelled after ERMIA's rc_t. Exceptions are
+// not used on transaction paths (they would unwind across fiber stacks).
+#ifndef PREEMPTDB_UTIL_STATUS_H_
+#define PREEMPTDB_UTIL_STATUS_H_
+
+#include <cstdint>
+
+namespace preemptdb {
+
+enum class Rc : uint8_t {
+  kOk = 0,
+  // The key (or a visible version of it) was not found.
+  kNotFound,
+  // First-committer-wins: another transaction installed a conflicting write.
+  kAbortWriteConflict,
+  // Serializable certification failed (a read was overwritten before commit).
+  kAbortSerialization,
+  // The key already exists (unique-index insert).
+  kKeyExists,
+  // The transaction was asked to abort by user logic.
+  kAbortUser,
+  // Internal capacity error (e.g., write-set overflow).
+  kError,
+};
+
+inline bool IsOk(Rc rc) { return rc == Rc::kOk; }
+inline bool IsAbort(Rc rc) {
+  return rc == Rc::kAbortWriteConflict || rc == Rc::kAbortSerialization ||
+         rc == Rc::kAbortUser;
+}
+
+inline const char* RcString(Rc rc) {
+  switch (rc) {
+    case Rc::kOk:
+      return "ok";
+    case Rc::kNotFound:
+      return "not_found";
+    case Rc::kAbortWriteConflict:
+      return "abort_write_conflict";
+    case Rc::kAbortSerialization:
+      return "abort_serialization";
+    case Rc::kKeyExists:
+      return "key_exists";
+    case Rc::kAbortUser:
+      return "abort_user";
+    case Rc::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+}  // namespace preemptdb
+
+#endif  // PREEMPTDB_UTIL_STATUS_H_

@@ -1,0 +1,295 @@
+// TPC-C table creation, population, and request generation.
+#include "workload/tpcc.h"
+
+#include <algorithm>
+#include <string_view>
+
+namespace preemptdb::workload {
+
+namespace {
+
+using engine::Transaction;
+using tpcc_keys::NameHash;
+
+template <typename Row>
+std::string_view AsView(const Row& row) {
+  return std::string_view(reinterpret_cast<const char*>(&row), sizeof(Row));
+}
+
+void CopyStr(char* dst, size_t cap, const std::string& s) {
+  size_t n = std::min(cap - 1, s.size());
+  std::memcpy(dst, s.data(), n);
+  dst[n] = '\0';
+}
+
+// Commits and reopens a bulk-load transaction every `kLoadBatch` rows to
+// bound write-set size.
+constexpr int kLoadBatch = 2000;
+
+class Loader {
+ public:
+  explicit Loader(engine::Engine* engine) : engine_(engine) {
+    txn_ = engine_->Begin();
+  }
+  ~Loader() { PDB_CHECK(IsOk(txn_->Commit())); }
+
+  Transaction* txn() {
+    if (++ops_ % kLoadBatch == 0) {
+      PDB_CHECK(IsOk(txn_->Commit()));
+      txn_ = engine_->Begin();
+    }
+    return txn_;
+  }
+
+ private:
+  engine::Engine* engine_;
+  Transaction* txn_;
+  int ops_ = 0;
+};
+
+}  // namespace
+
+void MakeLastName(int64_t num, char* out) {
+  static const char* kSyllables[] = {"BAR",  "OUGHT", "ABLE", "PRI", "PRES",
+                                     "ESE",  "ANTI",  "CALLY", "ATION", "EING"};
+  PDB_DCHECK(num >= 0 && num <= 999);
+  out[0] = '\0';
+  std::strcat(out, kSyllables[num / 100]);
+  std::strcat(out, kSyllables[(num / 10) % 10]);
+  std::strcat(out, kSyllables[num % 10]);
+}
+
+TpccWorkload::TpccWorkload(engine::Engine* engine, TpccConfig config)
+    : engine_(engine), config_(config) {}
+
+void TpccWorkload::Load() {
+  warehouse_ = engine_->CreateTable("warehouse");
+  district_ = engine_->CreateTable("district");
+  customer_ = engine_->CreateTable("customer");
+  history_ = engine_->CreateTable("history");
+  new_order_ = engine_->CreateTable("new_order");
+  order_ = engine_->CreateTable("oorder");
+  order_line_ = engine_->CreateTable("order_line");
+  item_ = engine_->CreateTable("item");
+  stock_ = engine_->CreateTable("stock");
+  customer_name_idx_ = customer_->CreateSecondaryIndex("customer_name");
+  order_cust_idx_ = order_->CreateSecondaryIndex("order_customer");
+
+  FastRandom rng(0xdbdbdbull);
+  Loader loader(engine_);
+
+  // ITEM.
+  for (int64_t i = 1; i <= config_.items; ++i) {
+    ItemRow row{};
+    row.i_id = static_cast<int32_t>(i);
+    row.i_im_id = static_cast<int32_t>(rng.Uniform(1, 10000));
+    row.i_price = rng.Uniform(100, 10000) / 100.0;
+    CopyStr(row.i_name, sizeof(row.i_name), rng.AString(14, 24));
+    std::string data = rng.AString(26, 50);
+    if (rng.Uniform(1, 10) == 1 && data.size() > 8) {
+      data.replace(rng.Uniform(0, data.size() - 8), 8, "ORIGINAL");
+    }
+    CopyStr(row.i_data, sizeof(row.i_data), data);
+    PDB_CHECK(IsOk(
+        loader.txn()->Insert(item_, tpcc_keys::Item(i), AsView(row))));
+  }
+
+  for (int64_t w = 1; w <= config_.warehouses; ++w) {
+    WarehouseRow wr{};
+    wr.w_id = static_cast<int32_t>(w);
+    wr.w_tax = rng.Uniform(0, 2000) / 10000.0;
+    wr.w_ytd = 300000.0;
+    CopyStr(wr.w_name, sizeof(wr.w_name), rng.AString(6, 10));
+    CopyStr(wr.w_street_1, sizeof(wr.w_street_1), rng.AString(10, 20));
+    CopyStr(wr.w_street_2, sizeof(wr.w_street_2), rng.AString(10, 20));
+    CopyStr(wr.w_city, sizeof(wr.w_city), rng.AString(10, 20));
+    CopyStr(wr.w_state, sizeof(wr.w_state), rng.AString(2, 2));
+    CopyStr(wr.w_zip, sizeof(wr.w_zip), "123456789");
+    PDB_CHECK(IsOk(loader.txn()->Insert(warehouse_, tpcc_keys::Warehouse(w),
+                                        AsView(wr))));
+
+    // STOCK.
+    for (int64_t i = 1; i <= config_.items; ++i) {
+      StockRow sr{};
+      sr.s_i_id = static_cast<int32_t>(i);
+      sr.s_w_id = static_cast<int32_t>(w);
+      sr.s_quantity = static_cast<int32_t>(rng.Uniform(10, 100));
+      for (auto& dist : sr.s_dist) {
+        CopyStr(dist, sizeof(sr.s_dist[0]), rng.AString(24, 24));
+      }
+      CopyStr(sr.s_data, sizeof(sr.s_data), rng.AString(26, 50));
+      PDB_CHECK(IsOk(loader.txn()->Insert(stock_, tpcc_keys::Stock(w, i),
+                                          AsView(sr))));
+    }
+
+    for (int64_t d = 1; d <= config_.districts_per_warehouse; ++d) {
+      DistrictRow dr{};
+      dr.d_id = static_cast<int32_t>(d);
+      dr.d_w_id = static_cast<int32_t>(w);
+      dr.d_next_o_id = config_.initial_orders_per_district + 1;
+      dr.d_tax = rng.Uniform(0, 2000) / 10000.0;
+      dr.d_ytd = 30000.0;
+      CopyStr(dr.d_name, sizeof(dr.d_name), rng.AString(6, 10));
+      CopyStr(dr.d_city, sizeof(dr.d_city), rng.AString(10, 20));
+      PDB_CHECK(IsOk(loader.txn()->Insert(district_, tpcc_keys::District(w, d),
+                                          AsView(dr))));
+
+      // CUSTOMER (+ name index) and 1 HISTORY row each.
+      for (int64_t c = 1; c <= config_.customers_per_district; ++c) {
+        CustomerRow cr{};
+        cr.c_id = static_cast<int32_t>(c);
+        cr.c_d_id = static_cast<int32_t>(d);
+        cr.c_w_id = static_cast<int32_t>(w);
+        cr.c_credit_lim = 50000.0;
+        cr.c_discount = rng.Uniform(0, 5000) / 10000.0;
+        cr.c_balance = -10.0;
+        cr.c_ytd_payment = 10.0;
+        cr.c_payment_cnt = 1;
+        int64_t name_num = c <= 1000 ? c - 1 : rng.NURand(255, 0, 999);
+        MakeLastName(name_num, cr.c_last);
+        CopyStr(cr.c_first, sizeof(cr.c_first), rng.AString(8, 16));
+        std::strcpy(cr.c_middle, "OE");
+        std::strcpy(cr.c_credit, rng.Uniform(1, 10) == 1 ? "BC" : "GC");
+        CopyStr(cr.c_data, sizeof(cr.c_data), rng.AString(100, 250));
+        Transaction::SecondaryEntry sec{
+            customer_name_idx_,
+            tpcc_keys::CustomerName(w, d, NameHash(cr.c_last), c)};
+        PDB_CHECK(IsOk(loader.txn()->InsertWithSecondaries(
+            customer_, tpcc_keys::Customer(w, d, c), AsView(cr), &sec, 1)));
+
+        HistoryRow hr{};
+        hr.h_c_id = static_cast<int32_t>(c);
+        hr.h_c_d_id = hr.h_d_id = static_cast<int32_t>(d);
+        hr.h_c_w_id = hr.h_w_id = static_cast<int32_t>(w);
+        hr.h_amount = 10.0;
+        PDB_CHECK(IsOk(loader.txn()->Insert(
+            history_, history_key_.fetch_add(1), AsView(hr))));
+      }
+
+      // ORDER / ORDER-LINE / NEW-ORDER: customers permuted over orders;
+      // the last third of orders are open (in NEW-ORDER).
+      std::vector<int32_t> cperm(config_.customers_per_district);
+      for (size_t i = 0; i < cperm.size(); ++i) {
+        cperm[i] = static_cast<int32_t>(i + 1);
+      }
+      for (size_t i = cperm.size(); i > 1; --i) {
+        std::swap(cperm[i - 1], cperm[rng.Uniform(0, i - 1)]);
+      }
+      int64_t num_orders =
+          std::min<int64_t>(config_.initial_orders_per_district,
+                            config_.customers_per_district);
+      for (int64_t o = 1; o <= num_orders; ++o) {
+        OrderRow orow{};
+        orow.o_id = static_cast<int32_t>(o);
+        orow.o_d_id = static_cast<int32_t>(d);
+        orow.o_w_id = static_cast<int32_t>(w);
+        orow.o_c_id = cperm[o - 1];
+        bool open = o > num_orders * 7 / 10;
+        orow.o_carrier_id =
+            open ? 0 : static_cast<int32_t>(rng.Uniform(1, 10));
+        orow.o_ol_cnt = static_cast<int32_t>(rng.Uniform(5, 15));
+        orow.o_all_local = 1;
+        Transaction::SecondaryEntry sec{
+            order_cust_idx_,
+            tpcc_keys::OrderByCustomer(w, d, orow.o_c_id, o)};
+        PDB_CHECK(IsOk(loader.txn()->InsertWithSecondaries(
+            order_, tpcc_keys::Order(w, d, o), AsView(orow), &sec, 1)));
+
+        for (int64_t ol = 1; ol <= orow.o_ol_cnt; ++ol) {
+          OrderLineRow olr{};
+          olr.ol_o_id = static_cast<int32_t>(o);
+          olr.ol_d_id = static_cast<int32_t>(d);
+          olr.ol_w_id = static_cast<int32_t>(w);
+          olr.ol_number = static_cast<int32_t>(ol);
+          olr.ol_i_id = static_cast<int32_t>(rng.Uniform(1, config_.items));
+          olr.ol_supply_w_id = static_cast<int32_t>(w);
+          olr.ol_quantity = 5;
+          olr.ol_amount = open ? rng.Uniform(1, 999999) / 100.0 : 0.0;
+          olr.ol_delivery_d = open ? 0 : 1;
+          PDB_CHECK(IsOk(
+              loader.txn()->Insert(order_line_,
+                                   tpcc_keys::OrderLine(w, d, o, ol),
+                                   AsView(olr))));
+        }
+        if (open) {
+          NewOrderRow nr{static_cast<int32_t>(o), static_cast<int32_t>(d),
+                         static_cast<int32_t>(w)};
+          PDB_CHECK(IsOk(loader.txn()->Insert(
+              new_order_, tpcc_keys::NewOrder(w, d, o), AsView(nr))));
+        }
+      }
+    }
+  }
+}
+
+sched::Request TpccWorkload::GenNewOrder(FastRandom& rng) const {
+  sched::Request r;
+  r.type = kNewOrder;
+  r.params[0] = static_cast<uint64_t>(PickWarehouse(rng));
+  r.params[1] = rng.Next();
+  return r;
+}
+
+sched::Request TpccWorkload::GenPayment(FastRandom& rng) const {
+  sched::Request r;
+  r.type = kPayment;
+  r.params[0] = static_cast<uint64_t>(PickWarehouse(rng));
+  r.params[1] = rng.Next();
+  return r;
+}
+
+sched::Request TpccWorkload::GenHighPriority(FastRandom& rng) const {
+  return rng.Uniform(0, 1) == 0 ? GenNewOrder(rng) : GenPayment(rng);
+}
+
+sched::Request TpccWorkload::GenStandardMix(FastRandom& rng) const {
+  sched::Request r;
+  r.params[0] = static_cast<uint64_t>(PickWarehouse(rng));
+  r.params[1] = rng.Next();
+  int64_t roll = rng.Uniform(1, 100);
+  if (roll <= 45) {
+    r.type = kNewOrder;
+  } else if (roll <= 88) {
+    r.type = kPayment;
+  } else if (roll <= 92) {
+    r.type = kOrderStatus;
+  } else if (roll <= 96) {
+    r.type = kDelivery;
+  } else {
+    r.type = kStockLevel;
+  }
+  return r;
+}
+
+Rc TpccWorkload::Execute(const sched::Request& req, int /*worker_id*/) {
+  uint64_t w = req.params[0];
+  uint64_t seed = req.params[1];
+  // Retry transient write-write conflicts a bounded number of times; TPC-C
+  // mandates resubmission of aborted transactions.
+  Rc rc = Rc::kError;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    switch (req.type) {
+      case kNewOrder:
+        rc = RunNewOrder(w, seed);
+        break;
+      case kPayment:
+        rc = RunPayment(w, seed);
+        break;
+      case kOrderStatus:
+        rc = RunOrderStatus(w, seed);
+        break;
+      case kDelivery:
+        rc = RunDelivery(w, seed);
+        break;
+      case kStockLevel:
+        rc = RunStockLevel(w, seed);
+        break;
+      default:
+        PDB_CHECK_MSG(false, "unknown TPC-C txn type");
+    }
+    if (rc != Rc::kAbortWriteConflict && rc != Rc::kAbortSerialization) break;
+  }
+  return rc;
+}
+
+}  // namespace preemptdb::workload

@@ -1,0 +1,463 @@
+// The five TPC-C transaction profiles (spec §2.4-2.8) plus consistency
+// checks. Each body is a single attempt: Begin, operate, Commit/Abort;
+// retries live in TpccWorkload::Execute.
+#include <algorithm>
+#include <vector>
+
+#include "workload/tpcc.h"
+
+namespace preemptdb::workload {
+
+namespace {
+
+using engine::Transaction;
+using tpcc_keys::NameHash;
+
+template <typename Row>
+std::string_view AsView(const Row& row) {
+  return std::string_view(reinterpret_cast<const char*>(&row), sizeof(Row));
+}
+
+// Aborts `txn` and propagates `rc`.
+Rc Fail(Transaction* txn, Rc rc) {
+  txn->Abort();
+  return rc;
+}
+
+}  // namespace
+
+bool TpccWorkload::CustomerByName(Transaction* txn, int64_t w, int64_t d,
+                                  const char* last, CustomerRow* out) {
+  uint64_t h = NameHash(last);
+  uint64_t lo = tpcc_keys::CustomerName(w, d, h, 0);
+  uint64_t hi = tpcc_keys::CustomerName(w, d, h, (1 << 17) - 1);
+  std::vector<CustomerRow> matches;
+  txn->ScanSecondary(customer_, customer_name_idx_, lo, hi,
+                     [&](index::Key, Slice payload) {
+                       const auto* row = payload.As<CustomerRow>();
+                       if (row != nullptr &&
+                           std::strcmp(row->c_last, last) == 0) {
+                         matches.push_back(*row);
+                       }
+                       return true;
+                     });
+  if (matches.empty()) return false;
+  // Spec 2.5.2.2: order by c_first, take the row at position ceil(n/2).
+  std::sort(matches.begin(), matches.end(),
+            [](const CustomerRow& a, const CustomerRow& b) {
+              return std::strcmp(a.c_first, b.c_first) < 0;
+            });
+  *out = matches[matches.size() / 2];
+  return true;
+}
+
+Rc TpccWorkload::RunNewOrder(uint64_t w_in, uint64_t seed) {
+  FastRandom rng(seed);
+  const auto w = static_cast<int64_t>(w_in);
+  int64_t d = rng.Uniform(1, config_.districts_per_warehouse);
+  int64_t c = rng.NURand(1023, 1, config_.customers_per_district);
+  int64_t ol_cnt = rng.Uniform(5, 15);
+  bool rollback = rng.Uniform(1, 100) == 1;  // spec 2.4.1.4
+
+  struct Line {
+    int64_t i_id;
+    int64_t supply_w;
+    int64_t qty;
+  };
+  Line lines[15];
+  bool all_local = true;
+  for (int64_t i = 0; i < ol_cnt; ++i) {
+    lines[i].i_id = rng.NURand(8191, 1, config_.items);
+    if (config_.warehouses > 1 &&
+        rng.Uniform(1, 100) <= config_.remote_pct) {
+      int64_t other = rng.Uniform(1, config_.warehouses - 1);
+      lines[i].supply_w = other >= w ? other + 1 : other;
+      all_local = false;
+    } else {
+      lines[i].supply_w = w;
+    }
+    lines[i].qty = rng.Uniform(1, 10);
+  }
+  if (rollback) lines[ol_cnt - 1].i_id = config_.items + 1;  // unused item
+
+  Transaction* txn = engine_->Begin();
+  Slice s;
+
+  if (!IsOk(txn->Read(warehouse_, tpcc_keys::Warehouse(w), &s))) {
+    return Fail(txn, Rc::kNotFound);
+  }
+  double w_tax = s.As<WarehouseRow>()->w_tax;
+
+  if (!IsOk(txn->Read(district_, tpcc_keys::District(w, d), &s))) {
+    return Fail(txn, Rc::kNotFound);
+  }
+  DistrictRow dr = *s.As<DistrictRow>();
+  int64_t o_id = dr.d_next_o_id;
+  dr.d_next_o_id += 1;
+  Rc rc = txn->Update(district_, tpcc_keys::District(w, d), AsView(dr));
+  if (!IsOk(rc)) return Fail(txn, rc);
+
+  if (!IsOk(txn->Read(customer_, tpcc_keys::Customer(w, d, c), &s))) {
+    return Fail(txn, Rc::kNotFound);
+  }
+  double c_discount = s.As<CustomerRow>()->c_discount;
+  double d_tax = dr.d_tax;
+
+  OrderRow orow{};
+  orow.o_id = static_cast<int32_t>(o_id);
+  orow.o_d_id = static_cast<int32_t>(d);
+  orow.o_w_id = static_cast<int32_t>(w);
+  orow.o_c_id = static_cast<int32_t>(c);
+  orow.o_carrier_id = 0;
+  orow.o_ol_cnt = static_cast<int32_t>(ol_cnt);
+  orow.o_all_local = all_local ? 1 : 0;
+  Transaction::SecondaryEntry sec{order_cust_idx_,
+                                  tpcc_keys::OrderByCustomer(w, d, c, o_id)};
+  rc = txn->InsertWithSecondaries(order_, tpcc_keys::Order(w, d, o_id),
+                                  AsView(orow), &sec, 1);
+  if (!IsOk(rc)) return Fail(txn, rc);
+
+  NewOrderRow nr{static_cast<int32_t>(o_id), static_cast<int32_t>(d),
+                 static_cast<int32_t>(w)};
+  rc = txn->Insert(new_order_, tpcc_keys::NewOrder(w, d, o_id), AsView(nr));
+  if (!IsOk(rc)) return Fail(txn, rc);
+
+  double total = 0;
+  for (int64_t i = 0; i < ol_cnt; ++i) {
+    const Line& ln = lines[i];
+    if (!IsOk(txn->Read(item_, tpcc_keys::Item(ln.i_id), &s))) {
+      // Unused item: the spec's intentional user abort path.
+      return Fail(txn, Rc::kAbortUser);
+    }
+    double price = s.As<ItemRow>()->i_price;
+
+    if (!IsOk(txn->Read(stock_, tpcc_keys::Stock(ln.supply_w, ln.i_id), &s))) {
+      return Fail(txn, Rc::kNotFound);
+    }
+    StockRow sr = *s.As<StockRow>();
+    sr.s_quantity = sr.s_quantity >= ln.qty + 10
+                        ? sr.s_quantity - static_cast<int32_t>(ln.qty)
+                        : sr.s_quantity - static_cast<int32_t>(ln.qty) + 91;
+    sr.s_ytd += static_cast<int32_t>(ln.qty);
+    sr.s_order_cnt += 1;
+    if (ln.supply_w != w) sr.s_remote_cnt += 1;
+    rc = txn->Update(stock_, tpcc_keys::Stock(ln.supply_w, ln.i_id),
+                     AsView(sr));
+    if (!IsOk(rc)) return Fail(txn, rc);
+
+    OrderLineRow olr{};
+    olr.ol_o_id = static_cast<int32_t>(o_id);
+    olr.ol_d_id = static_cast<int32_t>(d);
+    olr.ol_w_id = static_cast<int32_t>(w);
+    olr.ol_number = static_cast<int32_t>(i + 1);
+    olr.ol_i_id = static_cast<int32_t>(ln.i_id);
+    olr.ol_supply_w_id = static_cast<int32_t>(ln.supply_w);
+    olr.ol_quantity = static_cast<int32_t>(ln.qty);
+    olr.ol_amount = ln.qty * price;
+    std::memcpy(olr.ol_dist_info, sr.s_dist[d - 1], sizeof(olr.ol_dist_info));
+    rc = txn->Insert(order_line_, tpcc_keys::OrderLine(w, d, o_id, i + 1),
+                     AsView(olr));
+    if (!IsOk(rc)) return Fail(txn, rc);
+    total += olr.ol_amount;
+  }
+  total *= (1 - c_discount) * (1 + w_tax + d_tax);
+  (void)total;
+
+  return txn->Commit();
+}
+
+Rc TpccWorkload::RunPayment(uint64_t w_in, uint64_t seed) {
+  FastRandom rng(seed);
+  const auto w = static_cast<int64_t>(w_in);
+  int64_t d = rng.Uniform(1, config_.districts_per_warehouse);
+  double amount = rng.Uniform(100, 500000) / 100.0;
+
+  // Spec 2.5.1.2: 85% home, 15% remote customer.
+  int64_t c_w = w;
+  int64_t c_d = d;
+  if (config_.warehouses > 1 && rng.Uniform(1, 100) <= config_.remote_pct) {
+    int64_t other = rng.Uniform(1, config_.warehouses - 1);
+    c_w = other >= w ? other + 1 : other;
+    c_d = rng.Uniform(1, config_.districts_per_warehouse);
+  }
+  bool by_name = rng.Uniform(1, 100) <= 60;
+  char lastname[17];
+  int64_t c_id = 0;
+  if (by_name) {
+    MakeLastName(PickLastNameNum(rng), lastname);
+  } else {
+    c_id = rng.NURand(1023, 1, config_.customers_per_district);
+  }
+
+  Transaction* txn = engine_->Begin();
+  Slice s;
+
+  if (!IsOk(txn->Read(warehouse_, tpcc_keys::Warehouse(w), &s))) {
+    return Fail(txn, Rc::kNotFound);
+  }
+  WarehouseRow wr = *s.As<WarehouseRow>();
+  wr.w_ytd += amount;
+  Rc rc = txn->Update(warehouse_, tpcc_keys::Warehouse(w), AsView(wr));
+  if (!IsOk(rc)) return Fail(txn, rc);
+
+  if (!IsOk(txn->Read(district_, tpcc_keys::District(w, d), &s))) {
+    return Fail(txn, Rc::kNotFound);
+  }
+  DistrictRow dr = *s.As<DistrictRow>();
+  dr.d_ytd += amount;
+  rc = txn->Update(district_, tpcc_keys::District(w, d), AsView(dr));
+  if (!IsOk(rc)) return Fail(txn, rc);
+
+  CustomerRow cr;
+  if (by_name) {
+    if (!CustomerByName(txn, c_w, c_d, lastname, &cr)) {
+      return Fail(txn, Rc::kNotFound);
+    }
+  } else {
+    if (!IsOk(txn->Read(customer_, tpcc_keys::Customer(c_w, c_d, c_id), &s))) {
+      return Fail(txn, Rc::kNotFound);
+    }
+    cr = *s.As<CustomerRow>();
+  }
+  cr.c_balance -= amount;
+  cr.c_ytd_payment += amount;
+  cr.c_payment_cnt += 1;
+  if (std::strcmp(cr.c_credit, "BC") == 0) {
+    // Bad credit: prepend payment info to c_data (spec 2.5.2.2).
+    char merged[sizeof(cr.c_data)];
+    int n = std::snprintf(merged, sizeof(merged), "%d %d %d %d %ld %.2f|",
+                          cr.c_id, cr.c_d_id, cr.c_w_id, dr.d_id,
+                          static_cast<long>(w), amount);
+    size_t off = std::min<size_t>(static_cast<size_t>(n), sizeof(merged) - 1);
+    size_t room = sizeof(merged) - 1 - off;
+    std::memcpy(merged + off, cr.c_data,
+                std::min(room, std::strlen(cr.c_data)));
+    merged[std::min(sizeof(merged) - 1,
+                    off + std::min(room, std::strlen(cr.c_data)))] = '\0';
+    std::memcpy(cr.c_data, merged, sizeof(cr.c_data));
+    cr.c_data[sizeof(cr.c_data) - 1] = '\0';
+  }
+  rc = txn->Update(customer_, tpcc_keys::Customer(c_w, c_d, cr.c_id),
+                   AsView(cr));
+  if (!IsOk(rc)) return Fail(txn, rc);
+
+  HistoryRow hr{};
+  hr.h_c_id = cr.c_id;
+  hr.h_c_d_id = static_cast<int32_t>(c_d);
+  hr.h_c_w_id = static_cast<int32_t>(c_w);
+  hr.h_d_id = static_cast<int32_t>(d);
+  hr.h_w_id = static_cast<int32_t>(w);
+  hr.h_amount = amount;
+  rc = txn->Insert(history_, history_key_.fetch_add(1), AsView(hr));
+  if (!IsOk(rc)) return Fail(txn, rc);
+
+  return txn->Commit();
+}
+
+Rc TpccWorkload::RunOrderStatus(uint64_t w_in, uint64_t seed) {
+  FastRandom rng(seed);
+  const auto w = static_cast<int64_t>(w_in);
+  int64_t d = rng.Uniform(1, config_.districts_per_warehouse);
+  bool by_name = rng.Uniform(1, 100) <= 60;
+
+  Transaction* txn = engine_->Begin();
+  Slice s;
+
+  CustomerRow cr;
+  if (by_name) {
+    char lastname[17];
+    MakeLastName(PickLastNameNum(rng), lastname);
+    if (!CustomerByName(txn, w, d, lastname, &cr)) {
+      return Fail(txn, Rc::kNotFound);
+    }
+  } else {
+    int64_t c = rng.NURand(1023, 1, config_.customers_per_district);
+    if (!IsOk(txn->Read(customer_, tpcc_keys::Customer(w, d, c), &s))) {
+      return Fail(txn, Rc::kNotFound);
+    }
+    cr = *s.As<CustomerRow>();
+  }
+
+  // Most recent order of this customer.
+  OrderRow last_order{};
+  bool found = false;
+  txn->ScanSecondaryReverse(
+      order_, order_cust_idx_, tpcc_keys::OrderByCustomer(w, d, cr.c_id, 0),
+      tpcc_keys::OrderByCustomer(w, d, cr.c_id, (1 << 28) - 1),
+      [&](index::Key, Slice payload) {
+        last_order = *payload.As<OrderRow>();
+        found = true;
+        return false;  // newest only
+      });
+  if (found) {
+    for (int64_t ol = 1; ol <= last_order.o_ol_cnt; ++ol) {
+      txn->Read(order_line_,
+                tpcc_keys::OrderLine(w, d, last_order.o_id, ol), &s);
+    }
+  }
+  return txn->Commit();
+}
+
+Rc TpccWorkload::RunDelivery(uint64_t w_in, uint64_t seed) {
+  FastRandom rng(seed);
+  const auto w = static_cast<int64_t>(w_in);
+  int64_t carrier = rng.Uniform(1, 10);
+
+  Transaction* txn = engine_->Begin();
+  Slice s;
+  for (int64_t d = 1; d <= config_.districts_per_warehouse; ++d) {
+    // Oldest undelivered order in this district.
+    int64_t o_id = -1;
+    txn->Scan(new_order_, tpcc_keys::NewOrder(w, d, 0),
+              tpcc_keys::NewOrder(w, d, (1 << 28) - 1),
+              [&](index::Key, Slice payload) {
+                o_id = payload.As<NewOrderRow>()->no_o_id;
+                return false;  // oldest only
+              });
+    if (o_id < 0) continue;  // spec 2.7.4.2: skip empty districts
+
+    Rc rc = txn->Delete(new_order_, tpcc_keys::NewOrder(w, d, o_id));
+    if (rc == Rc::kNotFound) continue;  // raced with another Delivery
+    if (!IsOk(rc)) return Fail(txn, rc);
+
+    if (!IsOk(txn->Read(order_, tpcc_keys::Order(w, d, o_id), &s))) {
+      return Fail(txn, Rc::kNotFound);
+    }
+    OrderRow orow = *s.As<OrderRow>();
+    orow.o_carrier_id = static_cast<int32_t>(carrier);
+    rc = txn->Update(order_, tpcc_keys::Order(w, d, o_id), AsView(orow));
+    if (!IsOk(rc)) return Fail(txn, rc);
+
+    double amount_sum = 0;
+    for (int64_t ol = 1; ol <= orow.o_ol_cnt; ++ol) {
+      if (!IsOk(txn->Read(order_line_, tpcc_keys::OrderLine(w, d, o_id, ol),
+                          &s))) {
+        continue;
+      }
+      OrderLineRow olr = *s.As<OrderLineRow>();
+      amount_sum += olr.ol_amount;
+      olr.ol_delivery_d = 1;  // "now"
+      rc = txn->Update(order_line_, tpcc_keys::OrderLine(w, d, o_id, ol),
+                       AsView(olr));
+      if (!IsOk(rc)) return Fail(txn, rc);
+    }
+
+    if (!IsOk(txn->Read(customer_,
+                        tpcc_keys::Customer(w, d, orow.o_c_id), &s))) {
+      return Fail(txn, Rc::kNotFound);
+    }
+    CustomerRow cr = *s.As<CustomerRow>();
+    cr.c_balance += amount_sum;
+    cr.c_delivery_cnt += 1;
+    rc = txn->Update(customer_, tpcc_keys::Customer(w, d, orow.o_c_id),
+                     AsView(cr));
+    if (!IsOk(rc)) return Fail(txn, rc);
+  }
+  return txn->Commit();
+}
+
+Rc TpccWorkload::RunStockLevel(uint64_t w_in, uint64_t seed) {
+  FastRandom rng(seed);
+  const auto w = static_cast<int64_t>(w_in);
+  int64_t d = rng.Uniform(1, config_.districts_per_warehouse);
+  int64_t threshold = rng.Uniform(10, 20);
+
+  Transaction* txn = engine_->Begin();
+  Slice s;
+  if (!IsOk(txn->Read(district_, tpcc_keys::District(w, d), &s))) {
+    return Fail(txn, Rc::kNotFound);
+  }
+  int64_t next_o = s.As<DistrictRow>()->d_next_o_id;
+  int64_t from_o = std::max<int64_t>(1, next_o - 20);
+
+  std::vector<int32_t> low_items;
+  txn->Scan(order_line_, tpcc_keys::OrderLine(w, d, from_o, 0),
+            tpcc_keys::OrderLine(w, d, next_o - 1, 15),
+            [&](index::Key, Slice payload) {
+              int32_t i_id = payload.As<OrderLineRow>()->ol_i_id;
+              Slice stock_s;
+              if (IsOk(txn->Read(stock_, tpcc_keys::Stock(w, i_id),
+                                 &stock_s)) &&
+                  stock_s.As<StockRow>()->s_quantity < threshold) {
+                low_items.push_back(i_id);
+              }
+              return true;
+            });
+  std::sort(low_items.begin(), low_items.end());
+  low_items.erase(std::unique(low_items.begin(), low_items.end()),
+                  low_items.end());
+  return txn->Commit();
+}
+
+uint64_t TpccWorkload::CheckConsistency() {
+  uint64_t checked = 0;
+  Transaction* txn = engine_->Begin();
+  Slice s;
+  for (int64_t w = 1; w <= config_.warehouses; ++w) {
+    PDB_CHECK(IsOk(txn->Read(warehouse_, tpcc_keys::Warehouse(w), &s)));
+    double w_ytd = s.As<WarehouseRow>()->w_ytd;
+    double d_ytd_sum = 0;
+    for (int64_t d = 1; d <= config_.districts_per_warehouse; ++d) {
+      PDB_CHECK(IsOk(txn->Read(district_, tpcc_keys::District(w, d), &s)));
+      const DistrictRow dr = *s.As<DistrictRow>();
+      d_ytd_sum += dr.d_ytd;
+
+      // Consistency condition 2 (spec 3.3.2.2): d_next_o_id - 1 equals the
+      // max o_id in ORDER and NEW-ORDER for this district.
+      int64_t max_o = -1;
+      txn->Scan(order_, tpcc_keys::Order(w, d, 0),
+                tpcc_keys::Order(w, d, (1 << 28) - 1),
+                [&](index::Key, Slice payload) {
+                  max_o = std::max<int64_t>(max_o,
+                                            payload.As<OrderRow>()->o_id);
+                  return true;
+                });
+      if (max_o >= 0) {
+        PDB_CHECK_MSG(dr.d_next_o_id - 1 == max_o,
+                      "d_next_o_id inconsistent with max(o_id)");
+      }
+
+      // Consistency condition 3: NEW-ORDER ids are contiguous.
+      int64_t min_no = INT64_MAX, max_no = -1, cnt_no = 0;
+      txn->Scan(new_order_, tpcc_keys::NewOrder(w, d, 0),
+                tpcc_keys::NewOrder(w, d, (1 << 28) - 1),
+                [&](index::Key, Slice payload) {
+                  int64_t o = payload.As<NewOrderRow>()->no_o_id;
+                  min_no = std::min(min_no, o);
+                  max_no = std::max(max_no, o);
+                  ++cnt_no;
+                  return true;
+                });
+      if (cnt_no > 0) {
+        PDB_CHECK_MSG(max_no - min_no + 1 == cnt_no,
+                      "NEW-ORDER ids not contiguous");
+      }
+
+      // Consistency condition 4 on a sample: o_ol_cnt matches ORDER-LINE
+      // rows for the district's most recent orders.
+      int64_t lo = std::max<int64_t>(1, dr.d_next_o_id - 10);
+      for (int64_t o = lo; o < dr.d_next_o_id; ++o) {
+        if (!IsOk(txn->Read(order_, tpcc_keys::Order(w, d, o), &s))) continue;
+        int32_t ol_cnt = s.As<OrderRow>()->o_ol_cnt;
+        int64_t lines = 0;
+        txn->Scan(order_line_, tpcc_keys::OrderLine(w, d, o, 0),
+                  tpcc_keys::OrderLine(w, d, o, 31),
+                  [&](index::Key, Slice) {
+                    ++lines;
+                    return true;
+                  });
+        PDB_CHECK_MSG(lines == ol_cnt, "o_ol_cnt mismatch with ORDER-LINE");
+        ++checked;
+      }
+      ++checked;
+    }
+    // Consistency condition 1: W_YTD = sum(D_YTD).
+    PDB_CHECK_MSG(std::abs(w_ytd - d_ytd_sum) < 0.01,
+                  "W_YTD != sum(D_YTD)");
+    ++checked;
+  }
+  PDB_CHECK(IsOk(txn->Commit()));
+  return checked;
+}
+
+}  // namespace preemptdb::workload

@@ -1,0 +1,88 @@
+// YCSB-style key-value workload over the PreemptDB engine: Zipfian or
+// uniform key choice, standard A/B/C/E/F operation mixes, configurable
+// multi-operation transactions. Used by tests and the contention-ablation
+// bench as a second workload domain beside TPC-C/TPC-H.
+#ifndef PREEMPTDB_WORKLOAD_YCSB_H_
+#define PREEMPTDB_WORKLOAD_YCSB_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "engine/engine.h"
+#include "sched/request.h"
+#include "util/random.h"
+
+namespace preemptdb::workload {
+
+enum class YcsbMix : uint8_t {
+  kA,  // 50% read / 50% update
+  kB,  // 95% read / 5% update
+  kC,  // 100% read
+  kE,  // 95% short scan / 5% insert
+  kF,  // 50% read / 50% read-modify-write
+};
+
+const char* YcsbMixName(YcsbMix mix);
+
+struct YcsbConfig {
+  uint64_t record_count = 100000;
+  uint32_t value_bytes = 100;
+  // Operations per transaction (1 = classic YCSB; >1 exercises conflicts).
+  int ops_per_txn = 4;
+  double zipf_theta = 0.99;  // 0 = uniform
+  int max_scan_len = 100;
+  YcsbMix mix = YcsbMix::kA;
+
+  static YcsbConfig Small() {
+    YcsbConfig c;
+    c.record_count = 2000;
+    return c;
+  }
+};
+
+class YcsbWorkload {
+ public:
+  // Request type id (distinct from TPC-C 0..4 and Q2 5).
+  static constexpr uint32_t kYcsbTxn = 6;
+  // Full-table scan "analytics" request (long, low-priority stand-in).
+  static constexpr uint32_t kYcsbScanAll = 7;
+
+  YcsbWorkload(engine::Engine* engine, YcsbConfig config);
+  PDB_DISALLOW_COPY_AND_ASSIGN(YcsbWorkload);
+
+  void Load();
+
+  sched::Request GenTxn(FastRandom& rng) const;
+  sched::Request GenScanAll(FastRandom& rng) const;
+
+  Rc Execute(const sched::Request& req, int worker_id);
+
+  // Single-attempt bodies (Execute adds bounded retries).
+  Rc RunTxn(uint64_t seed);
+  Rc RunScanAll();
+
+  engine::Table* table() { return table_; }
+  const YcsbConfig& config() const { return config_; }
+
+  // Operation counters (diagnostics / tests).
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> updates{0};
+  std::atomic<uint64_t> inserts{0};
+  std::atomic<uint64_t> scans{0};
+  std::atomic<uint64_t> rmws{0};
+
+ private:
+  uint64_t PickKey(FastRandom& rng) const;
+
+  engine::Engine* const engine_;
+  const YcsbConfig config_;
+  engine::Table* table_ = nullptr;
+  std::unique_ptr<ZipfianGenerator> zipf_;  // shared; guarded by caller rng
+  mutable SpinLatch zipf_latch_;
+  std::atomic<uint64_t> insert_cursor_;
+};
+
+}  // namespace preemptdb::workload
+
+#endif  // PREEMPTDB_WORKLOAD_YCSB_H_

@@ -1,0 +1,134 @@
+// Tests for context-local storage (paper §4.3): per-context isolation,
+// thread fallback, lazy construction, destructor accounting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cls/context_local.h"
+#include "uintr/uintr.h"
+
+namespace preemptdb {
+namespace {
+
+cls::ContextLocal<uint64_t> g_counter;
+cls::ContextLocal<std::string> g_string;
+
+TEST(Cls, DefaultsToZeroInitialized) {
+  // Note: other tests in this binary may have touched g_counter on this
+  // thread already, so use a fresh variable.
+  static cls::ContextLocal<uint64_t> fresh;
+  EXPECT_EQ(fresh.Get(), 0u);
+}
+
+TEST(Cls, ActsAsThreadLocalOnPlainThreads) {
+  g_counter.Get() = 111;
+  std::thread t([] {
+    EXPECT_EQ(g_counter.Get(), 0u) << "other thread must see its own copy";
+    g_counter.Get() = 222;
+    EXPECT_EQ(g_counter.Get(), 222u);
+  });
+  t.join();
+  EXPECT_EQ(g_counter.Get(), 111u);
+}
+
+TEST(Cls, NonTrivialTypesWork) {
+  g_string.Get() = "hello";
+  std::thread t([] {
+    EXPECT_TRUE(g_string.Get().empty());
+    g_string.Get() = "other";
+  });
+  t.join();
+  EXPECT_EQ(g_string.Get(), "hello");
+}
+
+TEST(Cls, SlotIndicesAreDistinct) {
+  static cls::ContextLocal<int> a;
+  static cls::ContextLocal<int> b;
+  EXPECT_NE(a.slot_index(), b.slot_index());
+  EXPECT_GE(cls::internal::NumSlots(), 2);
+}
+
+// Helper shared by both contexts in the isolation test below.
+cls::ContextLocal<uint64_t> g_shared_var;
+uint64_t& GetVar() { return g_shared_var.Get(); }
+
+TEST(Cls, ContextsOnSameThreadAreIsolated) {
+  // The core §4.3 scenario: main and preemptive context of one thread each
+  // get an independent copy.
+  struct Result {
+    uint64_t main_value = 0;
+    uint64_t preempt_value = 0;
+  } result;
+  std::thread t([&result] {
+    struct Ctx {
+      Result* r;
+    } ctx{&result};
+    uintr::RegisterReceiver(
+        +[](void* p) {
+          auto* c = static_cast<Ctx*>(p);
+          while (true) {
+            // Same ContextLocal object, different context -> own copy.
+            c->r->preempt_value = ++GetVar();
+            uintr::SwapToMain();
+          }
+        },
+        &ctx);
+    GetVar() = 1000;
+    uintr::SwapToPreempt();  // preempt context sets its copy to 1
+    uintr::SwapToPreempt();  // ... then 2
+    result.main_value = GetVar();
+    uintr::UnregisterReceiver();
+  });
+  t.join();
+  EXPECT_EQ(result.main_value, 1000u);
+  EXPECT_EQ(result.preempt_value, 2u);
+}
+
+TEST(Cls, DestructorRunsAtThreadExit) {
+  struct Tracked {
+    static std::atomic<int>& live() {
+      static std::atomic<int> v{0};
+      return v;
+    }
+    Tracked() { live().fetch_add(1); }
+    ~Tracked() { live().fetch_sub(1); }
+  };
+  static cls::ContextLocal<Tracked> tracked;
+  int before = Tracked::live().load();
+  std::thread t([] { tracked.Get(); });
+  t.join();
+  EXPECT_EQ(Tracked::live().load(), before)
+      << "thread-arena slot must be destroyed at thread exit";
+}
+
+TEST(Cls, ManySlotsStress) {
+  static std::vector<std::unique_ptr<cls::ContextLocal<uint64_t>>> slots = [] {
+    std::vector<std::unique_ptr<cls::ContextLocal<uint64_t>>> v;
+    for (int i = 0; i < 64; ++i) {
+      v.push_back(std::make_unique<cls::ContextLocal<uint64_t>>());
+    }
+    return v;
+  }();
+  for (int i = 0; i < 64; ++i) slots[i]->Get() = i * 7;
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(slots[i]->Get(), uint64_t(i) * 7);
+}
+
+TEST(Cls, ConcurrentFirstTouch) {
+  static cls::ContextLocal<std::vector<int>> vec;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&ok] {
+      vec.Get().push_back(1);
+      if (vec.Get().size() == 1) ok.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ok.load(), 8);
+}
+
+}  // namespace
+}  // namespace preemptdb

@@ -1,0 +1,259 @@
+// Multi-threaded engine stress tests: invariants under concurrent
+// transactions, conflict accounting, and snapshot-consistent aggregation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "util/random.h"
+
+namespace preemptdb::engine {
+namespace {
+
+int64_t ReadBalance(Slice s) {
+  int64_t v;
+  std::memcpy(&v, s.data, sizeof(v));
+  return v;
+}
+
+std::string_view BalancePayload(int64_t* v) {
+  return std::string_view(reinterpret_cast<const char*>(v), sizeof(*v));
+}
+
+// Money transfers between accounts: total balance is invariant under any
+// interleaving; SI write-write conflicts must abort cleanly.
+TEST(EngineConcurrency, TransfersPreserveTotalBalance) {
+  Engine engine;
+  Table* accounts = engine.CreateTable("accounts");
+  constexpr int kAccounts = 50;
+  constexpr int64_t kInitial = 1000;
+
+  {
+    Transaction* txn = engine.Begin();
+    for (int i = 0; i < kAccounts; ++i) {
+      int64_t v = kInitial;
+      ASSERT_EQ(txn->Insert(accounts, i, BalancePayload(&v)), Rc::kOk);
+    }
+    ASSERT_EQ(txn->Commit(), Rc::kOk);
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kTransfersPerThread = 4000;
+  std::atomic<uint64_t> committed{0}, aborted{0};
+  std::vector<std::thread> threads;
+  for (int id = 0; id < kThreads; ++id) {
+    threads.emplace_back([&, id] {
+      FastRandom rng(id + 1);
+      for (int i = 0; i < kTransfersPerThread; ++i) {
+        int64_t from = rng.Uniform(0, kAccounts - 1);
+        int64_t to = rng.Uniform(0, kAccounts - 1);
+        if (from == to) continue;
+        int64_t amount = rng.Uniform(1, 10);
+        Transaction* txn = engine.Begin();
+        Slice s;
+        if (!IsOk(txn->Read(accounts, from, &s))) {
+          txn->Abort();
+          continue;
+        }
+        int64_t bf = ReadBalance(s) - amount;
+        if (!IsOk(txn->Read(accounts, to, &s))) {
+          txn->Abort();
+          continue;
+        }
+        int64_t bt = ReadBalance(s) + amount;
+        if (!IsOk(txn->Update(accounts, from, BalancePayload(&bf))) ||
+            !IsOk(txn->Update(accounts, to, BalancePayload(&bt)))) {
+          txn->Abort();
+          aborted.fetch_add(1);
+          continue;
+        }
+        if (IsOk(txn->Commit())) {
+          committed.fetch_add(1);
+        } else {
+          aborted.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  Transaction* txn = engine.Begin();
+  int64_t total = 0;
+  for (int i = 0; i < kAccounts; ++i) {
+    Slice s;
+    ASSERT_EQ(txn->Read(accounts, i, &s), Rc::kOk);
+    total += ReadBalance(s);
+  }
+  ASSERT_EQ(txn->Commit(), Rc::kOk);
+  EXPECT_EQ(total, kAccounts * kInitial);
+  EXPECT_GT(committed.load(), 0u);
+}
+
+// Snapshot reads of the whole table must observe a transactionally
+// consistent total even while transfers are in flight.
+TEST(EngineConcurrency, SnapshotReadersSeeConsistentTotals) {
+  Engine engine;
+  Table* accounts = engine.CreateTable("accounts");
+  constexpr int kAccounts = 20;
+  constexpr int64_t kInitial = 500;
+  {
+    Transaction* txn = engine.Begin();
+    for (int i = 0; i < kAccounts; ++i) {
+      int64_t v = kInitial;
+      ASSERT_EQ(txn->Insert(accounts, i, BalancePayload(&v)), Rc::kOk);
+    }
+    ASSERT_EQ(txn->Commit(), Rc::kOk);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> consistent_reads{0};
+
+  std::thread writer([&] {
+    FastRandom rng(7);
+    while (!stop.load()) {
+      int64_t a = rng.Uniform(0, kAccounts - 1);
+      int64_t b = rng.Uniform(0, kAccounts - 1);
+      if (a == b) continue;
+      Transaction* txn = engine.Begin();
+      Slice s;
+      if (!IsOk(txn->Read(accounts, a, &s))) {
+        txn->Abort();
+        continue;
+      }
+      int64_t ba = ReadBalance(s) - 1;
+      if (!IsOk(txn->Read(accounts, b, &s))) {
+        txn->Abort();
+        continue;
+      }
+      int64_t bb = ReadBalance(s) + 1;
+      if (IsOk(txn->Update(accounts, a, BalancePayload(&ba))) &&
+          IsOk(txn->Update(accounts, b, BalancePayload(&bb)))) {
+        txn->Commit();
+      } else {
+        txn->Abort();
+      }
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        Transaction* txn = engine.Begin();
+        int64_t total = 0;
+        bool ok = true;
+        for (int i = 0; i < kAccounts && ok; ++i) {
+          Slice s;
+          ok = IsOk(txn->Read(accounts, i, &s));
+          if (ok) total += ReadBalance(s);
+        }
+        txn->Commit();
+        if (ok) {
+          ASSERT_EQ(total, kAccounts * kInitial)
+              << "snapshot saw a torn transfer";
+          consistent_reads.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  stop.store(true);
+  writer.join();
+  for (auto& r : readers) r.join();
+  EXPECT_GT(consistent_reads.load(), 10u);
+}
+
+TEST(EngineConcurrency, DisjointInsertersNeverConflict) {
+  Engine engine;
+  Table* t = engine.CreateTable("t");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int id = 0; id < kThreads; ++id) {
+    threads.emplace_back([&, id] {
+      for (int i = 0; i < kPerThread; ++i) {
+        index::Key k = static_cast<uint64_t>(id) * kPerThread + i;
+        Transaction* txn = engine.Begin();
+        std::string v = std::to_string(k);
+        ASSERT_EQ(txn->Insert(t, k, v), Rc::kOk);
+        ASSERT_EQ(txn->Commit(), Rc::kOk);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  Transaction* txn = engine.Begin();
+  uint64_t n = 0;
+  txn->Scan(t, 0, UINT64_MAX, [&](index::Key, Slice) {
+    ++n;
+    return true;
+  });
+  txn->Commit();
+  EXPECT_EQ(n, uint64_t(kThreads) * kPerThread);
+}
+
+TEST(EngineConcurrency, RacingInsertsOnSameKeyOnlyOneWins) {
+  Engine engine;
+  Table* t = engine.CreateTable("t");
+  constexpr int kThreads = 4;
+  std::atomic<int> winners{0};
+  std::vector<std::thread> threads;
+  for (int id = 0; id < kThreads; ++id) {
+    threads.emplace_back([&, id] {
+      Transaction* txn = engine.Begin();
+      std::string v = "writer" + std::to_string(id);
+      Rc rc = txn->Insert(t, 777, v);
+      if (IsOk(rc)) {
+        if (IsOk(txn->Commit())) winners.fetch_add(1);
+      } else {
+        txn->Abort();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(winners.load(), 1);
+}
+
+TEST(EngineConcurrency, HotKeyUpdateStorm) {
+  Engine engine;
+  Table* t = engine.CreateTable("t");
+  {
+    Transaction* txn = engine.Begin();
+    int64_t v = 0;
+    ASSERT_EQ(txn->Insert(t, 0, BalancePayload(&v)), Rc::kOk);
+    ASSERT_EQ(txn->Commit(), Rc::kOk);
+  }
+  constexpr int kThreads = 4;
+  std::atomic<int64_t> committed{0};
+  std::vector<std::thread> threads;
+  for (int id = 0; id < kThreads; ++id) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        Transaction* txn = engine.Begin();
+        Slice s;
+        if (!IsOk(txn->Read(t, 0, &s))) {
+          txn->Abort();
+          continue;
+        }
+        int64_t v = ReadBalance(s) + 1;
+        if (!IsOk(txn->Update(t, 0, BalancePayload(&v)))) {
+          txn->Abort();
+          continue;
+        }
+        if (IsOk(txn->Commit())) committed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  Transaction* txn = engine.Begin();
+  Slice s;
+  ASSERT_EQ(txn->Read(t, 0, &s), Rc::kOk);
+  int64_t final_v = ReadBalance(s);
+  txn->Commit();
+  EXPECT_EQ(final_v, committed.load())
+      << "every committed increment must be reflected exactly once";
+}
+
+}  // namespace
+}  // namespace preemptdb::engine

@@ -1,0 +1,223 @@
+// Parameterized property suites: histogram accuracy across magnitudes,
+// B+-tree range-scan windows against a model, Zipfian mass concentration,
+// MVCC single-record linearizability under random single-threaded op
+// sequences, and key-encoder ordering laws.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "engine/engine.h"
+#include "index/btree.h"
+#include "util/histogram.h"
+#include "util/random.h"
+#include "workload/tpcc.h"
+
+namespace preemptdb {
+namespace {
+
+// --- Histogram: relative error stays within bucket resolution across the
+// whole recordable range. ---
+
+class HistogramAccuracyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HistogramAccuracyTest, MidpointWithinTwoPercent) {
+  uint64_t value = GetParam();
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.RecordNanos(value);
+  double err = std::abs(static_cast<double>(h.PercentileNanos(50)) -
+                        static_cast<double>(value)) /
+               static_cast<double>(value);
+  EXPECT_LT(err, 0.02) << "value " << value;
+  double gerr = std::abs(h.GeoMeanNanos() - static_cast<double>(value)) /
+                static_cast<double>(value);
+  EXPECT_LT(gerr, 0.02) << "value " << value;
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, HistogramAccuracyTest,
+                         ::testing::Values(100, 999, 4096, 65537, 1000000,
+                                           12345678, 999999999,
+                                           60000000000ull));
+
+// --- B+-tree: arbitrary scan windows equal the model's view. ---
+
+class BTreeScanWindowTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BTreeScanWindowTest, WindowsMatchModel) {
+  FastRandom rng(GetParam());
+  index::BTree tree;
+  std::map<uint64_t, uint64_t> model;
+  for (int i = 0; i < 3000; ++i) {
+    uint64_t k = rng.UniformU64(0, 5000);
+    tree.Upsert(k, i);
+    model[k] = i;
+  }
+  for (int probe = 0; probe < 200; ++probe) {
+    uint64_t a = rng.UniformU64(0, 5200);
+    uint64_t b = rng.UniformU64(0, 5200);
+    uint64_t lo = std::min(a, b), hi = std::max(a, b);
+    std::vector<std::pair<uint64_t, uint64_t>> got;
+    tree.Scan(lo, hi, [&](index::Key k, index::Value v) {
+      got.emplace_back(k, v);
+      return true;
+    });
+    std::vector<std::pair<uint64_t, uint64_t>> want(
+        model.lower_bound(lo), model.upper_bound(hi));
+    ASSERT_EQ(got, want) << "window [" << lo << ", " << hi << "]";
+
+    // Reverse window must be the exact mirror.
+    std::vector<std::pair<uint64_t, uint64_t>> got_rev;
+    tree.ScanReverse(lo, hi, [&](index::Key k, index::Value v) {
+      got_rev.emplace_back(k, v);
+      return true;
+    });
+    std::reverse(got_rev.begin(), got_rev.end());
+    ASSERT_EQ(got_rev, want) << "reverse window [" << lo << ", " << hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeScanWindowTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+// --- Zipfian: higher theta concentrates more mass on the head. ---
+
+class ZipfThetaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfThetaTest, HeadMassGrowsWithTheta) {
+  double theta = GetParam();
+  ZipfianGenerator z(10000, theta, 7);
+  int head = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    if (z.Next() < 100) ++head;  // top 1%
+  }
+  // Uniform would put ~1% in the head; any positive skew puts more.
+  EXPECT_GT(head, kN / 100) << "theta " << theta;
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfThetaTest,
+                         ::testing::Values(0.5, 0.8, 0.99, 1.2));
+
+// --- MVCC: committed single-record history behaves like a register (random
+// sequences of committed/aborted writes + reads). ---
+
+class MvccRegisterTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MvccRegisterTest, CommittedWritesFormRegisterHistory) {
+  engine::Engine eng;
+  engine::Table* t = eng.CreateTable("reg");
+  FastRandom rng(GetParam());
+  std::optional<std::string> model;  // committed state
+  for (int op = 0; op < 2000; ++op) {
+    auto* txn = eng.Begin();
+    int what = static_cast<int>(rng.UniformU64(0, 4));
+    std::string val = "v" + std::to_string(op);
+    switch (what) {
+      case 0: {  // committed insert
+        Rc rc = txn->Insert(t, 1, val);
+        if (model.has_value()) {
+          ASSERT_EQ(rc, Rc::kKeyExists);
+          txn->Commit();
+        } else {
+          ASSERT_EQ(rc, Rc::kOk);
+          ASSERT_EQ(txn->Commit(), Rc::kOk);
+          model = val;
+        }
+        break;
+      }
+      case 1: {  // committed update
+        Rc rc = txn->Update(t, 1, val);
+        if (model.has_value()) {
+          ASSERT_EQ(rc, Rc::kOk);
+          ASSERT_EQ(txn->Commit(), Rc::kOk);
+          model = val;
+        } else {
+          ASSERT_EQ(rc, Rc::kNotFound);
+          txn->Commit();
+        }
+        break;
+      }
+      case 2: {  // aborted write (must be invisible)
+        if (model.has_value()) {
+          ASSERT_EQ(txn->Update(t, 1, "DOOMED"), Rc::kOk);
+        } else {
+          ASSERT_EQ(txn->Insert(t, 1, "DOOMED"), Rc::kOk);
+        }
+        txn->Abort();
+        break;
+      }
+      case 3: {  // committed delete
+        Rc rc = txn->Delete(t, 1);
+        if (model.has_value()) {
+          ASSERT_EQ(rc, Rc::kOk);
+          ASSERT_EQ(txn->Commit(), Rc::kOk);
+          model.reset();
+        } else {
+          ASSERT_EQ(rc, Rc::kNotFound);
+          txn->Commit();
+        }
+        break;
+      }
+      case 4: {  // read
+        Slice s;
+        Rc rc = txn->Read(t, 1, &s);
+        if (model.has_value()) {
+          ASSERT_EQ(rc, Rc::kOk);
+          ASSERT_EQ(s.ToString(), *model);
+        } else {
+          ASSERT_EQ(rc, Rc::kNotFound);
+        }
+        txn->Commit();
+        break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MvccRegisterTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// --- TPC-C key encoders: lexicographic order laws over the tuple domain. ---
+
+class TpccKeyOrderTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TpccKeyOrderTest, OrderLineKeysSortByTuple) {
+  FastRandom rng(GetParam());
+  using Tup = std::tuple<int64_t, int64_t, int64_t, int64_t>;
+  std::vector<Tup> tuples;
+  for (int i = 0; i < 500; ++i) {
+    tuples.emplace_back(rng.Uniform(1, 64), rng.Uniform(1, 10),
+                        rng.Uniform(1, 100000), rng.Uniform(1, 15));
+  }
+  std::sort(tuples.begin(), tuples.end());
+  for (size_t i = 1; i < tuples.size(); ++i) {
+    auto [w1, d1, o1, l1] = tuples[i - 1];
+    auto [w2, d2, o2, l2] = tuples[i];
+    ASSERT_LE(workload::tpcc_keys::OrderLine(w1, d1, o1, l1),
+              workload::tpcc_keys::OrderLine(w2, d2, o2, l2));
+  }
+}
+
+TEST_P(TpccKeyOrderTest, CustomerKeysSortByTuple) {
+  FastRandom rng(GetParam());
+  using Tup = std::tuple<int64_t, int64_t, int64_t>;
+  std::vector<Tup> tuples;
+  for (int i = 0; i < 500; ++i) {
+    tuples.emplace_back(rng.Uniform(1, 64), rng.Uniform(1, 10),
+                        rng.Uniform(1, 100000));
+  }
+  std::sort(tuples.begin(), tuples.end());
+  for (size_t i = 1; i < tuples.size(); ++i) {
+    auto [w1, d1, c1] = tuples[i - 1];
+    auto [w2, d2, c2] = tuples[i];
+    ASSERT_LE(workload::tpcc_keys::Customer(w1, d1, c1),
+              workload::tpcc_keys::Customer(w2, d2, c2));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TpccKeyOrderTest, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace preemptdb

@@ -1,0 +1,180 @@
+// Unit + stress tests for the lock-free scheduling queues.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "sync/mpmc_queue.h"
+#include "sync/spsc_queue.h"
+
+namespace preemptdb {
+namespace {
+
+// --------------------------------- SPSC ------------------------------------
+
+TEST(SpscQueue, StartsEmpty) {
+  SpscQueue<int> q(4);
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.Size(), 0u);
+  EXPECT_EQ(q.FreeSlots(), 4u);
+  int v;
+  EXPECT_FALSE(q.TryPop(&v));
+}
+
+TEST(SpscQueue, FifoOrder) {
+  SpscQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.TryPush(i));
+  for (int i = 0; i < 5; ++i) {
+    int v;
+    ASSERT_TRUE(q.TryPop(&v));
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(SpscQueue, FullRejectsPush) {
+  SpscQueue<int> q(3);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_TRUE(q.TryPush(3));
+  EXPECT_TRUE(q.Full());
+  EXPECT_FALSE(q.TryPush(4));
+  int v;
+  EXPECT_TRUE(q.TryPop(&v));
+  EXPECT_TRUE(q.TryPush(4));
+}
+
+TEST(SpscQueue, SizeTracksWrapAround) {
+  SpscQueue<int> q(4);
+  int v;
+  for (int round = 0; round < 20; ++round) {
+    EXPECT_TRUE(q.TryPush(round));
+    EXPECT_EQ(q.Size(), 1u);
+    EXPECT_TRUE(q.TryPop(&v));
+    EXPECT_EQ(q.Size(), 0u);
+  }
+}
+
+TEST(SpscQueue, CapacityOne) {
+  // The paper's default LP queue size is 1.
+  SpscQueue<int> q(1);
+  EXPECT_TRUE(q.TryPush(7));
+  EXPECT_FALSE(q.TryPush(8));
+  int v;
+  EXPECT_TRUE(q.TryPop(&v));
+  EXPECT_EQ(v, 7);
+}
+
+TEST(SpscQueue, ProducerConsumerStress) {
+  SpscQueue<uint64_t> q(64);
+  constexpr uint64_t kN = 200000;
+  std::atomic<bool> done{false};
+  uint64_t sum = 0;
+  std::thread consumer([&] {
+    uint64_t v;
+    uint64_t received = 0;
+    while (received < kN) {
+      if (q.TryPop(&v)) {
+        sum += v;
+        ++received;
+      }
+    }
+    done.store(true);
+  });
+  for (uint64_t i = 1; i <= kN;) {
+    if (q.TryPush(i)) ++i;
+  }
+  consumer.join();
+  EXPECT_TRUE(done.load());
+  EXPECT_EQ(sum, kN * (kN + 1) / 2);
+}
+
+TEST(SpscQueue, MovesValues) {
+  SpscQueue<std::unique_ptr<int>> q(2);
+  EXPECT_TRUE(q.TryPush(std::make_unique<int>(5)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(q.TryPop(&out));
+  EXPECT_EQ(*out, 5);
+}
+
+// --------------------------------- MPMC ------------------------------------
+
+TEST(MpmcQueue, BasicPushPop) {
+  MpmcQueue<int> q(8);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  int v;
+  ASSERT_TRUE(q.TryPop(&v));
+  EXPECT_EQ(v, 1);
+  ASSERT_TRUE(q.TryPop(&v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(q.TryPop(&v));
+}
+
+TEST(MpmcQueue, FullRejects) {
+  MpmcQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.TryPush(i));
+  EXPECT_FALSE(q.TryPush(99));
+}
+
+TEST(MpmcQueue, RequiresPowerOfTwo) {
+  EXPECT_DEATH(MpmcQueue<int>(3), "");
+}
+
+TEST(MpmcQueue, MultiProducerMultiConsumerSum) {
+  MpmcQueue<uint64_t> q(256);
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  constexpr uint64_t kPerProducer = 30000;
+  std::atomic<uint64_t> produced{0}, consumed_sum{0}, consumed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (uint64_t i = 0; i < kPerProducer;) {
+        uint64_t val = p * kPerProducer + i + 1;
+        if (q.TryPush(val)) {
+          produced.fetch_add(val);
+          ++i;
+        }
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      uint64_t v;
+      while (consumed.load() < kProducers * kPerProducer) {
+        if (q.TryPop(&v)) {
+          consumed_sum.fetch_add(v);
+          consumed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(consumed_sum.load(), produced.load());
+}
+
+// Parameterized: queues behave identically across capacities.
+class SpscCapacityTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SpscCapacityTest, FillDrainExactCapacity) {
+  size_t cap = GetParam();
+  SpscQueue<size_t> q(cap);
+  EXPECT_EQ(q.Capacity(), cap);
+  for (size_t i = 0; i < cap; ++i) EXPECT_TRUE(q.TryPush(i));
+  EXPECT_FALSE(q.TryPush(999));
+  EXPECT_EQ(q.Size(), cap);
+  for (size_t i = 0; i < cap; ++i) {
+    size_t v;
+    ASSERT_TRUE(q.TryPop(&v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_TRUE(q.Empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, SpscCapacityTest,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 100, 1024));
+
+}  // namespace
+}  // namespace preemptdb

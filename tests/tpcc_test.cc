@@ -1,0 +1,220 @@
+// TPC-C workload tests: load cardinalities, transaction profiles, and the
+// spec's consistency conditions after concurrent execution.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "workload/tpcc.h"
+
+namespace preemptdb::workload {
+namespace {
+
+class TpccTest : public ::testing::Test {
+ protected:
+  TpccTest() : tpcc_(&engine_, TpccConfig::Small()) { tpcc_.Load(); }
+
+  uint64_t CountRows(engine::Table* t) {
+    engine::Transaction* txn = engine_.Begin();
+    uint64_t n = 0;
+    txn->Scan(t, 0, UINT64_MAX, [&](index::Key, Slice) {
+      ++n;
+      return true;
+    });
+    PDB_CHECK(IsOk(txn->Commit()));
+    return n;
+  }
+
+  engine::Engine engine_;
+  TpccWorkload tpcc_;
+};
+
+TEST_F(TpccTest, LoadCardinalities) {
+  const auto& cfg = tpcc_.config();
+  EXPECT_EQ(CountRows(tpcc_.warehouse()), uint64_t(cfg.warehouses));
+  EXPECT_EQ(CountRows(tpcc_.district()),
+            uint64_t(cfg.warehouses) * cfg.districts_per_warehouse);
+  EXPECT_EQ(CountRows(tpcc_.customer()),
+            uint64_t(cfg.warehouses) * cfg.districts_per_warehouse *
+                cfg.customers_per_district);
+  EXPECT_EQ(CountRows(tpcc_.item()), uint64_t(cfg.items));
+  EXPECT_EQ(CountRows(tpcc_.stock()),
+            uint64_t(cfg.warehouses) * cfg.items);
+  EXPECT_EQ(CountRows(tpcc_.order()),
+            uint64_t(cfg.warehouses) * cfg.districts_per_warehouse *
+                cfg.initial_orders_per_district);
+}
+
+TEST_F(TpccTest, InitialStateIsConsistent) {
+  EXPECT_GT(tpcc_.CheckConsistency(), 0u);
+}
+
+TEST_F(TpccTest, NewOrderCommits) {
+  FastRandom rng(1);
+  int committed = 0;
+  for (int i = 0; i < 50; ++i) {
+    Rc rc = tpcc_.RunNewOrder(1, rng.Next());
+    if (IsOk(rc)) ++committed;
+    // 1% intentional rollbacks are allowed; conflicts impossible
+    // single-threaded.
+    EXPECT_TRUE(IsOk(rc) || rc == Rc::kAbortUser) << RcString(rc);
+  }
+  EXPECT_GT(committed, 40);
+}
+
+TEST_F(TpccTest, NewOrderAdvancesDistrictCounter) {
+  auto sum_next_o_id = [&] {
+    engine::Transaction* txn = engine_.Begin();
+    Slice s;
+    int64_t sum = 0;
+    for (int64_t d = 1; d <= tpcc_.config().districts_per_warehouse; ++d) {
+      PDB_CHECK(
+          IsOk(txn->Read(tpcc_.district(), tpcc_keys::District(1, d), &s)));
+      sum += s.As<DistrictRow>()->d_next_o_id;
+    }
+    PDB_CHECK(IsOk(txn->Commit()));
+    return sum;
+  };
+  int64_t before = sum_next_o_id();
+  FastRandom rng(2);
+  int64_t committed = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (IsOk(tpcc_.RunNewOrder(1, rng.Next()))) ++committed;
+  }
+  ASSERT_GT(committed, 0);
+  EXPECT_EQ(sum_next_o_id(), before + committed)
+      << "each committed NewOrder must advance exactly one district counter; "
+         "rolled-back ones must not";
+}
+
+TEST_F(TpccTest, PaymentUpdatesYtd) {
+  engine::Transaction* txn = engine_.Begin();
+  Slice s;
+  ASSERT_EQ(txn->Read(tpcc_.warehouse(), tpcc_keys::Warehouse(1), &s),
+            Rc::kOk);
+  double before = s.As<WarehouseRow>()->w_ytd;
+  ASSERT_EQ(txn->Commit(), Rc::kOk);
+
+  FastRandom rng(3);
+  int committed = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (IsOk(tpcc_.RunPayment(1, rng.Next()))) ++committed;
+  }
+  ASSERT_GT(committed, 0);
+
+  txn = engine_.Begin();
+  ASSERT_EQ(txn->Read(tpcc_.warehouse(), tpcc_keys::Warehouse(1), &s),
+            Rc::kOk);
+  EXPECT_GT(s.As<WarehouseRow>()->w_ytd, before);
+  ASSERT_EQ(txn->Commit(), Rc::kOk);
+}
+
+TEST_F(TpccTest, OrderStatusRuns) {
+  FastRandom rng(4);
+  int ok = 0;
+  for (int i = 0; i < 30; ++i) {
+    Rc rc = tpcc_.RunOrderStatus(1, rng.Next());
+    if (IsOk(rc)) ++ok;
+  }
+  EXPECT_GT(ok, 20);
+}
+
+TEST_F(TpccTest, DeliveryDrainsNewOrders) {
+  uint64_t before = CountRows(tpcc_.new_order());
+  ASSERT_GT(before, 0u);
+  FastRandom rng(5);
+  ASSERT_EQ(tpcc_.RunDelivery(1, rng.Next()), Rc::kOk);
+  uint64_t after = CountRows(tpcc_.new_order());
+  EXPECT_LT(after, before)
+      << "Delivery must remove one NEW-ORDER row per non-empty district";
+}
+
+TEST_F(TpccTest, StockLevelRuns) {
+  FastRandom rng(6);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(tpcc_.RunStockLevel(1, rng.Next()), Rc::kOk);
+  }
+}
+
+TEST_F(TpccTest, MixedRunStaysConsistent) {
+  FastRandom rng(7);
+  for (int i = 0; i < 300; ++i) {
+    sched::Request r = tpcc_.GenStandardMix(rng);
+    tpcc_.Execute(r, 0);
+  }
+  EXPECT_GT(tpcc_.CheckConsistency(), 0u);
+}
+
+TEST_F(TpccTest, ConcurrentMixStaysConsistent) {
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> committed{0};
+  for (int id = 0; id < kThreads; ++id) {
+    threads.emplace_back([&, id] {
+      FastRandom rng(100 + id);
+      for (int i = 0; i < 200; ++i) {
+        sched::Request r = tpcc_.GenStandardMix(rng);
+        if (IsOk(tpcc_.Execute(r, id))) committed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GT(committed.load(), 0u);
+  EXPECT_GT(tpcc_.CheckConsistency(), 0u);
+}
+
+TEST_F(TpccTest, GeneratorsPickValidWarehouses) {
+  FastRandom rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    sched::Request r = tpcc_.GenHighPriority(rng);
+    EXPECT_GE(r.params[0], 1u);
+    EXPECT_LE(r.params[0], uint64_t(tpcc_.config().warehouses));
+    EXPECT_TRUE(r.type == TpccWorkload::kNewOrder ||
+                r.type == TpccWorkload::kPayment);
+  }
+}
+
+TEST_F(TpccTest, StandardMixRatios) {
+  FastRandom rng(9);
+  int counts[5] = {0};
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) counts[tpcc_.GenStandardMix(rng).type]++;
+  EXPECT_NEAR(counts[TpccWorkload::kNewOrder], kN * 0.45, kN * 0.02);
+  EXPECT_NEAR(counts[TpccWorkload::kPayment], kN * 0.43, kN * 0.02);
+  EXPECT_NEAR(counts[TpccWorkload::kOrderStatus], kN * 0.04, kN * 0.01);
+  EXPECT_NEAR(counts[TpccWorkload::kDelivery], kN * 0.04, kN * 0.01);
+  EXPECT_NEAR(counts[TpccWorkload::kStockLevel], kN * 0.04, kN * 0.01);
+}
+
+TEST(TpccLastName, SpecSyllables) {
+  char buf[17];
+  MakeLastName(0, buf);
+  EXPECT_STREQ(buf, "BARBARBAR");
+  MakeLastName(999, buf);
+  EXPECT_STREQ(buf, "EINGEINGEING");
+  MakeLastName(371, buf);
+  EXPECT_STREQ(buf, "PRICALLYOUGHT");
+}
+
+TEST(TpccKeys, EncodingsAreInjective) {
+  // Distinct (w,d,c,o,ol) tuples must map to distinct keys within each
+  // encoder's domain.
+  std::set<uint64_t> seen;
+  for (int64_t w = 1; w <= 4; ++w) {
+    for (int64_t d = 1; d <= 10; ++d) {
+      for (int64_t o : {1, 2, 100, 5000}) {
+        for (int64_t ol = 1; ol <= 15; ++ol) {
+          ASSERT_TRUE(
+              seen.insert(tpcc_keys::OrderLine(w, d, o, ol)).second);
+        }
+      }
+    }
+  }
+  // Order keys sort by (w, d, o): reverse scans find the newest order.
+  EXPECT_LT(tpcc_keys::Order(1, 1, 5), tpcc_keys::Order(1, 1, 6));
+  EXPECT_LT(tpcc_keys::Order(1, 1, 99999), tpcc_keys::Order(1, 2, 1));
+  EXPECT_LT(tpcc_keys::Order(1, 10, 99999), tpcc_keys::Order(2, 1, 1));
+}
+
+}  // namespace
+}  // namespace preemptdb::workload

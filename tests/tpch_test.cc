@@ -1,0 +1,132 @@
+// TPC-H Q2 tests: loader cardinalities, query correctness against a
+// reference implementation, determinism, and the handcrafted-yield hook.
+#include <gtest/gtest.h>
+
+#include "engine/hooks.h"
+#include "workload/tpch.h"
+
+namespace preemptdb::workload {
+namespace {
+
+class TpchTest : public ::testing::Test {
+ protected:
+  TpchTest() : tpch_(&engine_, TpchConfig::Small()) { tpch_.Load(); }
+
+  uint64_t CountRows(engine::Table* t) {
+    engine::Transaction* txn = engine_.Begin();
+    uint64_t n = 0;
+    txn->Scan(t, 0, UINT64_MAX, [&](index::Key, Slice) {
+      ++n;
+      return true;
+    });
+    PDB_CHECK(IsOk(txn->Commit()));
+    return n;
+  }
+
+  engine::Engine engine_;
+  TpchWorkload tpch_;
+};
+
+TEST_F(TpchTest, LoadCardinalities) {
+  const auto& cfg = tpch_.config();
+  EXPECT_EQ(CountRows(tpch_.part()), uint64_t(cfg.parts));
+  EXPECT_EQ(CountRows(tpch_.supplier()), uint64_t(cfg.suppliers));
+  EXPECT_EQ(CountRows(tpch_.partsupp()), uint64_t(cfg.parts) * 4);
+  EXPECT_EQ(CountRows(tpch_.nation()), uint64_t(cfg.nations));
+}
+
+TEST_F(TpchTest, Q2MatchesReferenceAcrossParams) {
+  for (int64_t size : {1, 15, 30, 50}) {
+    for (int64_t type = 0; type < TpchWorkload::kNumTypeSyllables; ++type) {
+      for (int64_t region : {0, 2, 4}) {
+        std::vector<Q2Result> got;
+        ASSERT_EQ(tpch_.RunQ2(size, type, region, &got), Rc::kOk);
+        std::vector<Q2Result> want = tpch_.RunQ2Reference(size, type, region);
+        ASSERT_EQ(got.size(), want.size())
+            << "size=" << size << " type=" << type << " region=" << region;
+        for (size_t i = 0; i < got.size(); ++i) {
+          EXPECT_EQ(got[i].part, want[i].part);
+          EXPECT_EQ(got[i].supplier, want[i].supplier);
+          EXPECT_DOUBLE_EQ(got[i].supplycost, want[i].supplycost);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(TpchTest, Q2IsDeterministic) {
+  std::vector<Q2Result> a, b;
+  ASSERT_EQ(tpch_.RunQ2(10, 2, 1, &a), Rc::kOk);
+  ASSERT_EQ(tpch_.RunQ2(10, 2, 1, &b), Rc::kOk);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].part, b[i].part);
+}
+
+TEST_F(TpchTest, Q2ResultsSortedByAcctbalDesc) {
+  std::vector<Q2Result> results;
+  ASSERT_EQ(tpch_.RunQ2(20, 1, 0, &results), Rc::kOk);
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i - 1].acctbal, results[i].acctbal);
+  }
+}
+
+TEST_F(TpchTest, Q2RespectsRegionFilter) {
+  // Every reported supplier must actually be in the requested region.
+  std::vector<Q2Result> results;
+  ASSERT_EQ(tpch_.RunQ2(20, 2, 3, &results), Rc::kOk);
+  engine::Transaction* txn = engine_.Begin();
+  Slice s;
+  for (const auto& r : results) {
+    ASSERT_EQ(txn->Read(tpch_.supplier(), tpch_keys::Supplier(r.supplier),
+                        &s),
+              Rc::kOk);
+    int32_t nk = s.As<SupplierRow>()->s_nationkey;
+    ASSERT_EQ(txn->Read(tpch_.nation(), tpch_keys::Nation(nk), &s), Rc::kOk);
+    EXPECT_EQ(s.As<NationRow>()->n_regionkey, 3);
+  }
+  ASSERT_EQ(txn->Commit(), Rc::kOk);
+}
+
+TEST_F(TpchTest, Q2LimitsTo100) {
+  std::vector<Q2Result> results;
+  // Most selective possible filter set still must cap at 100.
+  for (int64_t size = 1; size <= 50; ++size) {
+    ASSERT_EQ(tpch_.RunQ2(size, 0, 0, &results), Rc::kOk);
+    EXPECT_LE(results.size(), 100u);
+  }
+}
+
+TEST_F(TpchTest, HandcraftedHookFiresPerNestedBlock) {
+  static thread_local uint64_t yields;
+  yields = 0;
+  engine::hooks::Install(+[] { ++yields; }, 0, /*block_interval=*/1);
+  std::vector<Q2Result> results;
+  // Sweep sizes so the small dataset is guaranteed to contain matches.
+  for (int64_t size = 1; size <= 50; ++size) {
+    ASSERT_EQ(tpch_.RunQ2(size, 2, 1, &results), Rc::kOk);
+  }
+  engine::hooks::Uninstall();
+  EXPECT_GT(yields, 0u)
+      << "Q2 must announce nested-block boundaries for handcrafted yields";
+}
+
+TEST_F(TpchTest, GenQ2ParamsInRange) {
+  FastRandom rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    sched::Request r = tpch_.GenQ2(rng);
+    EXPECT_EQ(r.type, TpchWorkload::kQ2);
+    EXPECT_GE(r.params[0], 1u);
+    EXPECT_LE(r.params[0], 50u);
+    EXPECT_LT(r.params[1], uint64_t(TpchWorkload::kNumTypeSyllables));
+    EXPECT_LT(r.params[2], uint64_t(tpch_.config().regions));
+  }
+}
+
+TEST_F(TpchTest, ExecuteRunsQ2) {
+  FastRandom rng(2);
+  sched::Request r = tpch_.GenQ2(rng);
+  EXPECT_EQ(tpch_.Execute(r, 0), Rc::kOk);
+}
+
+}  // namespace
+}  // namespace preemptdb::workload

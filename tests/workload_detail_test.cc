@@ -1,0 +1,289 @@
+// Fine-grained TPC-C/TPC-H behaviour tests: by-name customer resolution
+// (spec 2.5.2.2), bad-credit data prepending, remote payments, rollback
+// NewOrders, delivery bookkeeping, Q2 plan behaviour.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "engine/hooks.h"
+#include "workload/tpcc.h"
+#include "workload/tpch.h"
+
+namespace preemptdb::workload {
+namespace {
+
+class TpccDetailTest : public ::testing::Test {
+ protected:
+  TpccDetailTest() : tpcc_(&engine_, TpccConfig::Small()) { tpcc_.Load(); }
+
+  CustomerRow ReadCustomer(int64_t w, int64_t d, int64_t c) {
+    auto* txn = engine_.Begin();
+    Slice s;
+    PDB_CHECK(IsOk(txn->Read(tpcc_.customer(),
+                             tpcc_keys::Customer(w, d, c), &s)));
+    CustomerRow row = *s.As<CustomerRow>();
+    PDB_CHECK(IsOk(txn->Commit()));
+    return row;
+  }
+
+  engine::Engine engine_;
+  TpccWorkload tpcc_;
+};
+
+TEST_F(TpccDetailTest, CustomerNameIndexResolvesEveryCustomer) {
+  // Every loaded customer must be reachable through the name index.
+  auto* idx = tpcc_.customer()->GetSecondaryIndex("customer_name");
+  ASSERT_NE(idx, nullptr);
+  const auto& cfg = tpcc_.config();
+  EXPECT_EQ(idx->Size(), uint64_t(cfg.warehouses) *
+                             cfg.districts_per_warehouse *
+                             cfg.customers_per_district);
+}
+
+TEST_F(TpccDetailTest, PaymentByNamePicksMiddleByFirstName) {
+  // Seed several customers sharing a last name and verify the spec's
+  // ceil(n/2) by-first-name selection through a Payment round trip.
+  auto* txn = engine_.Begin();
+  auto* idx = tpcc_.customer()->GetSecondaryIndex("customer_name");
+  const char* last = "ZZTESTNAME";
+  std::vector<std::string> firsts = {"AAA", "MMM", "ZZZ"};
+  for (size_t i = 0; i < firsts.size(); ++i) {
+    CustomerRow cr{};
+    int64_t c_id = 50000 + static_cast<int64_t>(i);
+    cr.c_id = static_cast<int32_t>(c_id);
+    cr.c_d_id = 1;
+    cr.c_w_id = 1;
+    std::strcpy(cr.c_last, last);
+    std::strcpy(cr.c_first, firsts[i].c_str());
+    std::strcpy(cr.c_credit, "GC");
+    engine::Transaction::SecondaryEntry sec{
+        idx, tpcc_keys::CustomerName(1, 1, tpcc_keys::NameHash(last), c_id)};
+    // Direct primary-key encoding: c_id above the loaded range.
+    ASSERT_EQ(txn->InsertWithSecondaries(
+                  tpcc_.customer(), tpcc_keys::Customer(1, 1, c_id),
+                  std::string_view(reinterpret_cast<const char*>(&cr),
+                                   sizeof(cr)),
+                  &sec, 1),
+              Rc::kOk);
+  }
+  ASSERT_EQ(txn->Commit(), Rc::kOk);
+
+  // Resolve by name: the spec picks the middle row ordered by c_first.
+  auto* lookup = engine_.Begin();
+  CustomerRow middle{};
+  ASSERT_TRUE(tpcc_.CustomerByName(lookup, 1, 1, last, &middle));
+  ASSERT_EQ(lookup->Commit(), Rc::kOk);
+  EXPECT_STREQ(middle.c_first, "MMM");
+  EXPECT_EQ(middle.c_id, 50001);
+}
+
+TEST_F(TpccDetailTest, BadCreditPaymentPrependsData) {
+  // Force a customer to BC, run payments pinned at (w=1), then check that
+  // any BC customer whose payment_cnt grew has the payment record in
+  // c_data.
+  CustomerRow cr = ReadCustomer(1, 1, 1);
+  auto* txn = engine_.Begin();
+  std::strcpy(cr.c_credit, "BC");
+  cr.c_data[0] = '\0';
+  ASSERT_EQ(txn->Update(tpcc_.customer(), tpcc_keys::Customer(1, 1, 1),
+                        std::string_view(reinterpret_cast<const char*>(&cr),
+                                         sizeof(cr))),
+            Rc::kOk);
+  ASSERT_EQ(txn->Commit(), Rc::kOk);
+
+  FastRandom rng(3);
+  for (int i = 0; i < 300; ++i) tpcc_.RunPayment(1, rng.Next());
+
+  CustomerRow after = ReadCustomer(1, 1, 1);
+  if (after.c_payment_cnt > 1) {
+    EXPECT_NE(after.c_data[0], '\0')
+        << "BC customers must have payment info prepended to c_data";
+    // The record starts with the customer id.
+    EXPECT_EQ(std::strncmp(after.c_data, "1 ", 2), 0);
+  }
+}
+
+TEST_F(TpccDetailTest, PaymentMovesMoneyExactly) {
+  // Sum customer balances before.
+  double bal_before = 0;
+  {
+    auto* txn = engine_.Begin();
+    txn->Scan(tpcc_.customer(), 0, UINT64_MAX, [&](index::Key, Slice v) {
+      bal_before += v.As<CustomerRow>()->c_balance;
+      return true;
+    });
+    ASSERT_EQ(txn->Commit(), Rc::kOk);
+  }
+  FastRandom rng(9);
+  int committed = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (IsOk(tpcc_.RunPayment(1, rng.Next()))) ++committed;
+  }
+  ASSERT_GT(committed, 0);
+  double bal_after = 0;
+  double ytd_sum = 0;
+  {
+    auto* txn = engine_.Begin();
+    txn->Scan(tpcc_.customer(), 0, UINT64_MAX, [&](index::Key, Slice v) {
+      bal_after += v.As<CustomerRow>()->c_balance;
+      return true;
+    });
+    for (int64_t w = 1; w <= tpcc_.config().warehouses; ++w) {
+      Slice s;
+      PDB_CHECK(IsOk(txn->Read(tpcc_.warehouse(), tpcc_keys::Warehouse(w),
+                               &s)));
+      ytd_sum += s.As<WarehouseRow>()->w_ytd;
+    }
+    ASSERT_EQ(txn->Commit(), Rc::kOk);
+  }
+  // Money taken from customers equals money entering warehouse YTDs
+  // (initial W_YTD is 300000 per warehouse; this fixture is fresh).
+  double paid = bal_before - bal_after;
+  EXPECT_GT(paid, 0);
+  EXPECT_NEAR(ytd_sum, 300000.0 * tpcc_.config().warehouses + paid, 0.5)
+      << "sum(W_YTD) must grow by exactly the amount paid";
+}
+
+TEST_F(TpccDetailTest, RollbackNewOrderLeavesNoOrphans) {
+  // A seed whose last item is unused (the 1% rollback path) must leave no
+  // order/new-order/order-line rows behind.
+  FastRandom probe(77);
+  uint64_t rollback_seed = 0;
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t seed = probe.Next();
+    FastRandom r(seed);
+    (void)r.Uniform(1, tpcc_.config().districts_per_warehouse);
+    (void)r.NURand(1023, 1, tpcc_.config().customers_per_district);
+    (void)r.Uniform(5, 15);
+    if (r.Uniform(1, 100) == 1) {
+      rollback_seed = seed;
+      break;
+    }
+  }
+  ASSERT_NE(rollback_seed, 0u) << "no rollback seed found";
+  auto visible_orders = [&] {
+    auto* txn = engine_.Begin();
+    uint64_t n = 0;
+    txn->Scan(tpcc_.order(), 0, UINT64_MAX, [&](index::Key, Slice) {
+      ++n;
+      return true;
+    });
+    PDB_CHECK(IsOk(txn->Commit()));
+    return n;
+  };
+  uint64_t before = visible_orders();
+  EXPECT_EQ(tpcc_.RunNewOrder(1, rollback_seed), Rc::kAbortUser);
+  // The index may retain a key slot for the aborted insert (reused on the
+  // next insert of that key), but no order may be *visible*.
+  EXPECT_EQ(visible_orders(), before)
+      << "aborted NewOrder must not leave a visible order row";
+  EXPECT_GT(tpcc_.CheckConsistency(), 0u);
+}
+
+TEST_F(TpccDetailTest, DeliverySetsCarrierAndDeliveryDate) {
+  FastRandom rng(4);
+  ASSERT_EQ(tpcc_.RunDelivery(1, rng.Next()), Rc::kOk);
+  // Find a delivered order (carrier != 0) in district 1 and check its lines.
+  auto* txn = engine_.Begin();
+  bool checked = false;
+  txn->Scan(tpcc_.order(), tpcc_keys::Order(1, 1, 0),
+            tpcc_keys::Order(1, 1, (1 << 28) - 1),
+            [&](index::Key, Slice v) {
+              const OrderRow o = *v.As<OrderRow>();
+              if (o.o_carrier_id == 0) return true;
+              for (int64_t ol = 1; ol <= o.o_ol_cnt; ++ol) {
+                Slice ls;
+                if (IsOk(txn->Read(tpcc_.order_line(),
+                                   tpcc_keys::OrderLine(1, 1, o.o_id, ol),
+                                   &ls))) {
+                  EXPECT_NE(ls.As<OrderLineRow>()->ol_delivery_d, 0u);
+                  checked = true;
+                }
+              }
+              return false;
+            });
+  ASSERT_EQ(txn->Commit(), Rc::kOk);
+  EXPECT_TRUE(checked);
+}
+
+TEST_F(TpccDetailTest, StockYtdGrowsWithNewOrders) {
+  auto sum_ytd = [&] {
+    auto* txn = engine_.Begin();
+    int64_t sum = 0;
+    txn->Scan(tpcc_.stock(), 0, UINT64_MAX, [&](index::Key, Slice v) {
+      sum += v.As<StockRow>()->s_ytd;
+      return true;
+    });
+    PDB_CHECK(IsOk(txn->Commit()));
+    return sum;
+  };
+  int64_t before = sum_ytd();
+  FastRandom rng(5);
+  int committed = 0;
+  for (int i = 0; i < 30; ++i) {
+    if (IsOk(tpcc_.RunNewOrder(1, rng.Next()))) ++committed;
+  }
+  ASSERT_GT(committed, 0);
+  EXPECT_GT(sum_ytd(), before);
+}
+
+class TpchDetailTest : public ::testing::Test {
+ protected:
+  TpchDetailTest() : tpch_(&engine_, TpchConfig::Small()) { tpch_.Load(); }
+  engine::Engine engine_;
+  TpchWorkload tpch_;
+};
+
+TEST_F(TpchDetailTest, Q2NestedBlockRunsPerScannedPart) {
+  // The nested-loop plan evaluates the min-cost block once per scanned part
+  // (what makes Q2 long and the handcrafted "every 1000 blocks" meaningful).
+  static thread_local uint64_t blocks;
+  blocks = 0;
+  engine::hooks::Install(+[] { ++blocks; }, 0, 1);
+  std::vector<Q2Result> out;
+  ASSERT_EQ(tpch_.RunQ2(10, 0, 0, &out), Rc::kOk);
+  engine::hooks::Uninstall();
+  EXPECT_EQ(blocks, uint64_t(tpch_.config().parts));
+}
+
+TEST_F(TpchDetailTest, Q2EmptyWhenRegionHasNoSuppliers) {
+  // Region keys beyond the configured range have no suppliers.
+  std::vector<Q2Result> out;
+  ASSERT_EQ(tpch_.RunQ2(10, 0, 99, &out), Rc::kOk);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(TpchDetailTest, Q2PicksMinimumCostSupplier) {
+  std::vector<Q2Result> out;
+  ASSERT_EQ(tpch_.RunQ2(20, 1, 2, &out), Rc::kOk);
+  auto* txn = engine_.Begin();
+  for (const auto& r : out) {
+    // No supplier of the same part within the region may be cheaper.
+    for (int64_t slot = 0; slot < 4; ++slot) {
+      Slice s;
+      if (!IsOk(txn->Read(tpch_.partsupp(),
+                          tpch_keys::PartSupp(r.part, slot), &s))) {
+        continue;
+      }
+      const PartSuppRow ps = *s.As<PartSuppRow>();
+      Slice sup;
+      if (!IsOk(txn->Read(tpch_.supplier(),
+                          tpch_keys::Supplier(ps.ps_suppkey), &sup))) {
+        continue;
+      }
+      Slice nat;
+      if (!IsOk(txn->Read(tpch_.nation(),
+                          tpch_keys::Nation(sup.As<SupplierRow>()->s_nationkey),
+                          &nat))) {
+        continue;
+      }
+      if (nat.As<NationRow>()->n_regionkey != 2) continue;
+      EXPECT_GE(ps.ps_supplycost, r.supplycost);
+    }
+  }
+  ASSERT_EQ(txn->Commit(), Rc::kOk);
+}
+
+}  // namespace
+}  // namespace preemptdb::workload

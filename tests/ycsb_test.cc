@@ -1,0 +1,157 @@
+// YCSB workload tests: load, operation mixes, Zipfian skew, scheduling
+// integration under preemption.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "sched/scheduler.h"
+#include "workload/ycsb.h"
+
+namespace preemptdb::workload {
+namespace {
+
+class YcsbTest : public ::testing::TestWithParam<YcsbMix> {
+ protected:
+  YcsbTest() {
+    YcsbConfig cfg = YcsbConfig::Small();
+    cfg.mix = GetParam();
+    ycsb_ = std::make_unique<YcsbWorkload>(&engine_, cfg);
+    ycsb_->Load();
+  }
+
+  engine::Engine engine_;
+  std::unique_ptr<YcsbWorkload> ycsb_;
+};
+
+TEST_P(YcsbTest, LoadCardinality) {
+  EXPECT_EQ(ycsb_->table()->primary().Size(),
+            ycsb_->config().record_count);
+}
+
+TEST_P(YcsbTest, TxnsCommit) {
+  FastRandom rng(1);
+  int committed = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (IsOk(ycsb_->Execute(ycsb_->GenTxn(rng), 0))) ++committed;
+  }
+  EXPECT_EQ(committed, 200) << "single-threaded YCSB must always commit";
+}
+
+TEST_P(YcsbTest, MixProducesExpectedOperations) {
+  FastRandom rng(2);
+  for (int i = 0; i < 300; ++i) ycsb_->Execute(ycsb_->GenTxn(rng), 0);
+  switch (GetParam()) {
+    case YcsbMix::kA:
+      EXPECT_GT(ycsb_->reads.load(), 0u);
+      EXPECT_GT(ycsb_->updates.load(), 0u);
+      EXPECT_EQ(ycsb_->scans.load(), 0u);
+      break;
+    case YcsbMix::kB:
+      EXPECT_GT(ycsb_->reads.load(), ycsb_->updates.load() * 5);
+      break;
+    case YcsbMix::kC:
+      EXPECT_GT(ycsb_->reads.load(), 0u);
+      EXPECT_EQ(ycsb_->updates.load(), 0u);
+      EXPECT_EQ(ycsb_->inserts.load(), 0u);
+      break;
+    case YcsbMix::kE:
+      EXPECT_GT(ycsb_->scans.load(), 0u);
+      EXPECT_GT(ycsb_->inserts.load(), 0u);
+      break;
+    case YcsbMix::kF:
+      EXPECT_GT(ycsb_->rmws.load(), 0u);
+      break;
+  }
+}
+
+TEST_P(YcsbTest, ConcurrentExecutionKeepsEngineConsistent) {
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> committed{0};
+  for (int id = 0; id < 3; ++id) {
+    threads.emplace_back([&, id] {
+      FastRandom rng(10 + id);
+      for (int i = 0; i < 150; ++i) {
+        if (IsOk(ycsb_->Execute(ycsb_->GenTxn(rng), id))) {
+          committed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GT(committed.load(), 0u);
+  // Scan-all still works and sees a coherent table.
+  EXPECT_EQ(ycsb_->RunScanAll(), Rc::kOk);
+  engine_.CollectGarbage();
+  engine_.CollectGarbage();
+}
+
+INSTANTIATE_TEST_SUITE_P(Mixes, YcsbTest,
+                         ::testing::Values(YcsbMix::kA, YcsbMix::kB,
+                                           YcsbMix::kC, YcsbMix::kE,
+                                           YcsbMix::kF),
+                         [](const auto& info) {
+                           return std::string("Mix") +
+                                  YcsbMixName(info.param);
+                         });
+
+TEST(YcsbZipf, SkewConcentratesOnHotKeys) {
+  engine::Engine eng;
+  YcsbConfig cfg = YcsbConfig::Small();
+  cfg.zipf_theta = 0.99;
+  cfg.mix = YcsbMix::kA;
+  YcsbWorkload ycsb(&eng, cfg);
+  ycsb.Load();
+  // With heavy skew, concurrent writers conflict measurably more than the
+  // uniform case would; just verify conflicts occur and resolve safely.
+  std::vector<std::thread> threads;
+  for (int id = 0; id < 4; ++id) {
+    threads.emplace_back([&, id] {
+      FastRandom rng(id + 1);
+      for (int i = 0; i < 200; ++i) ycsb.Execute(ycsb.GenTxn(rng), id);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GT(ycsb.updates.load() + ycsb.reads.load(), 0u);
+}
+
+TEST(YcsbSched, PreemptionServesPointTxnsDuringScans) {
+  engine::Engine eng;
+  YcsbConfig cfg;
+  cfg.record_count = 30000;
+  cfg.mix = YcsbMix::kB;
+  YcsbWorkload ycsb(&eng, cfg);
+  ycsb.Load();
+
+  struct Ctx {
+    YcsbWorkload* ycsb;
+  } ctx{&ycsb};
+  sched::Scheduler::Workload w;
+  w.execute = +[](const sched::Request& req, void* c, int worker) {
+    return static_cast<Ctx*>(c)->ycsb->Execute(req, worker);
+  };
+  w.exec_ctx = &ctx;
+  static thread_local FastRandom gen_rng(7);
+  w.gen_low = [&ycsb](sched::Request* out) {
+    *out = ycsb.GenScanAll(gen_rng);
+    return true;
+  };
+  w.gen_high = [&ycsb](sched::Request* out) {
+    *out = ycsb.GenTxn(gen_rng);
+    return true;
+  };
+  sched::SchedulerConfig cfg2;
+  cfg2.policy = sched::Policy::kPreempt;
+  cfg2.num_workers = 2;
+  cfg2.arrival_interval_us = 1000;
+  sched::Scheduler s(cfg2, w);
+  s.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+  s.Stop();
+  EXPECT_GT(s.metrics().type(YcsbWorkload::kYcsbTxn).committed.load(), 0u);
+  EXPECT_GT(s.metrics().type(YcsbWorkload::kYcsbScanAll).committed.load(),
+            0u);
+  EXPECT_GT(s.uipis_sent(), 0u);
+}
+
+}  // namespace
+}  // namespace preemptdb::workload
