@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_preempt_modes.dir/ablation_preempt_modes.cc.o"
+  "CMakeFiles/ablation_preempt_modes.dir/ablation_preempt_modes.cc.o.d"
+  "ablation_preempt_modes"
+  "ablation_preempt_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_preempt_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

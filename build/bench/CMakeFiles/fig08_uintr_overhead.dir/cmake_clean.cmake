@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_uintr_overhead.dir/fig08_uintr_overhead.cc.o"
+  "CMakeFiles/fig08_uintr_overhead.dir/fig08_uintr_overhead.cc.o.d"
+  "fig08_uintr_overhead"
+  "fig08_uintr_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_uintr_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

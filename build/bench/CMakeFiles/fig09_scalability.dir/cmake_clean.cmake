@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_scalability.dir/fig09_scalability.cc.o"
+  "CMakeFiles/fig09_scalability.dir/fig09_scalability.cc.o.d"
+  "fig09_scalability"
+  "fig09_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

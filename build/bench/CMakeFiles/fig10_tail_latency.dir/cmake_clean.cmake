@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_tail_latency.dir/fig10_tail_latency.cc.o"
+  "CMakeFiles/fig10_tail_latency.dir/fig10_tail_latency.cc.o.d"
+  "fig10_tail_latency"
+  "fig10_tail_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tail_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

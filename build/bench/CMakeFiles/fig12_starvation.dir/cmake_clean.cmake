@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_starvation.dir/fig12_starvation.cc.o"
+  "CMakeFiles/fig12_starvation.dir/fig12_starvation.cc.o.d"
+  "fig12_starvation"
+  "fig12_starvation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_starvation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

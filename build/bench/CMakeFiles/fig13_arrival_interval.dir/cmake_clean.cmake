@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_arrival_interval.dir/fig13_arrival_interval.cc.o"
+  "CMakeFiles/fig13_arrival_interval.dir/fig13_arrival_interval.cc.o.d"
+  "fig13_arrival_interval"
+  "fig13_arrival_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_arrival_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

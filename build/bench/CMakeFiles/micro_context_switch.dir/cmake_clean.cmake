@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_context_switch.dir/micro_context_switch.cc.o"
+  "CMakeFiles/micro_context_switch.dir/micro_context_switch.cc.o.d"
+  "micro_context_switch"
+  "micro_context_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_context_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_uintr_delivery.dir/micro_uintr_delivery.cc.o"
+  "CMakeFiles/micro_uintr_delivery.dir/micro_uintr_delivery.cc.o.d"
+  "micro_uintr_delivery"
+  "micro_uintr_delivery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_uintr_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

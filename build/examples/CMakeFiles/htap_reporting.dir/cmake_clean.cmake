@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htap_reporting.dir/htap_reporting.cpp.o"
+  "CMakeFiles/htap_reporting.dir/htap_reporting.cpp.o.d"
+  "htap_reporting"
+  "htap_reporting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htap_reporting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

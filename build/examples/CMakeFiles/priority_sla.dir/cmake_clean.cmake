@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_sla.dir/priority_sla.cpp.o"
+  "CMakeFiles/priority_sla.dir/priority_sla.cpp.o.d"
+  "priority_sla"
+  "priority_sla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_sla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

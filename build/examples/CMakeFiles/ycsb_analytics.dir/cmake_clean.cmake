@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsb_analytics.dir/ycsb_analytics.cpp.o"
+  "CMakeFiles/ycsb_analytics.dir/ycsb_analytics.cpp.o.d"
+  "ycsb_analytics"
+  "ycsb_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsb_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cls/context_local.cc" "src/CMakeFiles/pdb_cls.dir/cls/context_local.cc.o" "gcc" "src/CMakeFiles/pdb_cls.dir/cls/context_local.cc.o.d"
+  "/root/repo/src/cls/guarded_new.cc" "src/CMakeFiles/pdb_cls.dir/cls/guarded_new.cc.o" "gcc" "src/CMakeFiles/pdb_cls.dir/cls/guarded_new.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pdb_uintr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdb_cls.dir/cls/context_local.cc.o"
+  "CMakeFiles/pdb_cls.dir/cls/context_local.cc.o.d"
+  "CMakeFiles/pdb_cls.dir/cls/guarded_new.cc.o"
+  "CMakeFiles/pdb_cls.dir/cls/guarded_new.cc.o.d"
+  "libpdb_cls.a"
+  "libpdb_cls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdb_cls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/engine.cc" "src/CMakeFiles/pdb_engine.dir/engine/engine.cc.o" "gcc" "src/CMakeFiles/pdb_engine.dir/engine/engine.cc.o.d"
+  "/root/repo/src/engine/gc.cc" "src/CMakeFiles/pdb_engine.dir/engine/gc.cc.o" "gcc" "src/CMakeFiles/pdb_engine.dir/engine/gc.cc.o.d"
+  "/root/repo/src/engine/log.cc" "src/CMakeFiles/pdb_engine.dir/engine/log.cc.o" "gcc" "src/CMakeFiles/pdb_engine.dir/engine/log.cc.o.d"
+  "/root/repo/src/engine/table.cc" "src/CMakeFiles/pdb_engine.dir/engine/table.cc.o" "gcc" "src/CMakeFiles/pdb_engine.dir/engine/table.cc.o.d"
+  "/root/repo/src/engine/transaction.cc" "src/CMakeFiles/pdb_engine.dir/engine/transaction.cc.o" "gcc" "src/CMakeFiles/pdb_engine.dir/engine/transaction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdb_cls.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdb_uintr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdb_engine.dir/engine/engine.cc.o"
+  "CMakeFiles/pdb_engine.dir/engine/engine.cc.o.d"
+  "CMakeFiles/pdb_engine.dir/engine/gc.cc.o"
+  "CMakeFiles/pdb_engine.dir/engine/gc.cc.o.d"
+  "CMakeFiles/pdb_engine.dir/engine/log.cc.o"
+  "CMakeFiles/pdb_engine.dir/engine/log.cc.o.d"
+  "CMakeFiles/pdb_engine.dir/engine/table.cc.o"
+  "CMakeFiles/pdb_engine.dir/engine/table.cc.o.d"
+  "CMakeFiles/pdb_engine.dir/engine/transaction.cc.o"
+  "CMakeFiles/pdb_engine.dir/engine/transaction.cc.o.d"
+  "libpdb_engine.a"
+  "libpdb_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdb_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdb_index.dir/index/btree.cc.o"
+  "CMakeFiles/pdb_index.dir/index/btree.cc.o.d"
+  "libpdb_index.a"
+  "libpdb_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdb_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdb_sched.dir/sched/scheduler.cc.o"
+  "CMakeFiles/pdb_sched.dir/sched/scheduler.cc.o.d"
+  "CMakeFiles/pdb_sched.dir/sched/worker.cc.o"
+  "CMakeFiles/pdb_sched.dir/sched/worker.cc.o.d"
+  "libpdb_sched.a"
+  "libpdb_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdb_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdb_uintr.dir/uintr/fiber.cc.o"
+  "CMakeFiles/pdb_uintr.dir/uintr/fiber.cc.o.d"
+  "CMakeFiles/pdb_uintr.dir/uintr/fiber_switch.S.o"
+  "CMakeFiles/pdb_uintr.dir/uintr/uintr.cc.o"
+  "CMakeFiles/pdb_uintr.dir/uintr/uintr.cc.o.d"
+  "libpdb_uintr.a"
+  "libpdb_uintr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/pdb_uintr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

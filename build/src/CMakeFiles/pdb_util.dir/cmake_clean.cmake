@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdb_util.dir/util/clock.cc.o"
+  "CMakeFiles/pdb_util.dir/util/clock.cc.o.d"
+  "CMakeFiles/pdb_util.dir/util/histogram.cc.o"
+  "CMakeFiles/pdb_util.dir/util/histogram.cc.o.d"
+  "libpdb_util.a"
+  "libpdb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdb_workload.dir/workload/tpcc.cc.o"
+  "CMakeFiles/pdb_workload.dir/workload/tpcc.cc.o.d"
+  "CMakeFiles/pdb_workload.dir/workload/tpcc_txns.cc.o"
+  "CMakeFiles/pdb_workload.dir/workload/tpcc_txns.cc.o.d"
+  "CMakeFiles/pdb_workload.dir/workload/tpch.cc.o"
+  "CMakeFiles/pdb_workload.dir/workload/tpch.cc.o.d"
+  "CMakeFiles/pdb_workload.dir/workload/ycsb.cc.o"
+  "CMakeFiles/pdb_workload.dir/workload/ycsb.cc.o.d"
+  "libpdb_workload.a"
+  "libpdb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preemptdb_core.dir/core/preemptdb.cc.o"
+  "CMakeFiles/preemptdb_core.dir/core/preemptdb.cc.o.d"
+  "libpreemptdb_core.a"
+  "libpreemptdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preemptdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpreemptdb_core.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cls_test.dir/cls_test.cc.o"
+  "CMakeFiles/cls_test.dir/cls_test.cc.o.d"
+  "cls_test"
+  "cls_test.pdb"
+  "cls_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

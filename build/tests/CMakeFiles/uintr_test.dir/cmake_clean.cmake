@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uintr_test.dir/uintr_test.cc.o"
+  "CMakeFiles/uintr_test.dir/uintr_test.cc.o.d"
+  "uintr_test"
+  "uintr_test.pdb"
+  "uintr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uintr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_detail_test.dir/workload_detail_test.cc.o"
+  "CMakeFiles/workload_detail_test.dir/workload_detail_test.cc.o.d"
+  "workload_detail_test"
+  "workload_detail_test.pdb"
+  "workload_detail_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_detail_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
