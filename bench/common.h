@@ -19,12 +19,22 @@
 #include <thread>
 
 #include "engine/engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "sched/scheduler.h"
 #include "util/random.h"
 #include "workload/tpcc.h"
 #include "workload/tpch.h"
 
 namespace preemptdb::bench {
+
+// Request-type id -> label, for txn_types rows in --metrics-json output.
+// Indexed by the workload type constants (TpccWorkload::TxnType etc.).
+inline const char* const kTxnTypeNames[sched::kMaxTxnTypes] = {
+    "neworder", "payment", "orderstatus", "delivery",
+    "stocklevel", "q2", "ycsb", nullptr,
+};
 
 inline int64_t EnvInt(const char* name, int64_t def) {
   const char* v = std::getenv(name);
@@ -121,6 +131,85 @@ class MixedBench {
   FastRandom rng_{0xbe9cull};
 };
 
+// Observability flags shared by every fig driver:
+//   --trace-out=<file>     enable event tracing; write Chrome trace JSON
+//                          (load in Perfetto / chrome://tracing) at Finish()
+//   --metrics-json=<file>  write a MetricsSnapshot JSON at Finish()
+// Construct first thing in main (tracing must be on before worker threads
+// start, or they skip ring registration) and call Finish() before exit.
+class ObsSession {
+ public:
+  ObsSession(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--trace-out=", 0) == 0) {
+        trace_path_ = a.substr(sizeof("--trace-out=") - 1);
+      } else if (a.rfind("--metrics-json=", 0) == 0) {
+        metrics_path_ = a.substr(sizeof("--metrics-json=") - 1);
+      }
+    }
+    if (argc > 0) snap_.SetMeta("bench", argv[0]);
+    if (tracing()) {
+      obs::SetTraceEnabled(true);
+      obs::RegisterThisThread("bench-main");
+    }
+  }
+  ~ObsSession() { Finish(); }
+
+  bool tracing() const { return !trace_path_.empty(); }
+  bool metrics() const { return !metrics_path_.empty(); }
+  obs::MetricsSnapshot& snapshot() { return snap_; }
+
+  // Applies session knobs to a scheduler config (background queue-depth
+  // sampling only pays for itself when a metrics file was requested).
+  void Configure(sched::SchedulerConfig& cfg) const {
+    if (metrics()) cfg.stats_period_ms = 20;
+  }
+
+  // Writes the requested artifacts: stops tracing, exports the merged rings
+  // as Chrome trace JSON, derives the uipi send->delivery latency histogram
+  // from the trace, and dumps the metrics snapshot. Idempotent.
+  void Finish() {
+    if (finished_) return;
+    finished_ = true;
+    std::string err;
+    if (tracing()) {
+      obs::SetTraceEnabled(false);
+      obs::TraceExporter exp;
+      LatencyHistogram uipi_lat;
+      size_t pairs = exp.DeriveUipiLatency(&uipi_lat);
+      if (pairs > 0) {
+        snap_.AddHistogramNanos("uipi_send_to_delivery", uipi_lat);
+      }
+      snap_.AddCounter("trace.events_exported", exp.events().size());
+      snap_.AddCounter("trace.uipi_pairs", pairs);
+      if (!exp.WriteChromeTrace(trace_path_, &err)) {
+        std::fprintf(stderr, "# trace export failed: %s\n", err.c_str());
+      } else {
+        std::fprintf(stderr,
+                     "# wrote %zu trace events (%d subsystems) to %s\n",
+                     exp.events().size(), exp.NumCategoriesPresent(),
+                     trace_path_.c_str());
+      }
+    }
+    if (metrics()) {
+      snap_.CaptureRegistry();
+      if (!snap_.WriteFile(metrics_path_, &err)) {
+        std::fprintf(stderr, "# metrics export failed: %s\n", err.c_str());
+      } else {
+        std::fprintf(stderr, "# wrote metrics JSON to %s\n",
+                     metrics_path_.c_str());
+      }
+    }
+  }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  obs::MetricsSnapshot snap_;
+  bool finished_ = false;
+};
+
 struct TypeStats {
   double tps = 0;
   double p50_us = 0, p90_us = 0, p99_us = 0, p999_us = 0;
@@ -149,10 +238,14 @@ inline TypeStats Snapshot(const sched::TxnTypeMetrics& m, double secs) {
 }
 
 // Runs the mixed workload under `cfg` for `seconds`, returning per-type
-// throughput and latency stats.
+// throughput and latency stats. When `snap` is given, the run's full metrics
+// (per-type rows, scheduler counters, queue-depth aggregates) are appended to
+// it under `label.` prefixes before the scheduler is torn down.
 inline RunResult RunMixed(MixedBench& bench, sched::SchedulerConfig cfg,
                           double seconds, bool hp_stream = true,
-                          bool standard_mix = false) {
+                          bool standard_mix = false,
+                          obs::MetricsSnapshot* snap = nullptr,
+                          const std::string& label = "") {
   sched::Scheduler s(cfg, bench.Hooks(hp_stream, standard_mix));
   s.Start();
   std::this_thread::sleep_for(std::chrono::milliseconds(
@@ -167,6 +260,15 @@ inline RunResult RunMixed(MixedBench& bench, sched::SchedulerConfig cfg,
   r.q2 = Snapshot(s.metrics().type(workload::TpchWorkload::kQ2), seconds);
   r.uipis = s.uipis_sent();
   r.hp_dropped = s.hp_dropped();
+  if (snap != nullptr) {
+    std::string prefix = label.empty() ? "" : label + ".";
+    s.metrics().AppendTo(*snap, kTxnTypeNames, sched::kMaxTxnTypes, seconds,
+                         prefix);
+    snap->AddCounter(prefix + "uipis_sent", r.uipis);
+    snap->AddCounter(prefix + "hp_admitted", s.hp_admitted());
+    snap->AddCounter(prefix + "hp_dropped", r.hp_dropped);
+    s.stats_reporter().AppendTo(*snap, prefix);
+  }
   return r;
 }
 

@@ -10,7 +10,8 @@
 using namespace preemptdb;
 using namespace preemptdb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs(argc, argv);
   BenchEnv env = BenchEnv::FromEnv();
   MixedBench bench(env);
 
@@ -23,6 +24,7 @@ int main() {
   for (auto policy : {sched::Policy::kWait, sched::Policy::kCooperative,
                       sched::Policy::kPreempt}) {
     auto cfg = BaseConfig(policy, env.workers);
+    obs.Configure(cfg);
     sched::Scheduler s(cfg, bench.Hooks());
     s.Start();
     std::this_thread::sleep_for(
@@ -38,6 +40,14 @@ int main() {
                 merged.PercentileMicros(99.9),
                 static_cast<double>(merged.MaxNanos()) / 1000.0,
                 static_cast<unsigned long>(merged.Count()));
+    // Machine-readable version of the printed row plus per-type splits.
+    std::string prefix = std::string(sched::PolicyName(policy)) + ".";
+    s.metrics().AppendTo(obs.snapshot(), kTxnTypeNames, sched::kMaxTxnTypes,
+                         env.seconds, prefix);
+    obs.snapshot().AddHistogramNanos(prefix + "hp_latency", merged);
+    obs.snapshot().AddCounter(prefix + "uipis_sent", s.uipis_sent());
+    s.stats_reporter().AppendTo(obs.snapshot(), prefix);
   }
+  obs.Finish();
   return 0;
 }

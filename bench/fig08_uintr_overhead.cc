@@ -10,7 +10,8 @@
 using namespace preemptdb;
 using namespace preemptdb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs(argc, argv);
   BenchEnv env = BenchEnv::FromEnv();
   MixedBench bench(env);
 
@@ -18,19 +19,27 @@ int main() {
   std::printf("%-8s %16s %16s %10s\n", "workers", "no-uintr", "with-uintr",
               "overhead");
 
+  obs::MetricsSnapshot* snap = &obs.snapshot();
   for (int workers = 1; workers <= env.workers; workers *= 2) {
+    std::string w = std::to_string(workers) + "w";
     // Baseline: plain Wait scheduling, receivers not even registered.
     auto base_cfg = BaseConfig(sched::Policy::kWait, workers);
     base_cfg.register_receivers = false;
-    RunResult base = RunMixed(bench, base_cfg, env.seconds,
-                              /*hp_stream=*/false, /*standard_mix=*/true);
+    obs.Configure(base_cfg);
+    RunResult base =
+        RunMixed(bench, base_cfg, env.seconds,
+                 /*hp_stream=*/false, /*standard_mix=*/true, snap,
+                 "no_uintr." + w);
 
     // With uintr: preempt policy machinery armed, empty interrupts each
     // interval, but no high-priority stream.
     auto uintr_cfg = BaseConfig(sched::Policy::kPreempt, workers);
     uintr_cfg.send_empty_interrupts = true;
-    RunResult with = RunMixed(bench, uintr_cfg, env.seconds,
-                              /*hp_stream=*/false, /*standard_mix=*/true);
+    obs.Configure(uintr_cfg);
+    RunResult with =
+        RunMixed(bench, uintr_cfg, env.seconds,
+                 /*hp_stream=*/false, /*standard_mix=*/true, snap,
+                 "with_uintr." + w);
 
     double base_tps = base.neworder.tps + base.payment.tps;
     double with_tps = with.neworder.tps + with.payment.tps;
@@ -41,5 +50,6 @@ int main() {
   }
   std::printf(
       "# expectation (paper): overhead column ~ low single-digit percent\n");
+  obs.Finish();
   return 0;
 }

@@ -10,7 +10,8 @@
 using namespace preemptdb;
 using namespace preemptdb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs(argc, argv);
   BenchEnv env = BenchEnv::FromEnv();
   MixedBench bench(env);
 
@@ -22,8 +23,11 @@ int main() {
   int i = 0;
   for (auto policy : {sched::Policy::kWait, sched::Policy::kCooperative,
                       sched::Policy::kPreempt}) {
-    RunResult r = RunMixed(bench, BaseConfig(policy, env.workers),
-                           env.seconds);
+    auto cfg = BaseConfig(policy, env.workers);
+    obs.Configure(cfg);
+    RunResult r = RunMixed(bench, cfg, env.seconds, /*hp_stream=*/true,
+                           /*standard_mix=*/false, &obs.snapshot(),
+                           sched::PolicyName(policy));
     rows[i++] = Row{sched::PolicyName(policy), r.neworder, r.q2};
   }
 
@@ -58,5 +62,6 @@ int main() {
       reduction(rows[0].neworder.p90_us, rows[2].neworder.p90_us),
       reduction(rows[0].neworder.p99_us, rows[2].neworder.p99_us),
       reduction(rows[0].neworder.p999_us, rows[2].neworder.p999_us));
+  obs.Finish();
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "cls/context_local.h"
+#include "obs/trace.h"
 #include "uintr/fiber.h"
 #include "uintr/uintr.h"
 
@@ -88,6 +89,44 @@ void BM_NewDelete64(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NewDelete64);
+
+// --- Trace instrumentation cost (obs/trace.h) ---
+//
+// Disabled must be one relaxed load + predicted branch; compare against the
+// bare switch benchmarks above to bound the instrumented-path regression.
+
+void BM_TraceDisabled(benchmark::State& state) {
+  obs::SetTraceEnabled(false);
+  for (auto _ : state) {
+    obs::Trace(obs::EventType::kTxnStart, 1, 2);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TraceDisabled);
+
+void BM_TraceEnabled(benchmark::State& state) {
+  obs::SetTraceEnabled(true);
+  obs::RegisterThisThread("bench-trace");
+  for (auto _ : state) {
+    obs::Trace(obs::EventType::kTxnStart, 1, 2);
+  }
+  obs::SetTraceEnabled(false);
+}
+BENCHMARK(BM_TraceEnabled);
+
+// Voluntary context round trip with its two FiberSwitch events recorded:
+// the switch-path overhead the observability layer adds when tracing is on.
+void BM_TransactionContextRoundTripTraced(benchmark::State& state) {
+  obs::SetTraceEnabled(true);
+  obs::RegisterThisThread("bench-switch");
+  uintr::RegisterReceiver(&IdlePreemptLoop, nullptr, 64 * 1024);
+  for (auto _ : state) {
+    uintr::SwapToPreempt();
+  }
+  uintr::UnregisterReceiver();
+  obs::SetTraceEnabled(false);
+}
+BENCHMARK(BM_TransactionContextRoundTripTraced);
 
 }  // namespace
 

@@ -33,6 +33,10 @@ class Arena {
   ~Arena() {
     std::vector<SlotDesc> descs;
     {
+      // Registry mutex sections must be non-preemptible: if the holder is
+      // paused by a user interrupt, the preempting context on the same
+      // thread would block on a mutex only its paused peer can release.
+      uintr::NonPreemptibleRegion npr;
       std::lock_guard<std::mutex> g(g_registry_mu);
       descs = Registry();
     }
@@ -57,6 +61,7 @@ class Arena {
   void* SlowSlot(int idx) {
     SlotDesc d;
     {
+      uintr::NonPreemptibleRegion npr;
       std::lock_guard<std::mutex> g(g_registry_mu);
       PDB_CHECK(static_cast<size_t>(idx) < Registry().size());
       d = Registry()[idx];
@@ -100,6 +105,7 @@ Arena* CurrentArena() {
 }  // namespace
 
 int RegisterSlot(size_t size, size_t align, SlotCtor ctor, SlotDtor dtor) {
+  uintr::NonPreemptibleRegion npr;
   std::lock_guard<std::mutex> g(g_registry_mu);
   Registry().push_back(SlotDesc{size, align, ctor, dtor});
   return static_cast<int>(Registry().size()) - 1;
@@ -108,6 +114,7 @@ int RegisterSlot(size_t size, size_t align, SlotCtor ctor, SlotDtor dtor) {
 void* SlotPtr(int slot) { return CurrentArena()->Slot(slot); }
 
 int NumSlots() {
+  uintr::NonPreemptibleRegion npr;
   std::lock_guard<std::mutex> g(g_registry_mu);
   return static_cast<int>(Registry().size());
 }

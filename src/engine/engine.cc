@@ -2,6 +2,7 @@
 
 #include "cls/context_local.h"
 #include "engine/hooks.h"
+#include "uintr/uintr.h"
 
 namespace preemptdb::engine {
 
@@ -33,6 +34,10 @@ Engine::Engine()
 Engine::~Engine() { StopBackgroundGc(); }
 
 uint64_t Engine::MinActiveBegin() const {
+  // Latch sections are non-preemptible: a preempting transaction on the
+  // same thread would otherwise spin on a latch held by its paused main
+  // context (see oid_array.h EnsureChunk for the full argument).
+  uintr::NonPreemptibleRegion npr;
   SpinLatchGuard g(active_latch_);
   uint64_t min = UINT64_MAX;
   for (const auto& slot : active_slots_) {
@@ -43,6 +48,7 @@ uint64_t Engine::MinActiveBegin() const {
 }
 
 void Engine::RegisterActiveSlot(ActiveSlot slot) {
+  uintr::NonPreemptibleRegion npr;
   SpinLatchGuard g(active_latch_);
   active_slots_.push_back(std::move(slot));
 }
@@ -65,6 +71,7 @@ void Engine::StopBackgroundGc() {
 }
 
 Table* Engine::CreateTable(const std::string& name) {
+  uintr::NonPreemptibleRegion npr;
   SpinLatchGuard g(ddl_latch_);
   PDB_CHECK_MSG(GetTableLocked(name) == nullptr, "table already exists");
   auto id = static_cast<uint32_t>(tables_.size());
@@ -73,6 +80,7 @@ Table* Engine::CreateTable(const std::string& name) {
 }
 
 Table* Engine::GetTable(const std::string& name) const {
+  uintr::NonPreemptibleRegion npr;
   SpinLatchGuard g(ddl_latch_);
   return GetTableLocked(name);
 }

@@ -3,8 +3,15 @@
 #include <algorithm>
 
 #include "engine/engine.h"
+#include "obs/trace.h"
+#include "uintr/uintr.h"
 
 namespace preemptdb::engine {
+
+// Every latch_ critical section below is wrapped in a NonPreemptibleRegion:
+// a preemptive-context transaction on the same thread that retires a
+// version would otherwise spin forever on a latch held by its own paused
+// main context (a single thread cannot release what it is waiting for).
 
 GarbageCollector::~GarbageCollector() {
   // Engine teardown: no transactions remain; reclaim everything still
@@ -17,12 +24,14 @@ GarbageCollector::~GarbageCollector() {
 void GarbageCollector::Retire(Version* prev, Version* victim,
                               uint64_t retire_ts) {
   PDB_DCHECK(victim != nullptr && prev != nullptr);
+  uintr::NonPreemptibleRegion npr;
   SpinLatchGuard g(latch_);
   retired_.push_back(Retired{prev, victim, retire_ts});
   retired_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void GarbageCollector::RetireUnlinked(Version* victim, uint64_t unlink_ts) {
+  uintr::NonPreemptibleRegion npr;
   SpinLatchGuard g(latch_);
   limbo_.push_back(Limbo{victim, unlink_ts});
   retired_count_.fetch_add(1, std::memory_order_relaxed);
@@ -34,6 +43,7 @@ uint64_t GarbageCollector::Collect(uint64_t min_active_begin) {
   // Phase 1: splice out retired versions no active snapshot can need.
   std::vector<Retired> to_unlink;
   {
+    uintr::NonPreemptibleRegion npr;
     SpinLatchGuard g(latch_);
     auto it = retired_.begin();
     while (it != retired_.end()) {
@@ -61,6 +71,7 @@ uint64_t GarbageCollector::Collect(uint64_t min_active_begin) {
     // Publish the splices through the timestamp counter: every transaction
     // beginning at or after unlink_ts observes the shortened chains.
     uint64_t unlink_ts = engine_->NextCommitTs();
+    uintr::NonPreemptibleRegion npr;
     SpinLatchGuard g(latch_);
     for (const Retired& r : to_unlink) {
       limbo_.push_back(Limbo{r.victim, unlink_ts});
@@ -70,6 +81,7 @@ uint64_t GarbageCollector::Collect(uint64_t min_active_begin) {
   // Phase 2: free limbo versions past their grace period.
   std::vector<Version*> to_free;
   {
+    uintr::NonPreemptibleRegion npr;
     SpinLatchGuard g(latch_);
     auto it = limbo_.begin();
     while (it != limbo_.end()) {
@@ -84,6 +96,7 @@ uint64_t GarbageCollector::Collect(uint64_t min_active_begin) {
   for (Version* v : to_free) Version::Free(v);
   freed_count_.fetch_add(to_free.size(), std::memory_order_relaxed);
   collect_latch_.Unlock();
+  obs::Trace(obs::EventType::kGcPass, 0, to_free.size());
   return to_free.size();
 }
 

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "engine/version.h"
+#include "uintr/uintr.h"
 #include "util/latch.h"
 #include "util/macros.h"
 
@@ -69,6 +70,7 @@ class GarbageCollector {
     return freed_count_.load(std::memory_order_relaxed);
   }
   uint64_t pending_count() const {
+    uintr::NonPreemptibleRegion npr;  // see gc.cc: same-thread latch deadlock
     SpinLatchGuard g(latch_);
     return retired_.size() + limbo_.size();
   }

@@ -19,6 +19,7 @@
 #include <cstring>
 
 #include "engine/version.h"
+#include "obs/trace.h"
 #include "util/macros.h"
 
 namespace preemptdb::engine {
@@ -66,6 +67,7 @@ class LogManager {
     total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
     total_records_.fetch_add(records, std::memory_order_relaxed);
     flushes_.fetch_add(1, std::memory_order_relaxed);
+    obs::Trace(obs::EventType::kLogFlush, 0, bytes);
   }
 
   uint64_t total_bytes() const {

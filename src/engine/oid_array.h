@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "engine/version.h"
+#include "uintr/uintr.h"
 #include "util/latch.h"
 #include "util/macros.h"
 
@@ -68,6 +69,10 @@ class OidArray {
   void EnsureChunk(size_t idx) {
     PDB_CHECK_MSG(idx < kMaxChunks, "OID array capacity exceeded");
     if (chunks_[idx].load(std::memory_order_acquire) != nullptr) return;
+    // Non-preemptible while holding grow_latch_: a preempting high-priority
+    // transaction on the same thread that also needs to grow would spin on
+    // a latch its own paused main context holds and never make progress.
+    uintr::NonPreemptibleRegion npr;
     SpinLatchGuard g(grow_latch_);
     if (chunks_[idx].load(std::memory_order_relaxed) != nullptr) return;
     auto* chunk = new Chunk();

@@ -1,0 +1,148 @@
+// Minimal JSON emitter for the observability layer (trace export and
+// metrics snapshots). Not a general-purpose serializer: no parsing, no DOM —
+// just correctly escaped, correctly comma'd streaming output.
+#ifndef PREEMPTDB_OBS_JSON_H_
+#define PREEMPTDB_OBS_JSON_H_
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "util/macros.h"
+
+namespace preemptdb::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter() { depth_ = 0; first_[0] = true; }
+  PDB_DISALLOW_COPY_AND_ASSIGN(JsonWriter);
+
+  JsonWriter& BeginObject() { return Open('{'); }
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& BeginArray() { return Open('['); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  // Key for the next value inside an object.
+  JsonWriter& Key(const char* k) {
+    Comma();
+    Escaped(k);
+    out_ += ':';
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& String(const char* s) {
+    Comma();
+    Escaped(s);
+    return *this;
+  }
+  JsonWriter& String(const std::string& s) { return String(s.c_str()); }
+
+  JsonWriter& Uint(uint64_t v) {
+    Comma();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    out_ += buf;
+    return *this;
+  }
+
+  JsonWriter& Int(int64_t v) {
+    Comma();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    out_ += buf;
+    return *this;
+  }
+
+  JsonWriter& Double(double v) {
+    Comma();
+    if (!std::isfinite(v)) {
+      out_ += "null";  // JSON has no NaN/Inf
+      return *this;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out_ += buf;
+    return *this;
+  }
+
+  JsonWriter& Bool(bool v) {
+    Comma();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  static constexpr int kMaxDepth = 16;
+
+  JsonWriter& Open(char c) {
+    Comma();
+    out_ += c;
+    PDB_CHECK(depth_ + 1 < kMaxDepth);
+    first_[++depth_] = true;
+    return *this;
+  }
+
+  JsonWriter& Close(char c) {
+    PDB_CHECK(depth_ > 0);
+    --depth_;
+    out_ += c;
+    return *this;
+  }
+
+  void Comma() {
+    if (pending_key_) {
+      // Value directly follows its key; no comma.
+      pending_key_ = false;
+      return;
+    }
+    if (!first_[depth_]) out_ += ',';
+    first_[depth_] = false;
+  }
+
+  void Escaped(const char* s) {
+    out_ += '"';
+    for (; *s != '\0'; ++s) {
+      unsigned char c = static_cast<unsigned char>(*s);
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        case '\r':
+          out_ += "\\r";
+          break;
+        default:
+          if (c < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += static_cast<char>(c);
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  int depth_;
+  bool pending_key_ = false;
+  bool first_[kMaxDepth];
+};
+
+}  // namespace preemptdb::obs
+
+#endif  // PREEMPTDB_OBS_JSON_H_

@@ -1,0 +1,61 @@
+#include "obs/stats_reporter.h"
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace preemptdb::obs {
+
+StatsReporter::StatsReporter(uint64_t period_ms)
+    : period_ms_(period_ms == 0 ? 100 : period_ms) {}
+
+StatsReporter::~StatsReporter() { Stop(); }
+
+void StatsReporter::Start() {
+  if (thread_.joinable()) return;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] {
+    while (!stop_.load(std::memory_order_acquire)) {
+      SampleOnce();
+      std::this_thread::sleep_for(std::chrono::milliseconds(period_ms_));
+    }
+  });
+}
+
+void StatsReporter::Stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_release);
+  thread_.join();
+}
+
+void StatsReporter::SampleOnce() {
+  SampleGauges([this](const std::string& name, double v) {
+    std::lock_guard<std::mutex> g(mu_);
+    for (Agg& a : aggs_) {
+      if (a.name == name) {
+        a.last = v;
+        if (v < a.min) a.min = v;
+        if (v > a.max) a.max = v;
+        a.sum += v;
+        ++a.n;
+        return;
+      }
+    }
+    aggs_.push_back(Agg{name, v, v, v, v, 1});
+  });
+  samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void StatsReporter::AppendTo(MetricsSnapshot& snap,
+                             const std::string& prefix) const {
+  std::lock_guard<std::mutex> g(mu_);
+  for (const Agg& a : aggs_) {
+    snap.AddGauge(prefix + a.name + ".last", a.last);
+    snap.AddGauge(prefix + a.name + ".min", a.min);
+    snap.AddGauge(prefix + a.name + ".max", a.max);
+    snap.AddGauge(prefix + a.name + ".mean",
+                  a.n > 0 ? a.sum / static_cast<double>(a.n) : 0.0);
+  }
+}
+
+}  // namespace preemptdb::obs

@@ -1,0 +1,57 @@
+// Periodic sampler for registered gauges (queue depths, residency) and
+// counters. Runs its own low-frequency thread; keeps last/min/max/mean per
+// gauge so a MetricsSnapshot taken at the end of a run can report how deep
+// the HP queues actually got, not just where they ended.
+#ifndef PREEMPTDB_OBS_STATS_REPORTER_H_
+#define PREEMPTDB_OBS_STATS_REPORTER_H_
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace preemptdb::obs {
+
+class MetricsSnapshot;
+
+class StatsReporter {
+ public:
+  explicit StatsReporter(uint64_t period_ms = 100);
+  ~StatsReporter();
+  PDB_DISALLOW_COPY_AND_ASSIGN(StatsReporter);
+
+  // Starts/stops the sampling thread. Start is idempotent.
+  void Start();
+  void Stop();
+
+  // Takes one sample of every registered gauge immediately (also used by the
+  // background thread).
+  void SampleOnce();
+
+  uint64_t samples() const { return samples_.load(std::memory_order_relaxed); }
+
+  // Adds gauge aggregates ("<prefix><name>.last/.min/.max/.mean") to `snap`.
+  // A prefix keeps keys distinct when one snapshot collects several runs.
+  void AppendTo(MetricsSnapshot& snap, const std::string& prefix = "") const;
+
+ private:
+  struct Agg {
+    std::string name;
+    double last = 0, min = 0, max = 0, sum = 0;
+    uint64_t n = 0;
+  };
+
+  const uint64_t period_ms_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> samples_{0};
+  mutable std::mutex mu_;
+  std::vector<Agg> aggs_;
+};
+
+}  // namespace preemptdb::obs
+
+#endif  // PREEMPTDB_OBS_STATS_REPORTER_H_

@@ -1,0 +1,165 @@
+#include "obs/trace.h"
+
+#include <cstring>
+
+#include <mutex>
+
+namespace preemptdb::obs {
+
+namespace {
+
+// Registry of all rings, append-only. Registration takes a mutex (never on
+// the record path); the record path reads only the thread-local pointer.
+std::mutex g_registry_mu;
+TraceRing* g_rings[kMaxTracks];
+std::atomic<int> g_num_rings{0};
+std::atomic<uint64_t> g_dropped_no_ring{0};
+
+thread_local TraceRing* tls_ring = nullptr;
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<bool> g_trace_enabled{false};
+
+void RecordSlow(EventType type, uint32_t a32, uint64_t a64) {
+  TraceRing* ring = tls_ring;
+  if (PDB_UNLIKELY(ring == nullptr)) {
+    g_dropped_no_ring.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ring->Record(type, a32, a64);
+}
+
+}  // namespace internal
+
+TraceRing::TraceRing(size_t capacity_pow2, uint16_t track, const char* name)
+    : track_(track) {
+  size_t cap = RoundUpPow2(capacity_pow2 < 2 ? 2 : capacity_pow2);
+  mask_ = cap - 1;
+  events_ = new TraceEvent[cap]();
+  std::strncpy(name_, name, sizeof(name_) - 1);
+  name_[sizeof(name_) - 1] = '\0';
+}
+
+TraceRing::~TraceRing() { delete[] events_; }
+
+size_t TraceRing::Snapshot(TraceEvent* out) const {
+  uint64_t total = next_.load(std::memory_order_acquire);
+  size_t cap = mask_ + 1;
+  size_t n = total < cap ? static_cast<size_t>(total) : cap;
+  // Oldest surviving event sits at total - n (mod cap).
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = events_[(total - n + i) & mask_];
+  }
+  return n;
+}
+
+void SetTraceEnabled(bool on) {
+  internal::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+int RegisterThisThread(const char* name, size_t capacity) {
+  if (tls_ring != nullptr) return tls_ring->track();
+  std::lock_guard<std::mutex> g(g_registry_mu);
+  int n = g_num_rings.load(std::memory_order_relaxed);
+  if (n >= kMaxTracks) return -1;
+  auto* ring = new TraceRing(capacity, static_cast<uint16_t>(n), name);
+  g_rings[n] = ring;
+  g_num_rings.store(n + 1, std::memory_order_release);
+  tls_ring = ring;
+  return n;
+}
+
+int CurrentTrack() { return tls_ring != nullptr ? tls_ring->track() : -1; }
+
+int NumRings() { return g_num_rings.load(std::memory_order_acquire); }
+
+const TraceRing* Ring(int i) {
+  return i >= 0 && i < NumRings() ? g_rings[i] : nullptr;
+}
+
+uint64_t DroppedNoRing() {
+  return g_dropped_no_ring.load(std::memory_order_relaxed);
+}
+
+void ResetForTest() {
+  std::lock_guard<std::mutex> g(g_registry_mu);
+  int n = g_num_rings.exchange(0, std::memory_order_acq_rel);
+  for (int i = 0; i < n; ++i) {
+    delete g_rings[i];
+    g_rings[i] = nullptr;
+  }
+  // Note: other threads' tls_ring pointers now dangle; per the header
+  // contract this is only called when no registered thread will record.
+  tls_ring = nullptr;
+  g_dropped_no_ring.store(0, std::memory_order_relaxed);
+}
+
+const char* EventName(EventType t) {
+  switch (t) {
+    case EventType::kUipiSent:
+      return "UipiSent";
+    case EventType::kUipiDelivered:
+      return "UipiDelivered";
+    case EventType::kFiberSwitchOut:
+      return "FiberSwitchOut";
+    case EventType::kFiberSwitchIn:
+      return "FiberSwitchIn";
+    case EventType::kTxnStart:
+      return "TxnStart";
+    case EventType::kTxnCommit:
+      return "TxnCommit";
+    case EventType::kTxnAbort:
+      return "TxnAbort";
+    case EventType::kHpEnqueue:
+      return "HpEnqueue";
+    case EventType::kHpDequeue:
+      return "HpDequeue";
+    case EventType::kHpShed:
+      return "HpShed";
+    case EventType::kYieldHookFired:
+      return "YieldHookFired";
+    case EventType::kGcPass:
+      return "GcPass";
+    case EventType::kLogFlush:
+      return "LogFlush";
+    case EventType::kNumEventTypes:
+      break;
+  }
+  return "?";
+}
+
+const char* EventCategory(EventType t) {
+  switch (t) {
+    case EventType::kUipiSent:
+    case EventType::kUipiDelivered:
+      return "uintr";
+    case EventType::kFiberSwitchOut:
+    case EventType::kFiberSwitchIn:
+      return "fiber";
+    case EventType::kTxnStart:
+    case EventType::kTxnCommit:
+    case EventType::kTxnAbort:
+    case EventType::kHpEnqueue:
+    case EventType::kHpDequeue:
+    case EventType::kHpShed:
+    case EventType::kYieldHookFired:
+      return "sched";
+    case EventType::kGcPass:
+    case EventType::kLogFlush:
+      return "engine";
+    case EventType::kNumEventTypes:
+      break;
+  }
+  return "?";
+}
+
+}  // namespace preemptdb::obs

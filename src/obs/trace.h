@@ -1,0 +1,150 @@
+// Always-available, near-zero-overhead event tracing.
+//
+// Every thread of interest owns a fixed-capacity ring buffer of typed trace
+// events with monotonic nanosecond timestamps. Recording is async-signal-safe
+// — no allocation, no locks, relaxed atomics only — because events are
+// emitted from inside the SIGURG preemption handler and from the preemptive
+// fiber context (see src/uintr/uintr.cc). Rings are registered explicitly at
+// thread start (registration allocates; recording never does) and merged by
+// the exporter (obs/trace_export.h) into Chrome trace_event JSON.
+//
+// Cost model: with tracing compiled in but disabled, every instrumentation
+// site is one relaxed load plus one predicted branch (see
+// bench/micro_context_switch.cc for the measured delta). Enabled, a record
+// is a clock read plus a handful of relaxed stores into the caller's ring.
+#ifndef PREEMPTDB_OBS_TRACE_H_
+#define PREEMPTDB_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/clock.h"
+#include "util/macros.h"
+
+namespace preemptdb::obs {
+
+// Typed trace events. Keep in sync with EventName()/EventCategory().
+enum class EventType : uint16_t {
+  kUipiSent = 0,       // sender side; a32 = target track id
+  kUipiDelivered,      // receiver side, recorded inside the signal handler
+  kFiberSwitchOut,     // a32 = target context id (0 = main, 1 = preempt)
+  kFiberSwitchIn,      // a32 = resumed context id
+  kTxnStart,           // a32 = request type
+  kTxnCommit,          // a32 = request type; a64 = latency ns (gen -> done)
+  kTxnAbort,           // a32 = request type
+  kHpEnqueue,          // scheduler track; a32 = target track id
+  kHpDequeue,          // worker track; a32 = 1 when popped by preempt context
+  kHpShed,             // scheduler track; a64 = requests shed at the deadline
+  kYieldHookFired,     // cooperative yield point reached
+  kGcPass,             // a64 = versions freed
+  kLogFlush,           // a64 = bytes sealed
+  kNumEventTypes,
+};
+
+inline constexpr uint16_t kNumEventTypes =
+    static_cast<uint16_t>(EventType::kNumEventTypes);
+
+const char* EventName(EventType t);
+// Subsystem tag used as the Chrome trace "cat" field: "uintr", "fiber",
+// "sched", or "engine".
+const char* EventCategory(EventType t);
+
+// 24-byte POD record; the ring is an array of these.
+struct TraceEvent {
+  uint64_t ts_ns;
+  uint64_t a64;
+  uint32_t a32;
+  uint16_t type;
+  uint16_t track;
+};
+
+inline constexpr int kMaxTracks = 256;
+inline constexpr size_t kDefaultRingCapacity = 1 << 15;  // events per thread
+
+// Per-thread ring. The owning thread (including its signal handler) is the
+// only writer; the claim counter is an atomic RMW so a handler interrupting
+// Record() mid-write claims a different slot instead of tearing the same
+// one. Readers (the exporter) run after writers quiesce.
+class TraceRing {
+ public:
+  TraceRing(size_t capacity_pow2, uint16_t track, const char* name);
+  ~TraceRing();
+  PDB_DISALLOW_COPY_AND_ASSIGN(TraceRing);
+
+  void Record(EventType type, uint32_t a32, uint64_t a64) {
+    uint64_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+    TraceEvent& e = events_[idx & mask_];
+    e.ts_ns = MonoNanos();
+    e.a64 = a64;
+    e.a32 = a32;
+    e.type = static_cast<uint16_t>(type);
+    e.track = track_;
+  }
+
+  uint16_t track() const { return track_; }
+  const char* name() const { return name_; }
+  size_t capacity() const { return mask_ + 1; }
+  // Total events ever recorded (>= capacity means the ring wrapped and the
+  // oldest recorded - capacity events were overwritten).
+  uint64_t recorded() const { return next_.load(std::memory_order_acquire); }
+
+  // Copies the surviving events, oldest first, into `out` (size >= capacity).
+  // Caller must ensure the writer has quiesced. Returns the number copied.
+  size_t Snapshot(TraceEvent* out) const;
+
+ private:
+  TraceEvent* events_;
+  size_t mask_;
+  std::atomic<uint64_t> next_{0};
+  uint16_t track_;
+  char name_[32];
+};
+
+// --- Global enable flag ---
+
+namespace internal {
+extern std::atomic<bool> g_trace_enabled;
+// Out-of-line record path; resolves the calling thread's ring (drops the
+// event, counting it, when the thread never registered one).
+void RecordSlow(EventType type, uint32_t a32, uint64_t a64);
+}  // namespace internal
+
+inline bool TraceEnabled() {
+  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+void SetTraceEnabled(bool on);
+
+// The single instrumentation entry point. Disabled cost: one relaxed load
+// and one predicted branch.
+inline void Trace(EventType type, uint32_t a32 = 0, uint64_t a64 = 0) {
+  if (PDB_LIKELY(!TraceEnabled())) return;
+  internal::RecordSlow(type, a32, a64);
+}
+
+// --- Per-thread ring registry ---
+
+// Creates (allocates) a ring for the calling thread and registers it for
+// export under `name` ("worker-3", "scheduler", ...). Returns the assigned
+// track id, or -1 when the track table is full (recording then drops).
+// Idempotent per thread: re-registering returns the existing track.
+int RegisterThisThread(const char* name, size_t capacity = kDefaultRingCapacity);
+
+// Track id of the calling thread's ring, or -1.
+int CurrentTrack();
+
+// Number of registered rings / ring by index (exporter side). Rings are
+// never freed while the process traces; ResetForTest tears all down.
+int NumRings();
+const TraceRing* Ring(int i);
+
+// Events recorded by threads that never registered a ring.
+uint64_t DroppedNoRing();
+
+// Test hook: frees every ring and detaches all threads' pointers is
+// impossible portably, so this only resets the registry for freshly started
+// threads. Only call when no registered thread is alive or will record.
+void ResetForTest();
+
+}  // namespace preemptdb::obs
+
+#endif  // PREEMPTDB_OBS_TRACE_H_

@@ -1,0 +1,188 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/json.h"
+
+namespace preemptdb::obs {
+
+TraceExporter::TraceExporter() {
+  int n = NumRings();
+  std::vector<TraceEvent> scratch;
+  for (int i = 0; i < n; ++i) {
+    const TraceRing* ring = Ring(i);
+    if (ring == nullptr) continue;
+    scratch.resize(ring->capacity());
+    size_t got = ring->Snapshot(scratch.data());
+    events_.insert(events_.end(), scratch.begin(), scratch.begin() + got);
+  }
+  // Stable sort keeps each ring's (already chronological) relative order for
+  // equal timestamps, so per-track begin/end nesting survives the merge.
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+}
+
+namespace {
+
+// Emits one Chrome trace_event object. `ph` is the Chrome phase ("B", "E",
+// "i", "M"). Timestamps are microseconds relative to the trace start.
+void EmitEvent(JsonWriter& w, const char* name, const char* cat, const char* ph,
+               uint16_t tid, double ts_us, const TraceEvent* args) {
+  w.BeginObject();
+  w.Key("name").String(name);
+  w.Key("cat").String(cat);
+  w.Key("ph").String(ph);
+  w.Key("pid").Uint(0);
+  w.Key("tid").Uint(tid);
+  w.Key("ts").Double(ts_us);
+  if (ph[0] == 'i') w.Key("s").String("t");  // instant scope: thread
+  if (args != nullptr) {
+    w.Key("args").BeginObject();
+    w.Key("a32").Uint(args->a32);
+    w.Key("a64").Uint(args->a64);
+    w.EndObject();
+  }
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string TraceExporter::ChromeTraceJson() const {
+  uint64_t base_ns = events_.empty() ? 0 : events_.front().ts_ns;
+  auto rel_us = [base_ns](uint64_t ts_ns) {
+    return static_cast<double>(ts_ns - base_ns) / 1000.0;
+  };
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").String("ns");
+  w.Key("traceEvents").BeginArray();
+
+  // Track metadata: name every thread's track.
+  w.BeginObject();
+  w.Key("name").String("process_name");
+  w.Key("ph").String("M");
+  w.Key("pid").Uint(0);
+  w.Key("args").BeginObject().Key("name").String("preemptdb").EndObject();
+  w.EndObject();
+  int n = NumRings();
+  for (int i = 0; i < n; ++i) {
+    const TraceRing* ring = Ring(i);
+    if (ring == nullptr) continue;
+    w.BeginObject();
+    w.Key("name").String("thread_name");
+    w.Key("ph").String("M");
+    w.Key("pid").Uint(0);
+    w.Key("tid").Uint(ring->track());
+    w.Key("args").BeginObject().Key("name").String(ring->name()).EndObject();
+    w.EndObject();
+  }
+
+  // Per-track open-slice depth so commit/abort events whose TxnStart was
+  // overwritten by ring wraparound degrade to instants instead of producing
+  // unbalanced E events.
+  int open_txns[kMaxTracks] = {};
+  uint64_t last_ts_ns = base_ns;
+  char namebuf[48];
+
+  for (const TraceEvent& e : events_) {
+    auto type = static_cast<EventType>(e.type);
+    const char* cat = EventCategory(type);
+    double ts = rel_us(e.ts_ns);
+    last_ts_ns = e.ts_ns;
+    switch (type) {
+      case EventType::kTxnStart:
+        std::snprintf(namebuf, sizeof(namebuf), "txn#%u", e.a32);
+        EmitEvent(w, namebuf, cat, "B", e.track, ts, &e);
+        if (e.track < kMaxTracks) ++open_txns[e.track];
+        break;
+      case EventType::kTxnCommit:
+      case EventType::kTxnAbort:
+        if (e.track < kMaxTracks && open_txns[e.track] > 0) {
+          --open_txns[e.track];
+          std::snprintf(namebuf, sizeof(namebuf), "txn#%u", e.a32);
+          EmitEvent(w, namebuf, cat, "E", e.track, ts, &e);
+        } else {
+          EmitEvent(w, EventName(type), cat, "i", e.track, ts, &e);
+        }
+        break;
+      default:
+        EmitEvent(w, EventName(type), cat, "i", e.track, ts, &e);
+        break;
+    }
+  }
+
+  // Close slices left open (worker stopped mid-transaction, or the matching
+  // commit fell off the ring).
+  double end_ts = rel_us(last_ts_ns);
+  for (int t = 0; t < kMaxTracks; ++t) {
+    while (open_txns[t] > 0) {
+      --open_txns[t];
+      EmitEvent(w, "txn#?", "sched", "E", static_cast<uint16_t>(t), end_ts,
+                nullptr);
+    }
+  }
+
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+bool TraceExporter::WriteChromeTrace(const std::string& path,
+                                     std::string* err) const {
+  std::string json = ChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    if (err != nullptr) *err = "cannot open " + path;
+    return false;
+  }
+  size_t wrote = std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  if (wrote != json.size()) {
+    if (err != nullptr) *err = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+size_t TraceExporter::DeriveUipiLatency(LatencyHistogram* out) const {
+  // last_sent[t] = timestamp of the most recent still-unmatched UipiSent
+  // targeting track t (0 = none pending).
+  uint64_t last_sent[kMaxTracks] = {};
+  size_t pairs = 0;
+  for (const TraceEvent& e : events_) {
+    auto type = static_cast<EventType>(e.type);
+    if (type == EventType::kUipiSent) {
+      if (e.a32 < kMaxTracks) last_sent[e.a32] = e.ts_ns;
+    } else if (type == EventType::kUipiDelivered) {
+      if (e.track < kMaxTracks && last_sent[e.track] != 0 &&
+          e.ts_ns >= last_sent[e.track]) {
+        out->RecordNanos(e.ts_ns - last_sent[e.track]);
+        last_sent[e.track] = 0;
+        ++pairs;
+      }
+    }
+  }
+  return pairs;
+}
+
+int TraceExporter::NumCategoriesPresent() const {
+  bool seen[4] = {};
+  const char* cats[4] = {"uintr", "fiber", "sched", "engine"};
+  for (const TraceEvent& e : events_) {
+    const char* c = EventCategory(static_cast<EventType>(e.type));
+    for (int i = 0; i < 4; ++i) {
+      if (std::strcmp(c, cats[i]) == 0) seen[i] = true;
+    }
+  }
+  int n = 0;
+  for (bool b : seen) n += b ? 1 : 0;
+  return n;
+}
+
+}  // namespace preemptdb::obs

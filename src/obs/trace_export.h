@@ -1,0 +1,51 @@
+// Trace export: merges the per-thread trace rings by timestamp and writes
+// Chrome trace_event JSON (the format Perfetto / chrome://tracing load).
+// One track per registered thread (worker-N, scheduler, gc, ...); txn
+// start/commit pairs become nested duration slices, everything else becomes
+// instant events. Also derives analysis histograms (uipi send -> delivery
+// latency, per-txn preemption cost) directly from the merged event stream —
+// the per-event view of the paper's Fig. 8.
+#ifndef PREEMPTDB_OBS_TRACE_EXPORT_H_
+#define PREEMPTDB_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/histogram.h"
+
+namespace preemptdb::obs {
+
+class TraceExporter {
+ public:
+  // Snapshots every registered ring. Writers should be quiesced (workers
+  // stopped) or the tail of the trace may be incomplete.
+  TraceExporter();
+
+  // All surviving events merged by timestamp (stable: per-ring order kept).
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  // Writes Chrome trace_event JSON to `path`. Returns false and fills `err`
+  // on failure.
+  bool WriteChromeTrace(const std::string& path,
+                        std::string* err = nullptr) const;
+  // Same, to a string (tests).
+  std::string ChromeTraceJson() const;
+
+  // Derived histogram: for every UipiDelivered on track T, the time since
+  // the latest unmatched UipiSent targeting T (signal coalescing folds
+  // multiple sends into one delivery; pairing with the latest send matches
+  // the semantics of a re-sent, still-pending interrupt). Records into `out`.
+  // Returns the number of pairs recorded.
+  size_t DeriveUipiLatency(LatencyHistogram* out) const;
+
+  // Number of distinct event categories present (trace health check).
+  int NumCategoriesPresent() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace preemptdb::obs
+
+#endif  // PREEMPTDB_OBS_TRACE_EXPORT_H_

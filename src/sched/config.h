@@ -61,6 +61,12 @@ struct SchedulerConfig {
   // mechanisms" baseline of Fig. 8). Cooperative and Preempt require it.
   bool register_receivers = true;
 
+  // Period of the background gauge sampler (obs::StatsReporter) that records
+  // queue-depth aggregates for --metrics-json output. 0 disables the
+  // sampling thread; gauges stay registered and can still be read at
+  // snapshot time.
+  uint64_t stats_period_ms = 0;
+
   size_t EffectiveHpBatch() const {
     return hp_batch_size != 0
                ? hp_batch_size

@@ -4,14 +4,19 @@
 #include <sched.h>
 
 #include <chrono>
+#include <string>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/clock.h"
 
 namespace preemptdb::sched {
 
 Scheduler::Scheduler(const SchedulerConfig& config, Workload workload)
-    : config_(config), workload_(std::move(workload)) {
+    : config_(config),
+      workload_(std::move(workload)),
+      stats_reporter_(config.stats_period_ms) {
   PDB_CHECK(workload_.execute != nullptr);
   PDB_CHECK(config_.num_workers >= 1);
   for (int i = 0; i < config_.num_workers; ++i) {
@@ -27,12 +32,29 @@ void Scheduler::Start() {
   for (auto& w : workers_) {
     while (!w->Ready()) sched_yield();
   }
+  for (auto& w : workers_) {
+    Worker* wp = w.get();
+    std::string prefix = "worker" + std::to_string(wp->id());
+    gauge_ids_.push_back(obs::RegisterGauge(
+        prefix + ".hp_depth",
+        [wp] { return static_cast<double>(wp->HpDepth()); }));
+    gauge_ids_.push_back(obs::RegisterGauge(
+        prefix + ".lp_depth",
+        [wp] { return static_cast<double>(wp->LpDepth()); }));
+    gauge_ids_.push_back(obs::RegisterGauge(
+        prefix + ".starvation",
+        [wp] { return wp->StarvationLevel(); }));
+  }
+  if (config_.stats_period_ms > 0) stats_reporter_.Start();
   sched_thread_ = std::thread([this] { SchedulingLoop(); });
 }
 
 void Scheduler::Stop() {
   if (stop_.exchange(true)) return;
   if (sched_thread_.joinable()) sched_thread_.join();
+  stats_reporter_.Stop();
+  for (int id : gauge_ids_) obs::UnregisterGauge(id);
+  gauge_ids_.clear();
   for (auto& w : workers_) w->RequestStop();
   for (auto& w : workers_) w->Join();
 }
@@ -57,6 +79,8 @@ size_t Scheduler::PlaceHighPriorityBatch(std::vector<Request>& batch,
       if (w.StarvationLevel() >= config_.starvation_threshold) continue;
       size_t pushed = 0;
       while (next < batch.size() && w.hp_queue().TryPush(batch[next])) {
+        obs::Trace(obs::EventType::kHpEnqueue,
+                   static_cast<uint32_t>(w.obs_track()));
         ++next;
         ++pushed;
         ++placed;
@@ -69,8 +93,14 @@ size_t Scheduler::PlaceHighPriorityBatch(std::vector<Request>& batch,
         if (pushed > 0) progress = true;
         if (preempt) {
           uintr::Receiver* r = w.receiver();
-          if (r != nullptr && uintr::SendUipi(r)) {
-            uipis_sent_.fetch_add(1, std::memory_order_relaxed);
+          if (r != nullptr) {
+            // Record before the send so the receiver's UipiDelivered always
+            // timestamps after it (the exporter pairs the two by track).
+            obs::Trace(obs::EventType::kUipiSent,
+                       static_cast<uint32_t>(w.obs_track()));
+            if (uintr::SendUipi(r)) {
+              uipis_sent_.fetch_add(1, std::memory_order_relaxed);
+            }
           }
         }
       }
@@ -96,6 +126,7 @@ void Scheduler::SchedulingLoop() {
   // to normal priority without it.
   sched_param rt{.sched_priority = 10};
   (void)pthread_setschedparam(pthread_self(), SCHED_RR, &rt);
+  if (obs::TraceEnabled()) obs::RegisterThisThread("scheduler");
 
   const uint64_t interval_ns = config_.arrival_interval_us * 1000;
   uint64_t next_tick = MonoNanos();
@@ -141,6 +172,9 @@ void Scheduler::SchedulingLoop() {
       size_t placed = PlaceHighPriorityBatch(batch, next_tick);
       hp_admitted_.fetch_add(placed, std::memory_order_relaxed);
       hp_dropped_.fetch_add(batch.size() - placed, std::memory_order_relaxed);
+      if (placed < batch.size()) {
+        obs::Trace(obs::EventType::kHpShed, 0, batch.size() - placed);
+      }
       if (workload_.on_shed) {
         for (size_t i = placed; i < batch.size(); ++i) {
           workload_.on_shed(batch[i]);
@@ -154,8 +188,12 @@ void Scheduler::SchedulingLoop() {
         config_.policy == Policy::kPreempt) {
       for (auto& w : workers_) {
         uintr::Receiver* r = w->receiver();
-        if (r != nullptr && uintr::SendUipi(r)) {
-          uipis_sent_.fetch_add(1, std::memory_order_relaxed);
+        if (r != nullptr) {
+          obs::Trace(obs::EventType::kUipiSent,
+                     static_cast<uint32_t>(w->obs_track()));
+          if (uintr::SendUipi(r)) {
+            uipis_sent_.fetch_add(1, std::memory_order_relaxed);
+          }
         }
       }
     }

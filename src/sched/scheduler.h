@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/stats_reporter.h"
 #include "sched/config.h"
 #include "sched/request.h"
 #include "sched/worker.h"
@@ -65,6 +66,10 @@ class Scheduler {
     return hp_admitted_.load(std::memory_order_relaxed);
   }
 
+  // Queue-depth aggregates sampled while running (started by Start() when
+  // config.stats_period_ms > 0). Valid for AppendTo() after Stop().
+  const obs::StatsReporter& stats_reporter() const { return stats_reporter_; }
+
  private:
   void SchedulingLoop();
   // Attempts to place `batch` into HP queues round-robin until placed or
@@ -82,6 +87,8 @@ class Scheduler {
   std::atomic<uint64_t> hp_dropped_{0};
   std::atomic<uint64_t> hp_admitted_{0};
   size_t rr_next_ = 0;
+  obs::StatsReporter stats_reporter_;
+  std::vector<int> gauge_ids_;
 };
 
 }  // namespace preemptdb::sched

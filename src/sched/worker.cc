@@ -3,9 +3,11 @@
 #include <sched.h>
 
 #include <chrono>
+#include <cstdio>
 #include <thread>
 
 #include "engine/hooks.h"
+#include "obs/trace.h"
 #include "util/clock.h"
 
 namespace preemptdb::sched {
@@ -49,6 +51,14 @@ void Worker::YieldHookThunk() {
 
 void Worker::ThreadBody() {
   tls_worker = this;
+  // Ring registration allocates, so only threads started while tracing is
+  // enabled get one; everyone else records nothing (counted drops).
+  if (obs::TraceEnabled()) {
+    char trace_name[32];
+    std::snprintf(trace_name, sizeof(trace_name), "worker-%d", id_);
+    obs_track_.store(obs::RegisterThisThread(trace_name),
+                     std::memory_order_release);
+  }
   if (config_.register_receivers) {
     receiver_.store(uintr::RegisterReceiver(&PreemptEntryThunk, this,
                                             uintr::kDefaultFiberStackBytes,
@@ -78,10 +88,16 @@ void Worker::ThreadBody() {
 }
 
 void Worker::RunRequest(const Request& req, bool count_starvation) {
+  obs::Trace(obs::EventType::kTxnStart, req.type);
   uint64_t c0 = count_starvation ? RdtscP() : 0;
   Rc rc = execute_(req, exec_ctx_, id_);
   uint64_t done = MonoNanos();
   metrics_->Record(req.type, req.gen_ns, done, rc);
+  if (IsOk(rc)) {
+    obs::Trace(obs::EventType::kTxnCommit, req.type, done - req.gen_ns);
+  } else {
+    obs::Trace(obs::EventType::kTxnAbort, req.type);
+  }
   if (count_starvation) {
     th_cycles_.fetch_add(RdtscP() - c0, std::memory_order_relaxed);
   }
@@ -122,6 +138,7 @@ void Worker::MainLoop() {
     };
     auto run_hp = [&] {
       idle_polls = 0;
+      obs::Trace(obs::EventType::kHpDequeue, /*popped_by_preempt=*/0);
       RunRequest(req, /*count_starvation=*/false);
       hp_executed_.fetch_add(1, std::memory_order_relaxed);
     };
@@ -178,6 +195,7 @@ void Worker::PreemptLoop() {
       size_t budget = config_.hp_queue_capacity;
       while (budget-- > 0 && !StarvationExceeded() &&
              hp_queue_.TryPop(&req)) {
+        obs::Trace(obs::EventType::kHpDequeue, /*popped_by_preempt=*/1);
         RunRequest(req, /*count_starvation=*/true);
         hp_executed_.fetch_add(1, std::memory_order_relaxed);
         hp_executed_preempt_.fetch_add(1, std::memory_order_relaxed);
@@ -192,6 +210,7 @@ void Worker::YieldHook() {
   // pending high-priority work.
   if (uintr::InPreemptContext()) return;
   if (hp_queue_.Empty()) return;
+  obs::Trace(obs::EventType::kYieldHookFired);
   uintr::SwapToPreempt();
 }
 

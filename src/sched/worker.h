@@ -47,6 +47,15 @@ class Worker {
   // True once the worker thread is up and polling.
   bool Ready() const { return ready_.load(std::memory_order_acquire); }
 
+  // Trace track id of the worker thread's event ring (obs/trace.h); -1 until
+  // the thread has registered. The scheduler stamps this into UipiSent events
+  // so the exporter can pair them with the receiver's UipiDelivered.
+  int obs_track() const { return obs_track_.load(std::memory_order_acquire); }
+
+  // Current queue depths (racy reads; gauge sampling only).
+  size_t LpDepth() const { return lp_queue_.Size(); }
+  size_t HpDepth() const { return hp_queue_.Size(); }
+
   uint64_t lp_executed() const {
     return lp_executed_.load(std::memory_order_relaxed);
   }
@@ -88,6 +97,7 @@ class Worker {
   std::atomic<bool> stop_{false};
   std::atomic<bool> ready_{false};
   std::atomic<uintr::Receiver*> receiver_{nullptr};
+  std::atomic<int> obs_track_{-1};
 
   // Starvation accounting, shared between the two contexts (paper Fig. 7).
   std::atomic<uint64_t> t0_cycles_{0};  // 0 = no LP transaction in progress

@@ -5,6 +5,8 @@
 
 #include <mutex>
 
+#include "obs/trace.h"
+
 namespace preemptdb::uintr {
 
 // Receiver: per-worker-thread preemption state (the two transaction contexts
@@ -45,6 +47,7 @@ std::once_flag g_sigaction_once;
 void SwitchTo(Receiver* r, int target) {
   Tcb* from = r->context(r->current);
   Tcb* to = r->context(target);
+  obs::Trace(obs::EventType::kFiberSwitchOut, static_cast<uint32_t>(target));
   r->in_switch = true;
   r->current = target;
   tls_current_tcb = to;
@@ -52,6 +55,7 @@ void SwitchTo(Receiver* r, int target) {
   // Execution resumes here when some later switch re-enters `from`. The
   // switcher already updated current/tls_current_tcb to describe us.
   r->in_switch = false;
+  obs::Trace(obs::EventType::kFiberSwitchIn, static_cast<uint32_t>(from->id));
 }
 
 // The uintr handler (paper Alg. 1). Runs on the interrupted context's stack;
@@ -61,6 +65,9 @@ void SigurgHandler(int /*signo*/, siginfo_t* /*info*/, void* /*uctx*/) {
   Receiver* r = tls_receiver;
   if (r == nullptr) return;  // stray signal during registration/teardown
   r->stats.received.fetch_add(1, std::memory_order_relaxed);
+  // Signal-safe by design: Trace() is a relaxed load + branch when disabled,
+  // and a lock-free ring write when enabled.
+  obs::Trace(obs::EventType::kUipiDelivered);
 
   // RIP check analog: an active switch is mid-flight; its TCB state is
   // half-saved, so return without touching the stacks (Alg. 1 lines 2-6).

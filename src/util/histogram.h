@@ -44,7 +44,11 @@ class LatencyHistogram {
   double GeoMeanNanos() const;
   double GeoMeanMicros() const { return GeoMeanNanos() / 1000.0; }
 
-  uint64_t MinNanos() const { return min_.load(std::memory_order_relaxed); }
+  // 0 on an empty histogram (the internal sentinel is never exposed).
+  uint64_t MinNanos() const {
+    uint64_t m = min_.load(std::memory_order_relaxed);
+    return m == UINT64_MAX ? 0 : m;
+  }
   uint64_t MaxNanos() const { return max_.load(std::memory_order_relaxed); }
 
   void Reset();

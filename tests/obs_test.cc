@@ -1,0 +1,348 @@
+// Tests for the observability subsystem (src/obs/): trace ring semantics
+// (wraparound, per-thread isolation, signal-handler recording), counter /
+// gauge registry, snapshot JSON shape, and the Chrome-trace exporter.
+#include <gtest/gtest.h>
+#include <signal.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/stats_reporter.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+
+namespace preemptdb::obs {
+namespace {
+
+// Minimal structural JSON validator: tracks brace/bracket nesting with full
+// string/escape awareness. Catches unbalanced structure, naked values, and
+// broken string escaping — the failure modes of a hand-rolled writer.
+bool JsonIsStructurallyValid(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : s) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character inside a string
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        stack.push_back(c);
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  return !in_string && !escaped && stack.empty();
+}
+
+// Every test starts from an empty registry. Rings registered by helper
+// threads of prior tests are dead (the threads joined), so teardown is safe.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetTraceEnabled(false);
+    ResetForTest();
+  }
+  void TearDown() override {
+    SetTraceEnabled(false);
+    ResetForTest();
+  }
+};
+
+TEST_F(ObsTest, DisabledTraceRecordsNothing) {
+  ASSERT_GE(RegisterThisThread("t", 16), 0);
+  SetTraceEnabled(false);
+  Trace(EventType::kTxnStart, 1);
+  const TraceRing* ring = Ring(CurrentTrack());
+  ASSERT_NE(ring, nullptr);
+  EXPECT_EQ(ring->recorded(), 0u);
+}
+
+TEST_F(ObsTest, RecordsTypedEventsWithMonotonicTimestamps) {
+  ASSERT_GE(RegisterThisThread("t", 16), 0);
+  SetTraceEnabled(true);
+  Trace(EventType::kTxnStart, 7, 99);
+  Trace(EventType::kTxnCommit, 7, 1234);
+  const TraceRing* ring = Ring(CurrentTrack());
+  std::vector<TraceEvent> out(ring->capacity());
+  ASSERT_EQ(ring->Snapshot(out.data()), 2u);
+  EXPECT_EQ(out[0].type, static_cast<uint16_t>(EventType::kTxnStart));
+  EXPECT_EQ(out[0].a32, 7u);
+  EXPECT_EQ(out[0].a64, 99u);
+  EXPECT_EQ(out[1].type, static_cast<uint16_t>(EventType::kTxnCommit));
+  EXPECT_GE(out[1].ts_ns, out[0].ts_ns);
+}
+
+TEST_F(ObsTest, RingWrapsKeepingNewestEvents) {
+  ASSERT_GE(RegisterThisThread("t", 8), 0);
+  SetTraceEnabled(true);
+  for (uint32_t i = 0; i < 20; ++i) Trace(EventType::kTxnStart, i);
+  const TraceRing* ring = Ring(CurrentTrack());
+  EXPECT_EQ(ring->capacity(), 8u);
+  EXPECT_EQ(ring->recorded(), 20u);
+  std::vector<TraceEvent> out(ring->capacity());
+  ASSERT_EQ(ring->Snapshot(out.data()), 8u);
+  // Oldest-first: survivors are events 12..19.
+  for (size_t i = 0; i < 8; ++i) EXPECT_EQ(out[i].a32, 12u + i);
+}
+
+TEST_F(ObsTest, UnregisteredThreadDropsAreCounted) {
+  SetTraceEnabled(true);
+  uint64_t before = DroppedNoRing();
+  std::thread([] { Trace(EventType::kGcPass); }).join();
+  EXPECT_EQ(DroppedNoRing(), before + 1);
+}
+
+TEST_F(ObsTest, RegistrationIsIdempotentPerThread) {
+  int t1 = RegisterThisThread("a", 16);
+  int t2 = RegisterThisThread("b", 16);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(NumRings(), 1);
+  EXPECT_STREQ(Ring(t1)->name(), "a");
+}
+
+TEST_F(ObsTest, ConcurrentRecordingAcrossThreads) {
+  SetTraceEnabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      std::string name = "worker-" + std::to_string(t);
+      ASSERT_GE(RegisterThisThread(name.c_str(), 1 << 13), 0);
+      for (int i = 0; i < kPerThread; ++i) {
+        Trace(EventType::kTxnStart, static_cast<uint32_t>(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(NumRings(), kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    EXPECT_EQ(Ring(i)->recorded(), static_cast<uint64_t>(kPerThread));
+  }
+}
+
+// --- Signal-handler-context recording ---
+
+std::atomic<int> g_handler_fires{0};
+
+void TraceFromHandler(int) {
+  // The whole point of the design: recording from a signal handler is safe
+  // (no malloc, no locks; the slot claim is a relaxed fetch_add).
+  Trace(EventType::kUipiDelivered, 0xdead);
+  g_handler_fires.fetch_add(1, std::memory_order_relaxed);
+}
+
+TEST_F(ObsTest, RecordingFromSignalHandlerContext) {
+  ASSERT_GE(RegisterThisThread("sig", 64), 0);
+  SetTraceEnabled(true);
+
+  struct sigaction sa, old;
+  sa.sa_handler = &TraceFromHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ASSERT_EQ(sigaction(SIGUSR2, &sa, &old), 0);
+  for (int i = 0; i < 10; ++i) {
+    Trace(EventType::kTxnStart, static_cast<uint32_t>(i));
+    raise(SIGUSR2);  // handler runs on this thread, interleaved with Trace
+  }
+  sigaction(SIGUSR2, &old, nullptr);
+
+  EXPECT_EQ(g_handler_fires.load(), 10);
+  const TraceRing* ring = Ring(CurrentTrack());
+  EXPECT_EQ(ring->recorded(), 20u);
+  std::vector<TraceEvent> out(ring->capacity());
+  size_t n = ring->Snapshot(out.data());
+  int delivered = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (out[i].type == static_cast<uint16_t>(EventType::kUipiDelivered)) {
+      ++delivered;
+      EXPECT_EQ(out[i].a32, 0xdeadu);
+    }
+  }
+  EXPECT_EQ(delivered, 10);
+}
+
+// --- Counters / gauges / snapshot ---
+
+TEST_F(ObsTest, CounterRegistryAndSnapshotJson) {
+  static Counter c("obs_test.counter");  // registry is append-only
+  c.Add(3);
+  int gid = RegisterGauge("obs_test.gauge", [] { return 1.5; });
+
+  MetricsSnapshot snap;
+  snap.SetMeta("run", "unit");
+  snap.CaptureRegistry();
+  LatencyHistogram h;
+  h.RecordNanos(1000);
+  h.RecordNanos(2000);
+  snap.AddHistogramNanos("lat", h);
+  snap.AddTxnType("neworder", 10, 1, 0, 5.0, h);
+  std::string json = snap.ToJson();
+  UnregisterGauge(gid);
+
+  EXPECT_TRUE(JsonIsStructurallyValid(json)) << json;
+  EXPECT_NE(json.find("\"obs_test.counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.gauge\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"txn_types\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"committed\":10"), std::string::npos);
+}
+
+TEST_F(ObsTest, UnregisteredGaugeStopsBeingSampled) {
+  int gid = RegisterGauge("obs_test.temp", [] { return 7.0; });
+  UnregisterGauge(gid);
+  bool seen = false;
+  SampleGauges([&](const std::string& name, double) {
+    if (name == "obs_test.temp") seen = true;
+  });
+  EXPECT_FALSE(seen);
+}
+
+TEST_F(ObsTest, JsonWriterEscapesStrings) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("k\"ey").String("va\\l\nue\t\x01");
+  w.EndObject();
+  std::string s = w.str();
+  EXPECT_TRUE(JsonIsStructurallyValid(s)) << s;
+  EXPECT_NE(s.find("\\\""), std::string::npos);
+  EXPECT_NE(s.find("\\n"), std::string::npos);
+  EXPECT_NE(s.find("\\u0001"), std::string::npos);
+}
+
+TEST_F(ObsTest, StatsReporterAggregatesGauges) {
+  double value = 1.0;
+  int gid = RegisterGauge("obs_test.depth", [&value] { return value; });
+  StatsReporter rep;
+  rep.SampleOnce();
+  value = 5.0;
+  rep.SampleOnce();
+  value = 3.0;
+  rep.SampleOnce();
+  UnregisterGauge(gid);
+
+  MetricsSnapshot snap;
+  rep.AppendTo(snap);
+  std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"obs_test.depth.last\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.depth.min\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.depth.max\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.depth.mean\":3"), std::string::npos);
+}
+
+// --- Exporter ---
+
+TEST_F(ObsTest, ExporterProducesValidChromeTraceJson) {
+  SetTraceEnabled(true);
+  std::thread([] {
+    ASSERT_GE(RegisterThisThread("worker-0", 64), 0);
+    Trace(EventType::kTxnStart, 3);
+    Trace(EventType::kHpDequeue, 1);
+    Trace(EventType::kTxnCommit, 3, 1500);
+  }).join();
+  std::thread([] {
+    ASSERT_GE(RegisterThisThread("scheduler", 64), 0);
+    Trace(EventType::kUipiSent, 0);
+    Trace(EventType::kHpShed, 0, 2);
+  }).join();
+
+  TraceExporter exp;
+  EXPECT_EQ(exp.events().size(), 5u);
+  std::string json = exp.ChromeTraceJson();
+  EXPECT_TRUE(JsonIsStructurallyValid(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // Track metadata names both threads.
+  EXPECT_NE(json.find("\"worker-0\""), std::string::npos);
+  EXPECT_NE(json.find("\"scheduler\""), std::string::npos);
+  // Txn start/commit become a balanced B/E slice pair.
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"txn#3\""), std::string::npos);
+}
+
+TEST_F(ObsTest, ExporterMergesEventsInTimestampOrder) {
+  SetTraceEnabled(true);
+  std::thread([] {
+    ASSERT_GE(RegisterThisThread("a", 64), 0);
+    Trace(EventType::kTxnStart, 1);
+  }).join();
+  std::thread([] {
+    ASSERT_GE(RegisterThisThread("b", 64), 0);
+    Trace(EventType::kTxnStart, 2);
+  }).join();
+  TraceExporter exp;
+  ASSERT_EQ(exp.events().size(), 2u);
+  EXPECT_LE(exp.events()[0].ts_ns, exp.events()[1].ts_ns);
+  EXPECT_EQ(exp.events()[0].a32, 1u);  // thread a ran (and recorded) first
+}
+
+TEST_F(ObsTest, ExporterClosesUnmatchedCommitAsInstant) {
+  SetTraceEnabled(true);
+  // Commit without a surviving start (e.g. overwritten by wraparound) must
+  // not emit an unbalanced "E" event.
+  ASSERT_GE(RegisterThisThread("w", 64), 0);
+  Trace(EventType::kTxnCommit, 9, 100);
+  TraceExporter exp;
+  std::string json = exp.ChromeTraceJson();
+  EXPECT_TRUE(JsonIsStructurallyValid(json)) << json;
+  EXPECT_EQ(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST_F(ObsTest, DeriveUipiLatencyPairsSendToDelivery) {
+  SetTraceEnabled(true);
+  // Worker registers first so the scheduler can target its track id.
+  std::atomic<int> worker_track{-1};
+  std::atomic<bool> sent{false};
+  std::thread worker([&] {
+    ASSERT_GE(RegisterThisThread("worker-0", 64), 0);
+    worker_track.store(CurrentTrack());
+    while (!sent.load(std::memory_order_acquire)) sched_yield();
+    Trace(EventType::kUipiDelivered);  // after the send, as in the real path
+  });
+  std::thread sched([&] {
+    ASSERT_GE(RegisterThisThread("scheduler", 64), 0);
+    while (worker_track.load() < 0) sched_yield();
+    Trace(EventType::kUipiSent,
+          static_cast<uint32_t>(worker_track.load()));
+    sent.store(true, std::memory_order_release);
+  });
+  worker.join();
+  sched.join();
+
+  TraceExporter exp;
+  LatencyHistogram lat;
+  EXPECT_EQ(exp.DeriveUipiLatency(&lat), 1u);
+  EXPECT_EQ(lat.Count(), 1u);
+  EXPECT_GT(lat.MaxNanos(), 0u);
+}
+
+}  // namespace
+}  // namespace preemptdb::obs

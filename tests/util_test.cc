@@ -25,6 +25,66 @@ TEST(Histogram, EmptyIsZero) {
   EXPECT_EQ(h.GeoMeanNanos(), 0.0);
 }
 
+TEST(Histogram, EmptyExtremePercentilesAreZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.PercentileNanos(0), 0u);
+  EXPECT_EQ(h.PercentileNanos(100), 0u);
+  EXPECT_EQ(h.PercentileNanos(99.9), 0u);
+}
+
+TEST(Histogram, EmptyMinIsZeroNotSentinel) {
+  // Regression: MinNanos used to leak the UINT64_MAX "no sample yet"
+  // sentinel on an empty histogram.
+  LatencyHistogram h;
+  EXPECT_EQ(h.MinNanos(), 0u);
+  EXPECT_EQ(h.MaxNanos(), 0u);
+  h.RecordNanos(42);
+  h.Reset();
+  EXPECT_EQ(h.MinNanos(), 0u);
+}
+
+TEST(Histogram, SingleSampleExtremePercentiles) {
+  LatencyHistogram h;
+  h.RecordNanos(777);
+  // Every percentile of a single-sample distribution is that sample (within
+  // bucket resolution), including the p=0 and p=100 boundaries.
+  EXPECT_NEAR(h.PercentileNanos(0), 777, 16);
+  EXPECT_NEAR(h.PercentileNanos(100), 777, 16);
+}
+
+TEST(Histogram, ZeroValueSampleIsCounted) {
+  LatencyHistogram h;
+  h.RecordNanos(0);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.MinNanos(), 0u);
+  EXPECT_EQ(h.MaxNanos(), 0u);
+  EXPECT_EQ(h.PercentileNanos(50), 0u);
+}
+
+TEST(Histogram, MaxBucketOverflowClampsConsistently) {
+  // Values beyond the last octave all land in (and report from) the final
+  // bucket instead of indexing out of range; Min/Max still report the exact
+  // recorded values.
+  LatencyHistogram h;
+  h.RecordNanos(UINT64_MAX);
+  h.RecordNanos(UINT64_MAX - 1);
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_EQ(h.MaxNanos(), UINT64_MAX);
+  EXPECT_EQ(h.MinNanos(), UINT64_MAX - 1);
+  uint64_t p50 = h.PercentileNanos(50);
+  uint64_t p100 = h.PercentileNanos(100);
+  EXPECT_GT(p50, 0u);
+  EXPECT_EQ(p50, p100);  // both samples share the clamp bucket
+}
+
+TEST(Histogram, MergeEmptyIntoEmptyKeepsZeroes) {
+  LatencyHistogram a, b;
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 0u);
+  EXPECT_EQ(a.MinNanos(), 0u);
+  EXPECT_EQ(a.MaxNanos(), 0u);
+}
+
 TEST(Histogram, SingleSample) {
   LatencyHistogram h;
   h.RecordNanos(1000);
