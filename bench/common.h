@@ -19,6 +19,7 @@
 #include <thread>
 
 #include "engine/engine.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
@@ -149,6 +150,13 @@ class ObsSession {
       }
     }
     if (argc > 0) snap_.SetMeta("bench", argv[0]);
+    // Chaos benchmarking: PDB_FAULT=sigdrop:0.01,... arms injection for the
+    // whole run (see src/fault/fault.h for the grammar). Recorded in the
+    // snapshot meta so fault runs are never mistaken for clean baselines.
+    fault::ConfigureFromEnv();
+    if (const char* spec = std::getenv("PDB_FAULT"); spec != nullptr) {
+      snap_.SetMeta("fault_spec", spec);
+    }
     if (tracing()) {
       obs::SetTraceEnabled(true);
       obs::RegisterThisThread("bench-main");

@@ -14,11 +14,20 @@
 #include <cstdlib>
 #include <new>
 
+#include "fault/fault.h"
 #include "uintr/uintr.h"
 
 namespace {
 
 void* GuardedAlloc(std::size_t size, std::size_t align) {
+  // Injected allocation failure (fault::kAllocFail): throwing operator new
+  // surfaces it as std::bad_alloc, the nothrow forms return nullptr — the
+  // same two shapes a genuinely exhausted heap produces. ShouldFire itself
+  // never allocates, so there is no recursion hazard here.
+  if (PDB_UNLIKELY(preemptdb::fault::ShouldFire(
+          preemptdb::fault::Point::kAllocFail))) {
+    return nullptr;
+  }
   preemptdb::uintr::NonPreemptibleEnter();
   void* p = align > alignof(std::max_align_t)
                 ? std::aligned_alloc(align, (size + align - 1) / align * align)

@@ -2,16 +2,58 @@
 
 #include <sched.h>
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "util/clock.h"
+
 namespace preemptdb {
 
-// Heap-allocated submission: owned by the queue until a worker runs it.
+namespace {
+
+obs::Counter g_retry_attempts("db.retry_attempts");
+obs::Counter g_retry_success("db.retry_success");
+obs::Counter g_retries_exhausted("db.retries_exhausted");
+obs::Counter g_txn_timeouts("db.txn_timeout");
+obs::Counter g_submit_queue_full("db.submit_queue_full");
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 2;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+uint64_t SplitMix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* SubmitResultString(SubmitResult r) {
+  switch (r) {
+    case SubmitResult::kAccepted:
+      return "accepted";
+    case SubmitResult::kQueueFull:
+      return "queue_full";
+    case SubmitResult::kStopped:
+      return "stopped";
+  }
+  return "?";
+}
+
+// Heap-allocated submission: owned by the queue until a worker runs it (or
+// the scheduler expires it).
 struct DB::Closure {
   TxnFn fn;
   std::atomic<Rc>* rc_out = nullptr;       // non-null for SubmitAndWait
   std::atomic<bool>* done_flag = nullptr;  // set after rc_out
+  uint64_t deadline_ns = 0;                // absolute MonoNanos; 0 = none
+  RetryPolicy retry;
 };
 
 std::unique_ptr<DB> DB::Open(const Options& options) {
@@ -19,8 +61,9 @@ std::unique_ptr<DB> DB::Open(const Options& options) {
 }
 
 DB::DB(const Options& options) {
-  lp_submissions_ = std::make_unique<MpmcQueue<Closure*>>(1 << 12);
-  hp_submissions_ = std::make_unique<MpmcQueue<Closure*>>(1 << 12);
+  size_t cap = RoundUpPow2(options.submit_queue_capacity);
+  lp_submissions_ = std::make_unique<MpmcQueue<Closure*>>(cap);
+  hp_submissions_ = std::make_unique<MpmcQueue<Closure*>>(cap);
   if (options.gc_interval_ms > 0) {
     engine_.StartBackgroundGc(options.gc_interval_ms);
   }
@@ -40,6 +83,12 @@ DB::DB(const Options& options) {
       auto* c = reinterpret_cast<Closure*>(r.params[0]);
       while (!hp_submissions_->TryPush(c)) sched_yield();
     };
+    // Expired requests are dead, not requeued: complete them as kTimeout so
+    // waiters unblock and Drain() still terminates.
+    workload.on_expired = [this](const sched::Request& r) {
+      CompleteWithoutRunning(reinterpret_cast<Closure*>(r.params[0]),
+                             Rc::kTimeout);
+    };
     scheduler_ =
         std::make_unique<sched::Scheduler>(options.scheduler, workload);
     scheduler_->Start();
@@ -47,6 +96,7 @@ DB::DB(const Options& options) {
 }
 
 DB::~DB() {
+  stopping_.store(true, std::memory_order_release);
   if (scheduler_ != nullptr) {
     Drain();
     scheduler_->Stop();
@@ -57,20 +107,84 @@ DB::~DB() {
   while (hp_submissions_->TryPop(&c)) delete c;
 }
 
+void DB::CompleteWithoutRunning(Closure* c, Rc rc) {
+  if (rc == Rc::kTimeout) g_txn_timeouts.Add();
+  if (c->rc_out != nullptr) {
+    c->rc_out->store(rc, std::memory_order_release);
+  }
+  if (c->done_flag != nullptr) {
+    c->done_flag->store(true, std::memory_order_release);
+  }
+  delete c;
+  completed_.fetch_add(1, std::memory_order_release);
+}
+
 bool DB::PopSubmission(sched::Priority priority, sched::Request* out) {
   auto& q = priority == sched::Priority::kHigh ? *hp_submissions_
                                                : *lp_submissions_;
   Closure* c;
-  if (!q.TryPop(&c)) return false;
-  out->type = 0;
-  out->params[0] = reinterpret_cast<uint64_t>(c);
-  return true;
+  while (q.TryPop(&c)) {
+    // Dequeue-side expiry: work that died waiting in the submission queue
+    // never reaches a worker.
+    if (c->deadline_ns != 0 && MonoNanos() >= c->deadline_ns) {
+      CompleteWithoutRunning(c, Rc::kTimeout);
+      continue;
+    }
+    out->type = 0;
+    out->params[0] = reinterpret_cast<uint64_t>(c);
+    out->deadline_ns = c->deadline_ns;
+    return true;
+  }
+  return false;
+}
+
+Rc DB::RunWithRetry(const TxnFn& fn, const RetryPolicy& retry,
+                    uint64_t jitter_base, uint64_t deadline_ns) {
+  const int attempts = std::max(1, retry.max_attempts);
+  const uint64_t seed =
+      retry.jitter_seed != 0 ? retry.jitter_seed : jitter_base;
+  uint64_t backoff_us = retry.initial_backoff_us;
+  Rc rc = Rc::kError;
+  for (int attempt = 1;; ++attempt) {
+    rc = fn(engine_);
+    if (!IsRetryableAbort(rc)) {
+      if (attempt > 1 && IsOk(rc)) g_retry_success.Add();
+      return rc;
+    }
+    if (attempt >= attempts) break;
+    if (deadline_ns != 0 && MonoNanos() >= deadline_ns) break;
+    g_retry_attempts.Add();
+    if (backoff_us > 0) {
+      // Deterministic jitter in [backoff/2, backoff]: same seed, same
+      // sequence of sleeps — chaos runs stay reproducible.
+      uint64_t half = backoff_us / 2;
+      uint64_t sleep_us =
+          backoff_us - SplitMix(seed ^ static_cast<uint64_t>(attempt)) %
+                           (half + 1);
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+      backoff_us = std::min(backoff_us * 2, retry.max_backoff_us);
+    }
+  }
+  if (attempts > 1) g_retries_exhausted.Add();
+  return rc;
+}
+
+Rc DB::Execute(const TxnFn& fn, const RetryPolicy& retry) {
+  return RunWithRetry(fn, retry, reinterpret_cast<uint64_t>(&fn), 0);
 }
 
 Rc DB::ExecuteThunk(const sched::Request& req, void* ctx, int /*worker_id*/) {
   auto* db = static_cast<DB*>(ctx);
   auto* c = reinterpret_cast<Closure*>(req.params[0]);
-  Rc rc = c->fn(db->engine_);
+  // Last-chance expiry: the deadline may have passed between placement and
+  // this worker picking the request up. Started transactions are never cut
+  // short, so this is the final check.
+  if (req.deadline_ns != 0 && MonoNanos() >= req.deadline_ns) {
+    db->CompleteWithoutRunning(c, Rc::kTimeout);
+    return Rc::kTimeout;
+  }
+  Rc rc = db->RunWithRetry(c->fn, c->retry, reinterpret_cast<uint64_t>(c),
+                           req.deadline_ns);
   if (c->rc_out != nullptr) {
     c->rc_out->store(rc, std::memory_order_release);
   }
@@ -82,32 +196,62 @@ Rc DB::ExecuteThunk(const sched::Request& req, void* ctx, int /*worker_id*/) {
   return rc;
 }
 
-bool DB::Submit(sched::Priority priority, TxnFn fn) {
+SubmitResult DB::Submit(sched::Priority priority, TxnFn fn,
+                        const SubmitOptions& options) {
   PDB_CHECK_MSG(scheduler_ != nullptr, "DB opened without a scheduler");
-  auto* c = new Closure{std::move(fn), nullptr, nullptr};
+  if (stopping_.load(std::memory_order_acquire)) return SubmitResult::kStopped;
+  auto* c = new Closure{std::move(fn), nullptr, nullptr, 0, options.retry};
+  if (options.timeout_us > 0) {
+    c->deadline_ns = MonoNanos() + options.timeout_us * 1000;
+  }
   auto& q = priority == sched::Priority::kHigh ? *hp_submissions_
                                                : *lp_submissions_;
   if (!q.TryPush(c)) {
     delete c;
-    return false;
+    g_submit_queue_full.Add();
+    return SubmitResult::kQueueFull;
   }
   submitted_.fetch_add(1, std::memory_order_release);
-  return true;
+  return SubmitResult::kAccepted;
 }
 
-Rc DB::SubmitAndWait(sched::Priority priority, TxnFn fn) {
+Rc DB::SubmitAndWait(sched::Priority priority, TxnFn fn,
+                     const SubmitOptions& options) {
   PDB_CHECK_MSG(scheduler_ != nullptr, "DB opened without a scheduler");
   std::atomic<Rc> rc{Rc::kError};
   std::atomic<bool> done{false};
-  auto* c = new Closure{std::move(fn), &rc, &done};
+  auto* c = new Closure{std::move(fn), &rc, &done, 0, options.retry};
+  uint64_t deadline_ns = 0;
+  if (options.timeout_us > 0) {
+    deadline_ns = MonoNanos() + options.timeout_us * 1000;
+    c->deadline_ns = deadline_ns;
+  }
   auto& q = priority == sched::Priority::kHigh ? *hp_submissions_
                                                : *lp_submissions_;
-  while (!q.TryPush(c)) sched_yield();
+  while (!q.TryPush(c)) {
+    if (deadline_ns != 0 && MonoNanos() >= deadline_ns) {
+      // Never enqueued: safe to free here; nobody else saw the closure.
+      delete c;
+      g_txn_timeouts.Add();
+      return Rc::kTimeout;
+    }
+    sched_yield();
+  }
   submitted_.fetch_add(1, std::memory_order_release);
+  // Once enqueued, ownership is with the pipeline: the waiter must see
+  // done_flag before touching the stack slots again, even past the deadline
+  // (expiry completes the closure as kTimeout and sets the flag).
   while (!done.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(std::chrono::microseconds(50));
   }
   return rc.load(std::memory_order_acquire);
+}
+
+Rc DB::SubmitAndWaitFor(sched::Priority priority, TxnFn fn,
+                        uint64_t timeout_us) {
+  SubmitOptions options;
+  options.timeout_us = timeout_us;
+  return SubmitAndWait(priority, std::move(fn), options);
 }
 
 void DB::Drain() {

@@ -34,6 +34,40 @@ namespace preemptdb {
 // status (typically the Commit() result).
 using TxnFn = std::function<Rc(engine::Engine&)>;
 
+// Automatic re-execution of transactions that abort for transient reasons
+// (write conflicts, serialization failures — see IsRetryableAbort). The
+// default policy (max_attempts = 1) never retries; opting in re-runs the
+// TxnFn up to max_attempts times total with capped exponential backoff plus
+// deterministic jitter between attempts. Non-retryable outcomes (kNotFound,
+// I/O errors, explicit aborts) return immediately regardless.
+struct RetryPolicy {
+  int max_attempts = 1;             // total attempts, including the first
+  uint64_t initial_backoff_us = 20; // sleep before attempt 2
+  uint64_t max_backoff_us = 2000;   // exponential growth cap
+  uint64_t jitter_seed = 0;         // 0 = derive from the closure address
+};
+
+// Per-submission options.
+struct SubmitOptions {
+  RetryPolicy retry;
+  // Relative deadline: the transaction must *finish* within timeout_us of
+  // submission or it completes as Rc::kTimeout. Expiry is checked before
+  // placement (scheduler), at dequeue, and before execution — a transaction
+  // that already started is never cut short. 0 = no deadline.
+  uint64_t timeout_us = 0;
+};
+
+// Outcome of a Submit() call. Backpressure contract: kQueueFull means the
+// bounded submission queue rejected the closure — nothing was enqueued, the
+// TxnFn was not consumed-and-dropped silently, and the caller decides
+// whether to back off and resubmit, shed load, or escalate. The DB never
+// blocks a Submit() caller; only SubmitAndWait* block (and they apply
+// backpressure by waiting for a free slot). kStopped means the DB is
+// shutting down and no further submissions are accepted.
+enum class SubmitResult : uint8_t { kAccepted, kQueueFull, kStopped };
+
+const char* SubmitResultString(SubmitResult r);
+
 class DB {
  public:
   struct Options {
@@ -44,6 +78,10 @@ class DB {
     // Background version-GC period; 0 disables (collect manually via
     // engine().CollectGarbage()).
     uint64_t gc_interval_ms = 50;
+    // Capacity of each bounded submission queue (per priority). Small
+    // capacities make Submit() return kQueueFull under load — used by tests
+    // to exercise the backpressure path deterministically.
+    size_t submit_queue_capacity = 1 << 12;
   };
 
   static std::unique_ptr<DB> Open(const Options& options);
@@ -59,17 +97,26 @@ class DB {
     return engine_.GetTable(name);
   }
 
-  // Runs `fn` inline on the calling thread.
-  Rc Execute(const TxnFn& fn) { return fn(engine_); }
+  // Runs `fn` inline on the calling thread, re-running retryable aborts per
+  // `retry` (default: no retries).
+  Rc Execute(const TxnFn& fn, const RetryPolicy& retry = {});
 
   // --- Scheduled execution ---
 
-  // Enqueues `fn` with the given priority; returns false if the submission
-  // queue is full. Completion is recorded in metrics().
-  bool Submit(sched::Priority priority, TxnFn fn);
+  // Enqueues `fn` with the given priority. Never blocks; see SubmitResult
+  // for the backpressure contract. Completion is recorded in metrics().
+  SubmitResult Submit(sched::Priority priority, TxnFn fn,
+                      const SubmitOptions& options = {});
 
-  // Submits and blocks until the transaction ran; returns its status.
-  Rc SubmitAndWait(sched::Priority priority, TxnFn fn);
+  // Submits and blocks until the transaction ran (or its deadline expired);
+  // returns its status. Waits for a queue slot rather than rejecting.
+  Rc SubmitAndWait(sched::Priority priority, TxnFn fn,
+                   const SubmitOptions& options = {});
+
+  // SubmitAndWait with a deadline: returns Rc::kTimeout if the transaction
+  // did not finish within timeout_us (it will not run afterwards either —
+  // expired work is shed, never executed).
+  Rc SubmitAndWaitFor(sched::Priority priority, TxnFn fn, uint64_t timeout_us);
 
   // Blocks until all submissions made so far have been executed.
   void Drain();
@@ -83,6 +130,13 @@ class DB {
   explicit DB(const Options& options);
   static Rc ExecuteThunk(const sched::Request& req, void* ctx, int worker_id);
   bool PopSubmission(sched::Priority priority, sched::Request* out);
+  // Completes `c` without running it (deadline expiry): publishes `rc` to
+  // any waiter, counts it as completed, and frees the closure.
+  void CompleteWithoutRunning(Closure* c, Rc rc);
+  // Runs `fn` with retry-on-transient-abort semantics; `deadline_ns` bounds
+  // backoff sleeps (0 = unbounded).
+  Rc RunWithRetry(const TxnFn& fn, const RetryPolicy& retry,
+                  uint64_t jitter_base, uint64_t deadline_ns);
 
   engine::Engine engine_;
   std::unique_ptr<sched::Scheduler> scheduler_;
@@ -90,6 +144,7 @@ class DB {
   std::unique_ptr<MpmcQueue<Closure*>> hp_submissions_;
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};
+  std::atomic<bool> stopping_{false};
 };
 
 }  // namespace preemptdb

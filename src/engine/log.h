@@ -7,20 +7,26 @@
 // low-priority transaction and the preempting high-priority transaction each
 // append to their own buffer, and a context switch transparently swaps them.
 //
-// Durability is simulated: sealed buffers are accounted (bytes, flush count)
-// by the LogManager rather than written to storage, which preserves the CPU
-// path (serialize + buffer management) without adding I/O the paper's
-// memory-resident evaluation also avoids.
+// Durability is simulated by default: sealed buffers are accounted (bytes,
+// flush count) by the LogManager rather than written to storage, which
+// preserves the CPU path (serialize + buffer management) without adding I/O
+// the paper's memory-resident evaluation also avoids. OpenFile() switches the
+// manager to a real append-only log file; the write path then handles short
+// writes and EINTR, surfaces persistent errno as Rc::kIoError (readable via
+// last_errno()), and is a fault::kLogWrite injection point so commit-time
+// I/O failure handling is testable without a faulty disk.
 #ifndef PREEMPTDB_ENGINE_LOG_H_
 #define PREEMPTDB_ENGINE_LOG_H_
 
 #include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <string>
 
 #include "engine/version.h"
 #include "obs/trace.h"
 #include "util/macros.h"
+#include "util/status.h"
 
 namespace preemptdb::engine {
 
@@ -34,12 +40,15 @@ class LogBuffer {
   LogBuffer() = default;
   PDB_DISALLOW_COPY_AND_ASSIGN(LogBuffer);
 
-  // Appends a redo record; seals the buffer to `lm` when full.
-  void Append(LogManager* lm, uint32_t table_id, Oid oid, const void* payload,
-              uint32_t size, bool deleted);
+  // Appends a redo record; seals the buffer to `lm` when full. Returns
+  // kIoError (and drops the record) when the triggered seal fails to write.
+  Rc Append(LogManager* lm, uint32_t table_id, Oid oid, const void* payload,
+            uint32_t size, bool deleted);
 
-  // Seals whatever is buffered to the manager (txn commit boundary).
-  void Seal(LogManager* lm);
+  // Seals whatever is buffered to the manager (txn commit boundary). The
+  // buffer is emptied either way; a failed write is reported as kIoError and
+  // counted in the manager's lost_bytes().
+  Rc Seal(LogManager* lm);
 
   size_t pos() const { return pos_; }
   uint64_t records() const { return records_; }
@@ -61,14 +70,20 @@ struct LogRecordHeader {
 class LogManager {
  public:
   LogManager() = default;
+  ~LogManager();
   PDB_DISALLOW_COPY_AND_ASSIGN(LogManager);
 
-  void Sink(const char* /*data*/, size_t bytes, uint64_t records) {
-    total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
-    total_records_.fetch_add(records, std::memory_order_relaxed);
-    flushes_.fetch_add(1, std::memory_order_relaxed);
-    obs::Trace(obs::EventType::kLogFlush, 0, bytes);
-  }
+  // Switches from simulated durability to a real append-only log file.
+  // Returns false (filling *err) if the file cannot be opened/created.
+  bool OpenFile(const std::string& path, std::string* err = nullptr);
+  void CloseFile();
+  bool file_backed() const { return fd_ >= 0; }
+
+  // Accepts a sealed buffer. Simulated mode always succeeds; file-backed
+  // mode writes through (retrying short writes and EINTR) and returns
+  // kIoError on a persistent failure, with errno in last_errno() and the
+  // dropped payload counted in lost_bytes().
+  Rc Sink(const char* data, size_t bytes, uint64_t records);
 
   uint64_t total_bytes() const {
     return total_bytes_.load(std::memory_order_relaxed);
@@ -77,11 +92,22 @@ class LogManager {
     return total_records_.load(std::memory_order_relaxed);
   }
   uint64_t flushes() const { return flushes_.load(std::memory_order_relaxed); }
+  uint64_t io_errors() const {
+    return io_errors_.load(std::memory_order_relaxed);
+  }
+  uint64_t lost_bytes() const {
+    return lost_bytes_.load(std::memory_order_relaxed);
+  }
+  int last_errno() const { return last_errno_.load(std::memory_order_relaxed); }
 
  private:
   std::atomic<uint64_t> total_bytes_{0};
   std::atomic<uint64_t> total_records_{0};
   std::atomic<uint64_t> flushes_{0};
+  std::atomic<uint64_t> io_errors_{0};
+  std::atomic<uint64_t> lost_bytes_{0};
+  std::atomic<int> last_errno_{0};
+  int fd_ = -1;
 };
 
 }  // namespace preemptdb::engine

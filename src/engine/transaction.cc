@@ -340,13 +340,26 @@ Rc Transaction::Commit() {
     return Rc::kAbortSerialization;
   }
 
+  // Write-ahead ordering: persist the redo records before stamping any
+  // version committed, so a failed log write can still abort cleanly (no
+  // reader has observed the commit yet — the sentinel is still pending).
   LogBuffer& log = tls_log_buffer.Get();
+  Rc log_rc = Rc::kOk;
+  for (const WriteEntry& w : write_set_) {
+    log_rc = log.Append(&engine_->log_manager(), w.table->id(), w.oid,
+                        w.version->Data(), w.version->size,
+                        w.version->deleted);
+    if (PDB_UNLIKELY(!IsOk(log_rc))) break;
+  }
+  if (IsOk(log_rc)) log_rc = log.Seal(&engine_->log_manager());
+  if (PDB_UNLIKELY(!IsOk(log_rc))) {
+    commit_ts_.store(0, std::memory_order_release);
+    AbortLocked();
+    return log_rc;
+  }
   for (const WriteEntry& w : write_set_) {
     w.version->clsn.store(cts, std::memory_order_release);
-    log.Append(&engine_->log_manager(), w.table->id(), w.oid,
-               w.version->Data(), w.version->size, w.version->deleted);
   }
-  log.Seal(&engine_->log_manager());
   // Retire displaced committed predecessors for the garbage collector
   // (iterating the write set in order retires deeper victims first, which
   // GarbageCollector::Collect relies on for equal retire timestamps).

@@ -1,0 +1,242 @@
+#include "fault/fault.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+namespace preemptdb::fault {
+
+namespace {
+
+// Per-point state. `threshold` is probability * 2^32: a draw fires when the
+// low 32 bits of the counter hash fall below it, so probability 1.0 maps to
+// 2^32 and always fires. All fields are plain atomics — the hot path takes
+// no locks and never allocates.
+struct PointState {
+  std::atomic<uint64_t> threshold{0};  // 0 = disarmed
+  std::atomic<uint64_t> param{0};
+  std::atomic<uint64_t> seq{0};    // per-point call index (the draw input)
+  std::atomic<uint64_t> fires{0};
+  std::atomic<uint64_t> evals{0};
+};
+
+PointState g_points[kNumPoints];
+std::atomic<uint64_t> g_seed{0x70bdfau};
+
+// Fire counters surfaced through the metrics registry (snapshot-visible).
+obs::Counter g_fire_counters[kNumPoints] = {
+    obs::Counter("fault.sigdrop"),   obs::Counter("fault.sigdelay"),
+    obs::Counter("fault.logwrite"), obs::Counter("fault.queuefull"),
+    obs::Counter("fault.allocfail"),
+};
+
+uint64_t SplitMix(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+void RecomputeEnabled() {
+  bool any = false;
+  for (auto& p : g_points) {
+    if (p.threshold.load(std::memory_order_relaxed) > 0) any = true;
+  }
+  internal::g_enabled.store(any, std::memory_order_relaxed);
+}
+
+bool ParseErrnoName(const std::string& s, uint64_t* out) {
+  if (s == "eio") *out = EIO;
+  else if (s == "enospc") *out = ENOSPC;
+  else if (s == "eintr") *out = EINTR;
+  else if (s == "short") *out = 0;  // short write, no errno
+  else return false;
+  return true;
+}
+
+// Splits "a:b:c" into up to 3 fields.
+int SplitFields(const std::string& clause, std::string out[3]) {
+  int n = 0;
+  size_t start = 0;
+  while (n < 3) {
+    size_t colon = clause.find(':', start);
+    out[n++] = clause.substr(start, colon - start);
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  return n;
+}
+
+bool ParseProbability(const std::string& s, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0' && *out >= 0.0 && *out <= 1.0;
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<bool> g_enabled{false};
+
+bool ShouldFireSlow(Point p) {
+  PointState& s = g_points[static_cast<int>(p)];
+  uint64_t threshold = s.threshold.load(std::memory_order_relaxed);
+  if (threshold == 0) return false;
+  s.evals.fetch_add(1, std::memory_order_relaxed);
+  uint64_t n = s.seq.fetch_add(1, std::memory_order_relaxed);
+  uint64_t h = SplitMix(n ^ g_seed.load(std::memory_order_relaxed) ^
+                        (static_cast<uint64_t>(p) * 0xd1b54a32d192ed03ull));
+  if ((h & 0xFFFFFFFFull) >= threshold) return false;
+  s.fires.fetch_add(1, std::memory_order_relaxed);
+  g_fire_counters[static_cast<int>(p)].Add();
+  return true;
+}
+
+}  // namespace internal
+
+const char* PointName(Point p) {
+  switch (p) {
+    case Point::kSigDrop:
+      return "sigdrop";
+    case Point::kSigDelay:
+      return "sigdelay";
+    case Point::kLogWrite:
+      return "logwrite";
+    case Point::kQueueFull:
+      return "queuefull";
+    case Point::kAllocFail:
+      return "allocfail";
+    case Point::kNumPoints:
+      break;
+  }
+  return "?";
+}
+
+void Configure(Point p, double probability, uint64_t param) {
+  PDB_CHECK(p < Point::kNumPoints);
+  PointState& s = g_points[static_cast<int>(p)];
+  uint64_t threshold = 0;
+  if (probability > 0.0) {
+    threshold = probability >= 1.0
+                    ? (1ull << 32)
+                    : static_cast<uint64_t>(probability * 4294967296.0);
+    if (threshold == 0) threshold = 1;  // tiny but nonzero probabilities fire
+  }
+  s.param.store(param, std::memory_order_relaxed);
+  s.threshold.store(threshold, std::memory_order_relaxed);
+  RecomputeEnabled();
+}
+
+void Reset() {
+  for (auto& s : g_points) {
+    s.threshold.store(0, std::memory_order_relaxed);
+    s.param.store(0, std::memory_order_relaxed);
+    s.seq.store(0, std::memory_order_relaxed);
+    s.fires.store(0, std::memory_order_relaxed);
+    s.evals.store(0, std::memory_order_relaxed);
+  }
+  RecomputeEnabled();
+}
+
+void SetSeed(uint64_t seed) {
+  g_seed.store(seed, std::memory_order_relaxed);
+  for (auto& s : g_points) {
+    s.seq.store(0, std::memory_order_relaxed);
+    s.fires.store(0, std::memory_order_relaxed);
+    s.evals.store(0, std::memory_order_relaxed);
+  }
+}
+
+bool ConfigureFromSpec(const std::string& spec, std::string* err) {
+  struct Parsed {
+    Point point;
+    double probability;
+    uint64_t param;
+  };
+  Parsed parsed[kNumPoints];
+  int num_parsed = 0;
+  bool seen[kNumPoints] = {};
+
+  auto fail = [err](const std::string& msg) {
+    if (err != nullptr) *err = msg;
+    return false;
+  };
+
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    std::string clause = spec.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    start = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (clause.empty()) return fail("empty clause in fault spec");
+
+    std::string f[3];
+    int nf = SplitFields(clause, f);
+    Parsed p{Point::kNumPoints, 1.0, 0};
+    if (f[0] == "sigdrop" || f[0] == "queuefull" || f[0] == "allocfail") {
+      p.point = f[0] == "sigdrop" ? Point::kSigDrop
+                : f[0] == "queuefull" ? Point::kQueueFull
+                                      : Point::kAllocFail;
+      if (nf > 2) return fail("too many fields in '" + clause + "'");
+      if (nf == 2 && !ParseProbability(f[1], &p.probability)) {
+        return fail("bad probability in '" + clause + "'");
+      }
+    } else if (f[0] == "sigdelay") {
+      p.point = Point::kSigDelay;
+      if (nf < 2) return fail("sigdelay needs a duration, e.g. sigdelay:5us");
+      char* end = nullptr;
+      p.param = std::strtoull(f[1].c_str(), &end, 10);
+      if (end == f[1].c_str() || std::string(end) != "us" || p.param == 0) {
+        return fail("bad duration in '" + clause + "' (want <N>us)");
+      }
+      if (nf == 3 && !ParseProbability(f[2], &p.probability)) {
+        return fail("bad probability in '" + clause + "'");
+      }
+    } else if (f[0] == "logwrite") {
+      p.point = Point::kLogWrite;
+      if (nf < 2 || !ParseErrnoName(f[1], &p.param)) {
+        return fail("logwrite needs eio|enospc|eintr|short in '" + clause +
+                    "'");
+      }
+      if (nf == 3 && !ParseProbability(f[2], &p.probability)) {
+        return fail("bad probability in '" + clause + "'");
+      }
+    } else {
+      return fail("unknown fault point '" + f[0] + "'");
+    }
+    parsed[num_parsed++] = p;
+    PDB_CHECK(num_parsed <= kNumPoints);
+  }
+
+  // Commit only after the whole spec parsed (all-or-nothing).
+  for (int i = 0; i < num_parsed; ++i) {
+    Configure(parsed[i].point, parsed[i].probability, parsed[i].param);
+  }
+  return true;
+}
+
+bool ConfigureFromEnv() {
+  const char* seed = std::getenv("PDB_FAULT_SEED");
+  if (seed != nullptr) SetSeed(std::strtoull(seed, nullptr, 10));
+  const char* spec = std::getenv("PDB_FAULT");
+  if (spec == nullptr || *spec == '\0') return false;
+  std::string err;
+  PDB_CHECK_MSG(ConfigureFromSpec(spec, &err), "bad PDB_FAULT spec");
+  return true;
+}
+
+uint64_t Param(Point p) {
+  return g_points[static_cast<int>(p)].param.load(std::memory_order_relaxed);
+}
+
+uint64_t FireCount(Point p) {
+  return g_points[static_cast<int>(p)].fires.load(std::memory_order_relaxed);
+}
+
+uint64_t EvalCount(Point p) {
+  return g_points[static_cast<int>(p)].evals.load(std::memory_order_relaxed);
+}
+
+}  // namespace preemptdb::fault

@@ -1,0 +1,99 @@
+// Deterministic fault injection for resilience testing.
+//
+// A small registry of named injection points is compiled into the hot paths
+// permanently (uintr::SendUipi, the redo-log write path, high-priority queue
+// placement, the guarded allocator) and costs one relaxed load plus one
+// predicted branch while disabled — the same pattern as obs::Trace. When a
+// point is armed, ShouldFire() draws from a seeded counter-hash sequence, so
+// a given (seed, probability) pair fires at deterministic call indices and a
+// chaos run is exactly reproducible.
+//
+// Configuration is programmatic (Configure / SetSeed) or via a spec string,
+// typically from the PDB_FAULT environment variable:
+//
+//   PDB_FAULT="sigdrop:0.01,sigdelay:5us,logwrite:eio:0.001,queuefull:0.05"
+//
+// Spec grammar (comma-separated clauses):
+//   sigdrop[:P]          drop SendUipi deliveries with probability P (def 1)
+//   sigdelay:<N>us[:P]   delay SendUipi by N microseconds
+//   logwrite:<E>[:P]     fail log writes; E = eio | enospc | eintr | short
+//   queuefull[:P]        treat a worker HP queue as full at placement
+//   allocfail[:P]        make the guarded allocator fail
+//
+// Every point also owns an obs::Counter ("fault.<name>") so injected faults
+// show up in metrics snapshots next to the counters they perturb.
+#ifndef PREEMPTDB_FAULT_FAULT_H_
+#define PREEMPTDB_FAULT_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/macros.h"
+
+namespace preemptdb::fault {
+
+enum class Point : uint8_t {
+  kSigDrop = 0,   // uintr::SendUipi: swallow the send (lost interrupt)
+  kSigDelay,      // uintr::SendUipi: spin param() microseconds before sending
+  kLogWrite,      // engine::LogManager::Sink: fail with errno, or short-write
+  kQueueFull,     // sched placement: pretend the worker's HP queue is full
+  kAllocFail,     // cls GuardedNew: return nullptr from the allocator
+  kNumPoints,
+};
+
+inline constexpr int kNumPoints = static_cast<int>(Point::kNumPoints);
+
+const char* PointName(Point p);
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+// Out-of-line draw: counter-hash against the point's threshold.
+bool ShouldFireSlow(Point p);
+}  // namespace internal
+
+// True when any injection point is armed.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+// The single hot-path entry point. Disabled cost: one relaxed load and one
+// predicted branch. Async-signal-safe and allocation-free in both states
+// (it is reachable from the guarded allocator and fiber contexts).
+inline bool ShouldFire(Point p) {
+  if (PDB_LIKELY(!Enabled())) return false;
+  return internal::ShouldFireSlow(p);
+}
+
+// Arms `p` to fire with `probability` in [0, 1]; `param` carries the
+// point-specific payload (sigdelay: microseconds; logwrite: errno value, or
+// 0 for a short write). probability <= 0 disarms the point.
+void Configure(Point p, double probability, uint64_t param = 0);
+
+// Disarms every point and clears fire/eval counts. Seed is preserved.
+void Reset();
+
+// Reseeds the deterministic draw sequence and restarts every point's call
+// counter. Same seed + same config + same call order => same fires.
+void SetSeed(uint64_t seed);
+
+// Parses the PDB_FAULT spec grammar (see file comment). On error returns
+// false, fills *err, and leaves the registry untouched.
+bool ConfigureFromSpec(const std::string& spec, std::string* err = nullptr);
+
+// Reads PDB_FAULT (and PDB_FAULT_SEED) from the environment; no-op when
+// unset. PDB_CHECK-fails on a malformed spec so typos die loudly at startup.
+// Returns true if a spec was found and applied.
+bool ConfigureFromEnv();
+
+// The armed payload of `p` (0 when disarmed): delay microseconds for
+// kSigDelay, errno for kLogWrite.
+uint64_t Param(Point p);
+
+// Times `p` fired / was evaluated since the last Reset or SetSeed.
+uint64_t FireCount(Point p);
+uint64_t EvalCount(Point p);
+
+}  // namespace preemptdb::fault
+
+#endif  // PREEMPTDB_FAULT_FAULT_H_

@@ -131,6 +131,12 @@ const char* EventName(EventType t) {
       return "GcPass";
     case EventType::kLogFlush:
       return "LogFlush";
+    case EventType::kHpExpired:
+      return "HpExpired";
+    case EventType::kWorkerDemoted:
+      return "WorkerDemoted";
+    case EventType::kWorkerPromoted:
+      return "WorkerPromoted";
     case EventType::kNumEventTypes:
       break;
   }
@@ -152,6 +158,9 @@ const char* EventCategory(EventType t) {
     case EventType::kHpDequeue:
     case EventType::kHpShed:
     case EventType::kYieldHookFired:
+    case EventType::kHpExpired:
+    case EventType::kWorkerDemoted:
+    case EventType::kWorkerPromoted:
       return "sched";
     case EventType::kGcPass:
     case EventType::kLogFlush:

@@ -38,6 +38,9 @@ enum class EventType : uint16_t {
   kYieldHookFired,     // cooperative yield point reached
   kGcPass,             // a64 = versions freed
   kLogFlush,           // a64 = bytes sealed
+  kHpExpired,          // a32 = request type; deadline passed before placement
+  kWorkerDemoted,      // a32 = worker track; preempt -> yield degradation
+  kWorkerPromoted,     // a32 = worker track; recovered to preempt mode
   kNumEventTypes,
 };
 

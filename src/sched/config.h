@@ -53,6 +53,26 @@ struct SchedulerConfig {
   double starvation_threshold = 100.0;  // L_max; >=100 disables
   uintr::PendingMode pending_mode = uintr::PendingMode::kDrop;
 
+  // Graceful degradation (preempt -> yield). When the signal path of a
+  // worker turns flaky — SendUipi failing, or sends going undelivered past
+  // the latency budget — the scheduler demotes that worker to
+  // cooperative-yield placement (it keeps receiving HP work but no
+  // interrupts; the worker's engine-hook yield points drain the queue, so HP
+  // latency degrades to Yield-mode instead of stalling). While demoted the
+  // scheduler keeps probing with a single interrupt every
+  // `probe_interval_ticks` and promotes the worker back once a delivery is
+  // observed again.
+  bool enable_degradation = true;
+  // Demote after this many consecutive failed sends; <= 0 disables
+  // failure-triggered demotion.
+  int demote_failure_threshold = 3;
+  // Demote when sends have gone unacknowledged (receiver's delivery counter
+  // unchanged) for longer than this budget; 0 disables latency-triggered
+  // demotion.
+  uint64_t demote_latency_ns = 50'000'000;  // 50 ms
+  // Scheduling ticks between recovery probes while demoted.
+  uint64_t probe_interval_ticks = 10;
+
   // Fig. 8 overhead mode: periodically interrupt workers although no
   // high-priority requests exist.
   bool send_empty_interrupts = false;

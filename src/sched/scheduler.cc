@@ -7,11 +7,18 @@
 #include <string>
 #include <thread>
 
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/clock.h"
 
 namespace preemptdb::sched {
+
+namespace {
+obs::Counter g_expired_counter("sched.hp_expired");
+obs::Counter g_demoted_counter("sched.worker_demoted");
+obs::Counter g_promoted_counter("sched.worker_promoted");
+}  // namespace
 
 Scheduler::Scheduler(const SchedulerConfig& config, Workload workload)
     : config_(config),
@@ -23,6 +30,7 @@ Scheduler::Scheduler(const SchedulerConfig& config, Workload workload)
     workers_.push_back(std::make_unique<Worker>(
         i, config_, workload_.execute, workload_.exec_ctx, &metrics_));
   }
+  health_.resize(workers_.size());
 }
 
 Scheduler::~Scheduler() { Stop(); }
@@ -59,6 +67,46 @@ void Scheduler::Stop() {
   for (auto& w : workers_) w->Join();
 }
 
+size_t Scheduler::PruneExpired(std::vector<Request>& batch, size_t from,
+                               uint64_t now) {
+  // Compact-in-place removal of dead requests. Expired work is completed by
+  // the frontend (kTimeout), never requeued — spending placement budget or
+  // worker time on it would only delay requests someone still waits for.
+  size_t kept = from;
+  for (size_t i = from; i < batch.size(); ++i) {
+    const Request& r = batch[i];
+    if (r.deadline_ns != 0 && now >= r.deadline_ns) {
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      g_expired_counter.Add();
+      obs::Trace(obs::EventType::kHpExpired, r.type);
+      if (workload_.on_expired) workload_.on_expired(r);
+    } else {
+      if (kept != i) batch[kept] = batch[i];
+      ++kept;
+    }
+  }
+  batch.resize(kept);
+  return kept;
+}
+
+bool Scheduler::SendTracked(Worker& w) {
+  uintr::Receiver* r = w.receiver();
+  if (r == nullptr) return false;
+  // Record before the send so the receiver's UipiDelivered always
+  // timestamps after it (the exporter pairs the two by track).
+  obs::Trace(obs::EventType::kUipiSent, static_cast<uint32_t>(w.obs_track()));
+  WorkerHealth& h = health_[static_cast<size_t>(w.id())];
+  if (uintr::SendUipi(r)) {
+    uipis_sent_.fetch_add(1, std::memory_order_relaxed);
+    h.consecutive_failures = 0;
+    if (h.unacked_sends == 0) h.first_unacked_ns = MonoNanos();
+    ++h.unacked_sends;
+    return true;
+  }
+  ++h.consecutive_failures;
+  return false;
+}
+
 size_t Scheduler::PlaceHighPriorityBatch(std::vector<Request>& batch,
                                          uint64_t deadline_ns) {
   // Round-robin placement (paper §5): pick workers in turn, skip workers
@@ -68,6 +116,7 @@ size_t Scheduler::PlaceHighPriorityBatch(std::vector<Request>& batch,
   size_t placed = 0;
   size_t next = 0;  // batch cursor
   const bool preempt = config_.policy == Policy::kPreempt;
+  PruneExpired(batch, next, MonoNanos());
   while (next < batch.size()) {
     bool progress = false;
     for (size_t i = 0; i < workers_.size() && next < batch.size(); ++i) {
@@ -77,6 +126,12 @@ size_t Scheduler::PlaceHighPriorityBatch(std::vector<Request>& batch,
       // (paper §6.4: "prevents preemptive context to execute prioritized
       // transactions").
       if (w.StarvationLevel() >= config_.starvation_threshold) continue;
+      // Fault injection: treat this worker's queue as full for the round,
+      // exercising the shed/requeue path without needing real overload.
+      if (PDB_UNLIKELY(fault::Enabled()) &&
+          fault::ShouldFire(fault::Point::kQueueFull)) {
+        continue;
+      }
       size_t pushed = 0;
       while (next < batch.size() && w.hp_queue().TryPush(batch[next])) {
         obs::Trace(obs::EventType::kHpEnqueue,
@@ -89,32 +144,84 @@ size_t Scheduler::PlaceHighPriorityBatch(std::vector<Request>& batch,
       // still full gets re-interrupted too — the previous interrupt may have
       // been dropped inside a non-preemptible region (paper §4.4), and the
       // request must still be served "immediately" once the region exits.
+      // Degraded workers get work but no interrupt: their signal path is the
+      // thing that failed, and their boundary checks + yield hooks drain the
+      // queue cooperatively until a probe proves delivery works again.
       if (pushed > 0 || (preempt && !w.hp_queue().Empty())) {
         if (pushed > 0) progress = true;
-        if (preempt) {
-          uintr::Receiver* r = w.receiver();
-          if (r != nullptr) {
-            // Record before the send so the receiver's UipiDelivered always
-            // timestamps after it (the exporter pairs the two by track).
-            obs::Trace(obs::EventType::kUipiSent,
-                       static_cast<uint32_t>(w.obs_track()));
-            if (uintr::SendUipi(r)) {
-              uipis_sent_.fetch_add(1, std::memory_order_relaxed);
-            }
-          }
-        }
+        if (preempt && !w.degraded()) SendTracked(w);
       }
     }
     if (next >= batch.size()) break;
-    if (MonoNanos() >= deadline_ns || stop_.load(std::memory_order_acquire)) {
+    uint64_t now = MonoNanos();
+    if (now >= deadline_ns || stop_.load(std::memory_order_acquire)) {
       break;  // shed the rest (paper: "or the next arrival interval passes")
     }
+    if (PruneExpired(batch, next, now) <= next) continue;
     if (!progress) {
       // Queues full: give the workers the core instead of spinning it away.
       std::this_thread::sleep_for(std::chrono::microseconds(100));
     }
   }
   return placed;
+}
+
+void Scheduler::UpdateWorkerHealth() {
+  // Degradation state machine, run once per tick on the scheduling thread.
+  // Signals: SendUipi failing outright (ESRCH/EAGAIN-exhaustion/injected
+  // drop) counts consecutive failures; successful sends that the receiver
+  // never acknowledges (its delivery counter stalls) count send->delivery
+  // latency. Either exceeding its threshold demotes the worker to
+  // cooperative-yield placement. While demoted, a probe interrupt goes out
+  // every probe_interval_ticks; the receiver's delivery counter advancing
+  // proves the path works again and promotes the worker back.
+  if (!config_.enable_degradation || config_.policy != Policy::kPreempt) {
+    return;
+  }
+  const uint64_t now = MonoNanos();
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    Worker& w = *workers_[i];
+    uintr::Receiver* r = w.receiver();
+    if (r == nullptr) continue;
+    WorkerHealth& h = health_[i];
+    const uint64_t received =
+        uintr::StatsOf(r).received.load(std::memory_order_relaxed);
+    const bool advanced = received != h.last_received;
+    if (advanced) {
+      h.last_received = received;
+      h.unacked_sends = 0;
+      h.first_unacked_ns = 0;
+    }
+    if (!w.degraded()) {
+      const bool failing =
+          h.consecutive_failures >= config_.demote_failure_threshold;
+      const bool stalled = h.unacked_sends > 0 && h.first_unacked_ns != 0 &&
+                           now - h.first_unacked_ns >= config_.demote_latency_ns;
+      if (failing || stalled) {
+        w.SetDegraded(true);
+        demotions_.fetch_add(1, std::memory_order_relaxed);
+        g_demoted_counter.Add();
+        obs::Trace(obs::EventType::kWorkerDemoted,
+                   static_cast<uint32_t>(w.obs_track()));
+        h.consecutive_failures = 0;
+        h.unacked_sends = 0;
+        h.first_unacked_ns = 0;
+        h.ticks_since_probe = 0;
+      }
+    } else if (advanced) {
+      w.SetDegraded(false);
+      promotions_.fetch_add(1, std::memory_order_relaxed);
+      g_promoted_counter.Add();
+      obs::Trace(obs::EventType::kWorkerPromoted,
+                 static_cast<uint32_t>(w.obs_track()));
+      h.consecutive_failures = 0;
+      h.unacked_sends = 0;
+      h.first_unacked_ns = 0;
+    } else if (++h.ticks_since_probe >= config_.probe_interval_ticks) {
+      h.ticks_since_probe = 0;
+      SendTracked(w);
+    }
+  }
 }
 
 void Scheduler::SchedulingLoop() {
@@ -150,6 +257,13 @@ void Scheduler::SchedulingLoop() {
           if (!workload_.gen_low(&r)) break;
           r.priority = Priority::kLow;
           r.gen_ns = MonoNanos();
+          if (r.deadline_ns != 0 && r.gen_ns >= r.deadline_ns) {
+            expired_.fetch_add(1, std::memory_order_relaxed);
+            g_expired_counter.Add();
+            obs::Trace(obs::EventType::kHpExpired, r.type);
+            if (workload_.on_expired) workload_.on_expired(r);
+            continue;
+          }
           if (!w->lp_queue().TryPush(r)) break;
         }
       }
@@ -186,17 +300,10 @@ void Scheduler::SchedulingLoop() {
     // requests were generated.
     if (config_.send_empty_interrupts &&
         config_.policy == Policy::kPreempt) {
-      for (auto& w : workers_) {
-        uintr::Receiver* r = w->receiver();
-        if (r != nullptr) {
-          obs::Trace(obs::EventType::kUipiSent,
-                     static_cast<uint32_t>(w->obs_track()));
-          if (uintr::SendUipi(r)) {
-            uipis_sent_.fetch_add(1, std::memory_order_relaxed);
-          }
-        }
-      }
+      for (auto& w : workers_) SendTracked(*w);
     }
+
+    UpdateWorkerHealth();
   }
 }
 

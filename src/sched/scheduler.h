@@ -38,6 +38,11 @@ class Scheduler {
     // them here; when unset, shed requests are simply counted and dropped
     // (the paper's benchmark behaviour).
     std::function<void(const Request&)> on_shed;
+    // Invoked (on the scheduling thread) for each request whose
+    // deadline_ns passed before it could be placed. Unlike on_shed the
+    // request is dead — frontends complete it with Rc::kTimeout rather than
+    // requeue it. When unset, expired requests are counted and dropped.
+    std::function<void(const Request&)> on_expired;
   };
 
   Scheduler(const SchedulerConfig& config, Workload workload);
@@ -65,27 +70,62 @@ class Scheduler {
   uint64_t hp_admitted() const {
     return hp_admitted_.load(std::memory_order_relaxed);
   }
+  // Requests whose deadline passed before placement (distinct from shed:
+  // expired work is completed as kTimeout, never requeued).
+  uint64_t expired() const { return expired_.load(std::memory_order_relaxed); }
+
+  // Degradation transitions taken so far (see SchedulerConfig degradation
+  // knobs): preempt->yield demotions and yield->preempt promotions.
+  uint64_t demotions() const {
+    return demotions_.load(std::memory_order_relaxed);
+  }
+  uint64_t promotions() const {
+    return promotions_.load(std::memory_order_relaxed);
+  }
+  bool worker_degraded(int i) const { return workers_[i]->degraded(); }
 
   // Queue-depth aggregates sampled while running (started by Start() when
   // config.stats_period_ms > 0). Valid for AppendTo() after Stop().
   const obs::StatsReporter& stats_reporter() const { return stats_reporter_; }
 
  private:
+  // Signal-path health of one worker, maintained on the scheduling thread.
+  // Drives the preempt -> yield -> preempt degradation state machine.
+  struct WorkerHealth {
+    uint64_t last_received = 0;     // receiver delivery count at last check
+    int consecutive_failures = 0;   // SendUipi returned false, in a row
+    uint64_t unacked_sends = 0;     // successful sends since last delivery
+    uint64_t first_unacked_ns = 0;  // when the oldest unacked send happened
+    uint64_t ticks_since_probe = 0; // probe pacing while demoted
+  };
+
   void SchedulingLoop();
   // Attempts to place `batch` into HP queues round-robin until placed or
   // `deadline_ns`; returns the number placed.
   size_t PlaceHighPriorityBatch(std::vector<Request>& batch,
                                 uint64_t deadline_ns);
+  // Completes (via on_expired) and removes batch entries past their
+  // deadline, compacting indices >= `from`; returns the new batch size.
+  size_t PruneExpired(std::vector<Request>& batch, size_t from, uint64_t now);
+  // Sends one interrupt to `w`, recording the outcome in its health state.
+  bool SendTracked(Worker& w);
+  // Per-tick degradation bookkeeping: acknowledge deliveries, demote workers
+  // whose signal path is failing, probe and promote demoted ones.
+  void UpdateWorkerHealth();
 
   SchedulerConfig config_;
   Workload workload_;
   Metrics metrics_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<WorkerHealth> health_;
   std::thread sched_thread_;
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> uipis_sent_{0};
   std::atomic<uint64_t> hp_dropped_{0};
   std::atomic<uint64_t> hp_admitted_{0};
+  std::atomic<uint64_t> expired_{0};
+  std::atomic<uint64_t> demotions_{0};
+  std::atomic<uint64_t> promotions_{0};
   size_t rr_next_ = 0;
   obs::StatsReporter stats_reporter_;
   std::vector<int> gauge_ids_;

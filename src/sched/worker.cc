@@ -77,6 +77,11 @@ void Worker::ThreadBody() {
       engine::hooks::Install(&YieldHookThunk, config_.yield_interval_records,
                              0);
     }
+  } else if (config_.policy == Policy::kPreempt && config_.enable_degradation) {
+    // Degradation fallback: the yield hook stays installed but no-ops until
+    // the scheduler demotes this worker (YieldHook checks degraded_), at
+    // which point it provides the cooperative path HP work falls back to.
+    engine::hooks::Install(&YieldHookThunk, config_.yield_interval_records, 0);
   }
   ready_.store(true, std::memory_order_release);
   MainLoop();
@@ -125,9 +130,14 @@ void Worker::MainLoop() {
   // back to the HP queue only when no LP work exists (path 2, e.g. after a
   // dropped interrupt); preferring HP here would let a constant HP stream
   // keep Q2 from ever *starting*, which no starvation threshold could fix.
-  const bool prefer_hp = config_.policy != Policy::kPreempt;
+  // A degraded preempt worker flips to the cooperative preference at runtime:
+  // with its interrupts undeliverable, boundary checks are the only way HP
+  // work starts promptly.
+  const bool policy_prefers_hp = config_.policy != Policy::kPreempt;
   int idle_polls = 0;
   while (!stop_.load(std::memory_order_acquire)) {
+    const bool prefer_hp =
+        policy_prefers_hp || degraded_.load(std::memory_order_relaxed);
     Request req;
     auto try_hp = [&] {
       // The drain is wrapped in a non-preemptible region so an interrupt
@@ -207,8 +217,13 @@ void Worker::PreemptLoop() {
 
 void Worker::YieldHook() {
   // Cooperative yield point: only meaningful on the main context with
-  // pending high-priority work.
+  // pending high-priority work. Under the preempt policy the hook is armed
+  // only while the scheduler has demoted this worker (degraded signal path).
   if (uintr::InPreemptContext()) return;
+  if (config_.policy == Policy::kPreempt &&
+      !degraded_.load(std::memory_order_relaxed)) {
+    return;
+  }
   if (hp_queue_.Empty()) return;
   obs::Trace(obs::EventType::kYieldHookFired);
   uintr::SwapToPreempt();

@@ -47,6 +47,16 @@ class Worker {
   // True once the worker thread is up and polling.
   bool Ready() const { return ready_.load(std::memory_order_acquire); }
 
+  // Degradation state (set by the scheduling thread, read by both). While
+  // degraded, a preempt-policy worker behaves cooperatively: it prefers the
+  // HP queue at transaction boundaries and its engine-hook yield points
+  // drain HP work mid-transaction, so a broken signal path costs Yield-mode
+  // latency instead of stalling high-priority transactions.
+  bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
+  void SetDegraded(bool on) {
+    degraded_.store(on, std::memory_order_relaxed);
+  }
+
   // Trace track id of the worker thread's event ring (obs/trace.h); -1 until
   // the thread has registered. The scheduler stamps this into UipiSent events
   // so the exporter can pair them with the receiver's UipiDelivered.
@@ -96,6 +106,7 @@ class Worker {
   std::thread thread_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> ready_{false};
+  std::atomic<bool> degraded_{false};
   std::atomic<uintr::Receiver*> receiver_{nullptr};
   std::atomic<int> obs_track_{-1};
 

@@ -1,13 +1,28 @@
 #include "uintr/uintr.h"
 
+#include <errno.h>
+#include <sched.h>
 #include <signal.h>
 #include <string.h>
 
 #include <mutex>
 
+#include "fault/fault.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/clock.h"
 
 namespace preemptdb::uintr {
+
+namespace {
+// Send-path failure accounting (snapshot-visible). A real UINTR senduipi
+// cannot fail, but the pthread_kill substitution can — silently eating those
+// failures would hide exactly the flakiness the scheduler's degradation
+// policy needs to observe.
+obs::Counter g_send_esrch("uintr.send_esrch");          // receiver died
+obs::Counter g_send_eagain("uintr.send_eagain_retries"); // queue-full retries
+obs::Counter g_send_failed("uintr.send_failed");        // gave up entirely
+}  // namespace
 
 // Receiver: per-worker-thread preemption state (the two transaction contexts
 // of Fig. 5 plus delivery flags). All volatile fields are accessed only by
@@ -165,7 +180,38 @@ Tcb* CurrentTcb() {
 bool SendUipi(Receiver* r) {
   PDB_CHECK(r != nullptr);
   if (!r->alive.load(std::memory_order_acquire)) return false;
-  return pthread_kill(r->thread, SIGURG) == 0;
+  if (PDB_UNLIKELY(fault::Enabled())) {
+    // Injected delivery latency: stall the sender, not the receiver — the
+    // paper's send->delivery gap is what the degradation policy watches.
+    if (fault::ShouldFire(fault::Point::kSigDelay)) {
+      uint64_t until =
+          MonoNanos() + fault::Param(fault::Point::kSigDelay) * 1000;
+      while (MonoNanos() < until) CpuPause();
+    }
+    // Injected lost interrupt: the signal evaporates in flight.
+    if (fault::ShouldFire(fault::Point::kSigDrop)) return false;
+  }
+  // pthread_kill can fail where real senduipi cannot: ESRCH means the
+  // receiver thread is gone (mark the handle dead so senders stop trying);
+  // EAGAIN means the kernel's signal queue is exhausted (transient — retry a
+  // bounded number of times before reporting the send lost).
+  constexpr int kMaxEagainRetries = 8;
+  for (int attempt = 0;; ++attempt) {
+    int err = pthread_kill(r->thread, SIGURG);
+    if (PDB_LIKELY(err == 0)) return true;
+    if (err == ESRCH) {
+      r->alive.store(false, std::memory_order_release);
+      g_send_esrch.Add();
+      return false;
+    }
+    if (err == EAGAIN && attempt < kMaxEagainRetries) {
+      g_send_eagain.Add();
+      sched_yield();
+      continue;
+    }
+    g_send_failed.Add();
+    return false;
+  }
 }
 
 void SwapToPreempt() {

@@ -21,12 +21,21 @@ enum class Rc : uint8_t {
   kAbortUser,
   // Internal capacity error (e.g., write-set overflow).
   kError,
+  // A log/storage write failed (surfaced errno lives on the LogManager).
+  kIoError,
+  // The submission's deadline passed before (or while) it could run.
+  kTimeout,
 };
 
 inline bool IsOk(Rc rc) { return rc == Rc::kOk; }
 inline bool IsAbort(Rc rc) {
   return rc == Rc::kAbortWriteConflict || rc == Rc::kAbortSerialization ||
          rc == Rc::kAbortUser;
+}
+// Aborts a retry policy may transparently re-execute: conflicts resolve on
+// re-run, while user aborts, I/O errors, and timeouts do not.
+inline bool IsRetryableAbort(Rc rc) {
+  return rc == Rc::kAbortWriteConflict || rc == Rc::kAbortSerialization;
 }
 
 inline const char* RcString(Rc rc) {
@@ -45,6 +54,10 @@ inline const char* RcString(Rc rc) {
       return "abort_user";
     case Rc::kError:
       return "error";
+    case Rc::kIoError:
+      return "io_error";
+    case Rc::kTimeout:
+      return "timeout";
   }
   return "unknown";
 }

@@ -97,7 +97,8 @@ TEST(DbApi, DrainWaitsForAllSubmissions) {
   auto* t = db->CreateTable("t");
   std::atomic<int> ran{0};
   for (int i = 0; i < 100; ++i) {
-    ASSERT_TRUE(
+    ASSERT_EQ(
+        SubmitResult::kAccepted,
         db->Submit(i % 2 == 0 ? sched::Priority::kHigh : sched::Priority::kLow,
                    [&ran, t, i](engine::Engine& eng) {
                      auto* txn = eng.Begin();
