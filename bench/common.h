@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "engine/engine.h"
 #include "fault/fault.h"
@@ -46,6 +47,57 @@ inline double EnvDouble(const char* name, double def) {
   const char* v = std::getenv(name);
   return v != nullptr ? std::atof(v) : def;
 }
+
+// The one command-line parser shared by every bench driver. GNU-style long
+// flags only: `--name=value` or bare `--name` (value "1"). Each driver used
+// to hand-roll the same argv loop; they now all go through this, so a new
+// flag is one Get* call rather than a 14th copy of the loop.
+class FlagSet {
+ public:
+  FlagSet(int argc, char** argv) {
+    if (argc > 0) program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) != 0) continue;  // benches take no positionals
+      size_t eq = a.find('=');
+      if (eq == std::string::npos) {
+        flags_.emplace_back(a.substr(2), "1");
+      } else {
+        flags_.emplace_back(a.substr(2, eq - 2), a.substr(eq + 1));
+      }
+    }
+  }
+
+  bool Has(const std::string& name) const {
+    for (const auto& [k, v] : flags_) {
+      if (k == name) return true;
+    }
+    return false;
+  }
+
+  std::string Get(const std::string& name, const std::string& def = "") const {
+    for (const auto& [k, v] : flags_) {
+      if (k == name) return v;
+    }
+    return def;
+  }
+
+  int64_t GetInt(const std::string& name, int64_t def) const {
+    std::string v = Get(name);
+    return v.empty() ? def : std::atoll(v.c_str());
+  }
+
+  double GetDouble(const std::string& name, double def) const {
+    std::string v = Get(name);
+    return v.empty() ? def : std::atof(v.c_str());
+  }
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::vector<std::pair<std::string, std::string>> flags_;
+};
 
 struct BenchEnv {
   int workers;
@@ -140,16 +192,12 @@ class MixedBench {
 // start, or they skip ring registration) and call Finish() before exit.
 class ObsSession {
  public:
-  ObsSession(int argc, char** argv) {
-    for (int i = 1; i < argc; ++i) {
-      std::string a = argv[i];
-      if (a.rfind("--trace-out=", 0) == 0) {
-        trace_path_ = a.substr(sizeof("--trace-out=") - 1);
-      } else if (a.rfind("--metrics-json=", 0) == 0) {
-        metrics_path_ = a.substr(sizeof("--metrics-json=") - 1);
-      }
-    }
-    if (argc > 0) snap_.SetMeta("bench", argv[0]);
+  ObsSession(int argc, char** argv) : ObsSession(FlagSet(argc, argv)) {}
+
+  explicit ObsSession(const FlagSet& flags) {
+    trace_path_ = flags.Get("trace-out");
+    metrics_path_ = flags.Get("metrics-json");
+    if (!flags.program().empty()) snap_.SetMeta("bench", flags.program());
     // Chaos benchmarking: PDB_FAULT=sigdrop:0.01,... arms injection for the
     // whole run (see src/fault/fault.h for the grammar). Recorded in the
     // snapshot meta so fault runs are never mistaken for clean baselines.

@@ -1,0 +1,533 @@
+// Open-loop (and closed-loop) load generator for the networked front-end —
+// the wire-level analog of Fig. 13: does preemptive scheduling keep
+// high-priority p99 flat when requests arrive over real sockets at a rate
+// the server does not control?
+//
+// By default it boots an in-process DB + net::Server on a loopback ephemeral
+// port, preloads the KV table, and drives it over TCP from `--conns`
+// pipelined connections. High-priority traffic is short point ops (90% GET /
+// 10% PUT); low-priority traffic is ScanSum ranges (the Q2 analog). Open
+// loop means arrivals follow the schedule regardless of completions —
+// latency is measured from the *scheduled* arrival time, so sender lateness
+// and queueing both count (no coordinated omission).
+//
+//   ./bench/net_loadgen --schedule=poisson --rate=2000 --seconds=5
+//   ./bench/net_loadgen --schedule=burst --rate=4000 --burst-size=64
+//   ./bench/net_loadgen --mode=closed --pipeline=4
+//   ./bench/net_loadgen --policy=wait        # baseline comparison
+//   ./bench/net_loadgen --connect=10.0.0.5:7878   # external server
+//
+// Exit status is non-zero if any sent request never got a response — the
+// server promises every accepted submission completes, so CI can assert
+// "zero lost" by exit code alone.
+//
+// Flags (all via bench::FlagSet):
+//   --schedule=poisson|uniform|burst   arrival process        (poisson)
+//   --rate=N           total requests/second                  (2000)
+//   --seconds=S        run length                             (PDB_SECONDS)
+//   --conns=N          client connections                     (2)
+//   --hp-frac=F        fraction of requests in the HP class   (0.8)
+//   --keys=N           preloaded keys                         (10000)
+//   --value-size=B     value bytes                            (64)
+//   --scan-span=N      keys per LP ScanSum                    (2000)
+//   --timeout-us=T     per-request deadline, 0 = none         (0)
+//   --burst-size=N     arrivals per burst (burst schedule)    (32)
+//   --mode=open|closed open loop or closed loop               (open)
+//   --pipeline=N       closed-loop window per connection      (1)
+//   --policy=preempt|wait|coop   in-process server policy     (preempt)
+//   --workers=N        in-process worker threads              (PDB_WORKERS)
+//   --port=P           in-process listen port                 (ephemeral)
+//   --connect=H:P      use an external server instead
+//   --trace-out=F --metrics-json=F   obs artifacts (see ObsSession)
+#include <poll.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/preemptdb.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "util/clock.h"
+#include "util/histogram.h"
+
+using namespace preemptdb;
+using namespace preemptdb::bench;
+
+namespace {
+
+struct ClassStats {
+  LatencyHistogram latency;
+  std::atomic<uint64_t> sent{0};
+  std::atomic<uint64_t> responses{0};
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> busy{0};
+  std::atomic<uint64_t> timeout{0};
+  std::atomic<uint64_t> aborted{0};
+  std::atomic<uint64_t> other{0};
+
+  void Count(net::WireStatus s) {
+    responses.fetch_add(1, std::memory_order_relaxed);
+    switch (s) {
+      case net::WireStatus::kOk:
+      case net::WireStatus::kNotFound:  // GET on a hole is a served request
+        ok.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case net::WireStatus::kBusy:
+        busy.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case net::WireStatus::kTimeout:
+        timeout.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case net::WireStatus::kAborted:
+        aborted.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        other.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+};
+
+struct Config {
+  std::string schedule = "poisson";
+  double rate = 2000;
+  double seconds = 2;
+  int conns = 2;
+  double hp_frac = 0.8;
+  uint64_t keys = 10000;
+  size_t value_size = 64;
+  uint64_t scan_span = 2000;
+  uint32_t timeout_us = 0;
+  uint64_t burst_size = 32;
+  std::string mode = "open";
+  int pipeline = 1;
+};
+
+// Arrival-time generator for one connection's share of the schedule
+// (absolute nanosecond stamps).
+class Schedule {
+ public:
+  Schedule(const Config& cfg, double per_conn_rate, uint64_t start_ns,
+           uint64_t seed)
+      : cfg_(cfg), rng_(seed), next_ns_(start_ns) {
+    interval_ns_ = static_cast<uint64_t>(1e9 / per_conn_rate);
+    burst_gap_ns_ = static_cast<uint64_t>(
+        static_cast<double>(cfg.burst_size) * 1e9 / per_conn_rate);
+  }
+
+  uint64_t NextArrival() {
+    uint64_t t = next_ns_;
+    if (cfg_.schedule == "uniform") {
+      next_ns_ += interval_ns_;
+    } else if (cfg_.schedule == "burst") {
+      // `burst_size` back-to-back arrivals, then a gap restoring the average
+      // rate — the bursty pattern where microsecond preemption should matter
+      // most (queues build instantly, then must drain).
+      if (++in_burst_ >= cfg_.burst_size) {
+        in_burst_ = 0;
+        next_ns_ += burst_gap_ns_;
+      }
+    } else {  // poisson: exponential inter-arrivals
+      double u =
+          (static_cast<double>(rng_.Next() >> 11) + 1.0) / 9007199254740993.0;
+      next_ns_ += static_cast<uint64_t>(-std::log(u) *
+                                        static_cast<double>(interval_ns_));
+    }
+    return t;
+  }
+
+ private:
+  Config cfg_;
+  FastRandom rng_;
+  uint64_t next_ns_;
+  uint64_t interval_ns_;
+  uint64_t burst_gap_ns_;
+  uint64_t in_burst_ = 0;
+};
+
+void SleepUntilNs(uint64_t t_ns) {
+  for (;;) {
+    uint64_t now = MonoNanos();
+    if (now >= t_ns) return;
+    uint64_t delta = t_ns - now;
+    if (delta > 200'000) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(delta - 100'000));
+    } else if (delta > 2'000) {
+      std::this_thread::yield();
+    } else {
+      CpuPause();
+    }
+  }
+}
+
+net::RequestHeader MakeRequest(const Config& cfg, FastRandom& rng, bool hp,
+                               std::string* payload_out) {
+  net::RequestHeader h;
+  h.prio_class = hp ? 1 : 0;
+  h.timeout_us = cfg.timeout_us;
+  if (hp) {
+    // Short OLTP-style point op: mostly reads, some writes.
+    if (rng.Next() % 10 == 0) {
+      h.opcode = static_cast<uint8_t>(net::Op::kPut);
+      h.params[0] = rng.UniformU64(1, cfg.keys);
+      payload_out->assign(cfg.value_size, 'w');
+    } else {
+      h.opcode = static_cast<uint8_t>(net::Op::kGet);
+      h.params[0] = rng.UniformU64(1, cfg.keys);
+    }
+  } else {
+    h.opcode = static_cast<uint8_t>(net::Op::kScanSum);
+    uint64_t span = std::min(cfg.scan_span, cfg.keys);
+    uint64_t lo = rng.UniformU64(1, std::max<uint64_t>(1, cfg.keys - span));
+    h.params[0] = lo;
+    h.params[1] = lo + span;
+  }
+  return h;
+}
+
+// Per-connection open-loop driver: a sender thread paces the schedule and a
+// receiver thread drains responses, matching ids to scheduled arrival times.
+// (Client supports exactly this split: disjoint socket halves.)
+struct OpenLoopConn {
+  struct Pending {
+    uint64_t sched_ns;
+    bool hp;
+  };
+
+  net::Client client;
+  std::mutex mu;
+  std::unordered_map<uint64_t, Pending> pending;
+  std::atomic<uint64_t> sent{0};
+  std::atomic<bool> send_done{false};
+  std::string error;
+
+  void Sender(const Config& cfg, Schedule sched, uint64_t horizon_ns,
+              uint64_t seed, ClassStats* hp_stats, ClassStats* lp_stats) {
+    FastRandom rng(seed);
+    std::string payload;
+    for (;;) {
+      uint64_t t = sched.NextArrival();
+      if (t >= horizon_ns) break;
+      SleepUntilNs(t);
+      payload.clear();
+      bool hp =
+          (rng.Next() % 10000) < static_cast<uint64_t>(cfg.hp_frac * 10000);
+      net::RequestHeader h = MakeRequest(cfg, rng, hp, &payload);
+      uint64_t id = 0;
+      {
+        // Register before Send: the response can beat Send's return.
+        std::lock_guard<std::mutex> g(mu);
+        id = client.next_id();
+        pending.emplace(id, Pending{t, hp});
+      }
+      std::string err;
+      uint64_t sent_id = 0;
+      if (!client.Send(h, payload, &err, &sent_id)) {
+        std::lock_guard<std::mutex> g(mu);
+        pending.erase(id);
+        if (error.empty()) error = "send: " + err;
+        break;
+      }
+      PDB_CHECK(sent_id == id);
+      (hp ? hp_stats : lp_stats)->sent.fetch_add(1, std::memory_order_relaxed);
+      sent.fetch_add(1, std::memory_order_relaxed);
+    }
+    send_done.store(true, std::memory_order_release);
+  }
+
+  void Receiver(ClassStats* hp_stats, ClassStats* lp_stats) {
+    uint64_t received = 0;
+    for (;;) {
+      if (received >= sent.load(std::memory_order_acquire)) {
+        if (send_done.load(std::memory_order_acquire) &&
+            received >= sent.load(std::memory_order_acquire)) {
+          return;  // every sent request got its response
+        }
+        // Caught up but the sender is still pacing: poll with a timeout so
+        // we never block in read() across the "sender just finished, nothing
+        // outstanding" edge (that would hang forever).
+        struct pollfd p{};
+        p.fd = client.fd();
+        p.events = POLLIN;
+        int pr = ::poll(&p, 1, 20);
+        if (pr < 0 && errno != EINTR) {
+          std::lock_guard<std::mutex> g(mu);
+          if (error.empty()) error = "poll failed";
+          return;
+        }
+        if (pr <= 0) continue;
+      }
+      net::Client::Result res;
+      std::string err;
+      if (!client.Recv(&res, &err)) {
+        std::lock_guard<std::mutex> g(mu);
+        if (error.empty()) error = "recv: " + err;
+        return;
+      }
+      uint64_t done_ns = MonoNanos();
+      Pending p{};
+      {
+        std::lock_guard<std::mutex> g(mu);
+        auto it = pending.find(res.request_id);
+        if (it == pending.end()) continue;  // duplicate/unknown id
+        p = it->second;
+        pending.erase(it);
+      }
+      ++received;
+      ClassStats* s = p.hp ? hp_stats : lp_stats;
+      s->Count(res.status);
+      // Open-loop latency: scheduled arrival -> response, so a late sender
+      // and a deep server queue both count.
+      if (done_ns > p.sched_ns) s->latency.RecordNanos(done_ns - p.sched_ns);
+    }
+  }
+};
+
+// Closed loop: one thread per connection keeps `pipeline` requests in
+// flight; latency is send->response (the classic closed-loop metric).
+void ClosedLoopConn(const Config& cfg, net::Client& client, uint64_t horizon_ns,
+                    uint64_t seed, ClassStats* hp_stats, ClassStats* lp_stats,
+                    std::string* error) {
+  FastRandom rng(seed);
+  std::unordered_map<uint64_t, std::pair<uint64_t, bool>> inflight;
+  std::string payload, err;
+  auto send_one = [&]() {
+    payload.clear();
+    bool hp =
+        (rng.Next() % 10000) < static_cast<uint64_t>(cfg.hp_frac * 10000);
+    net::RequestHeader h = MakeRequest(cfg, rng, hp, &payload);
+    uint64_t id = 0;
+    uint64_t t = MonoNanos();
+    if (!client.Send(h, payload, &err, &id)) {
+      *error = "send: " + err;
+      return false;
+    }
+    inflight.emplace(id, std::make_pair(t, hp));
+    (hp ? hp_stats : lp_stats)->sent.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  };
+  for (int i = 0; i < cfg.pipeline; ++i) {
+    if (!send_one()) return;
+  }
+  while (!inflight.empty()) {
+    net::Client::Result res;
+    if (!client.Recv(&res, &err)) {
+      *error = "recv: " + err;
+      return;
+    }
+    uint64_t done = MonoNanos();
+    auto it = inflight.find(res.request_id);
+    if (it == inflight.end()) continue;
+    auto [t0, hp] = it->second;
+    inflight.erase(it);
+    ClassStats* s = hp ? hp_stats : lp_stats;
+    s->Count(res.status);
+    s->latency.RecordNanos(done - t0);
+    if (MonoNanos() < horizon_ns && !send_one()) return;
+  }
+}
+
+sched::Policy ParsePolicy(const std::string& s) {
+  if (s == "wait") return sched::Policy::kWait;
+  if (s == "coop" || s == "cooperative") return sched::Policy::kCooperative;
+  return sched::Policy::kPreempt;
+}
+
+void PrintClass(const char* name, const ClassStats& s, double seconds) {
+  std::printf(
+      "%-4s %9lu %9lu %8lu %6lu %6lu %6lu %9.0f %9.1f %9.1f %9.1f %9.1f\n",
+      name, static_cast<unsigned long>(s.sent.load()),
+      static_cast<unsigned long>(s.responses.load()),
+      static_cast<unsigned long>(s.ok.load()),
+      static_cast<unsigned long>(s.busy.load()),
+      static_cast<unsigned long>(s.timeout.load()),
+      static_cast<unsigned long>(s.aborted.load()),
+      static_cast<double>(s.ok.load()) / seconds,
+      s.latency.PercentileMicros(50), s.latency.PercentileMicros(90),
+      s.latency.PercentileMicros(99), s.latency.PercentileMicros(99.9));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags(argc, argv);
+  ObsSession obs(flags);
+  BenchEnv env = BenchEnv::FromEnv();
+
+  Config cfg;
+  cfg.schedule = flags.Get("schedule", cfg.schedule);
+  cfg.rate = flags.GetDouble("rate", cfg.rate);
+  cfg.seconds = flags.GetDouble("seconds", env.seconds);
+  cfg.conns = static_cast<int>(flags.GetInt("conns", cfg.conns));
+  cfg.hp_frac = flags.GetDouble("hp-frac", cfg.hp_frac);
+  cfg.keys = static_cast<uint64_t>(flags.GetInt("keys", 10000));
+  cfg.value_size = static_cast<size_t>(flags.GetInt("value-size", 64));
+  cfg.scan_span = static_cast<uint64_t>(flags.GetInt("scan-span", 2000));
+  cfg.timeout_us = static_cast<uint32_t>(flags.GetInt("timeout-us", 0));
+  cfg.burst_size = static_cast<uint64_t>(flags.GetInt("burst-size", 32));
+  cfg.mode = flags.Get("mode", cfg.mode);
+  cfg.pipeline = static_cast<int>(flags.GetInt("pipeline", 1));
+  PDB_CHECK_MSG(cfg.conns > 0 && cfg.rate > 0, "need --conns>0 and --rate>0");
+
+  // --- Target: in-process server (default) or an external one ---
+  std::unique_ptr<DB> db;
+  std::unique_ptr<net::Server> server;
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string connect = flags.Get("connect");
+  sched::Policy policy = ParsePolicy(flags.Get("policy", "preempt"));
+  if (connect.empty()) {
+    DB::Options dbo;
+    dbo.scheduler.policy = policy;
+    dbo.scheduler.num_workers =
+        static_cast<int>(flags.GetInt("workers", env.workers));
+    obs.Configure(dbo.scheduler);
+    db = DB::Open(dbo);
+    net::Server::Options so;
+    so.port = static_cast<uint16_t>(flags.GetInt("port", 0));
+    server = std::make_unique<net::Server>(db.get(), so);
+    std::string err;
+    if (!server->Start(&err)) {
+      std::fprintf(stderr, "server start failed: %s\n", err.c_str());
+      return 1;
+    }
+    port = server->port();
+    // Preload straight through the engine — faster than wire puts, and the
+    // measured window is then steady state, not warmup.
+    std::string value(cfg.value_size, 'v');
+    auto* table = db->GetTable(so.kv_table);
+    Rc rc = db->Execute([&](engine::Engine& eng) {
+      auto* txn = eng.Begin();
+      for (uint64_t k = 1; k <= cfg.keys; ++k) {
+        Rc r = txn->Insert(table, k, value);
+        if (!IsOk(r)) {
+          txn->Abort();
+          return r;
+        }
+      }
+      return txn->Commit();
+    });
+    PDB_CHECK_MSG(IsOk(rc), "preload failed");
+    std::fprintf(stderr, "# in-process server on %s:%u (%s), %lu keys\n",
+                 host.c_str(), port, sched::PolicyName(policy),
+                 static_cast<unsigned long>(cfg.keys));
+  } else {
+    size_t colon = connect.rfind(':');
+    PDB_CHECK_MSG(colon != std::string::npos, "--connect wants host:port");
+    host = connect.substr(0, colon);
+    port = static_cast<uint16_t>(std::atoi(connect.c_str() + colon + 1));
+  }
+
+  ClassStats hp_stats, lp_stats;
+  double per_conn_rate = cfg.rate / cfg.conns;
+  uint64_t start_ns = MonoNanos() + 10'000'000;  // 10ms to spin up threads
+  uint64_t horizon_ns = start_ns + static_cast<uint64_t>(cfg.seconds * 1e9);
+
+  std::vector<std::unique_ptr<OpenLoopConn>> open_conns;
+  std::vector<std::unique_ptr<net::Client>> closed_conns;
+  std::vector<std::string> closed_errors(static_cast<size_t>(cfg.conns));
+  std::vector<std::thread> threads;
+
+  if (cfg.mode == "closed") {
+    for (int i = 0; i < cfg.conns; ++i) {
+      auto c = std::make_unique<net::Client>();
+      std::string err;
+      PDB_CHECK_MSG(c->Connect(host, port, &err), err.c_str());
+      closed_conns.push_back(std::move(c));
+    }
+    for (int i = 0; i < cfg.conns; ++i) {
+      threads.emplace_back([&, i] {
+        ClosedLoopConn(cfg, *closed_conns[static_cast<size_t>(i)], horizon_ns,
+                       0x9e3779b9ull + static_cast<uint64_t>(i), &hp_stats,
+                       &lp_stats, &closed_errors[static_cast<size_t>(i)]);
+      });
+    }
+  } else {
+    for (int i = 0; i < cfg.conns; ++i) {
+      auto conn = std::make_unique<OpenLoopConn>();
+      std::string err;
+      PDB_CHECK_MSG(conn->client.Connect(host, port, &err), err.c_str());
+      open_conns.push_back(std::move(conn));
+    }
+    for (int i = 0; i < cfg.conns; ++i) {
+      OpenLoopConn* c = open_conns[static_cast<size_t>(i)].get();
+      Schedule sched(cfg, per_conn_rate, start_ns,
+                     0x10adull + static_cast<uint64_t>(i) * 7919);
+      threads.emplace_back([&, c, sched] {
+        Schedule s = sched;
+        c->Sender(cfg, s, horizon_ns,
+                  0xfeedull + static_cast<uint64_t>(c->client.fd()) * 104729,
+                  &hp_stats, &lp_stats);
+      });
+      threads.emplace_back([&, c] { c->Receiver(&hp_stats, &lp_stats); });
+    }
+  }
+  for (auto& t : threads) t.join();
+
+  uint64_t lost = 0;
+  for (auto& c : open_conns) {
+    std::lock_guard<std::mutex> g(c->mu);
+    lost += c->pending.size();
+    if (!c->error.empty()) {
+      std::fprintf(stderr, "# conn error: %s\n", c->error.c_str());
+    }
+  }
+  for (const std::string& e : closed_errors) {
+    if (!e.empty()) std::fprintf(stderr, "# conn error: %s\n", e.c_str());
+  }
+
+  std::printf(
+      "# net_loadgen: schedule=%s rate=%.0f/s conns=%d mode=%s hp_frac=%.2f "
+      "policy=%s\n",
+      cfg.schedule.c_str(), cfg.rate, cfg.conns, cfg.mode.c_str(), cfg.hp_frac,
+      connect.empty() ? sched::PolicyName(policy) : "external");
+  std::printf("%-4s %9s %9s %8s %6s %6s %6s %9s %9s %9s %9s %9s\n", "cls",
+              "sent", "resp", "ok", "busy", "t/out", "abort", "ok/s",
+              "p50(us)", "p90", "p99", "p99.9");
+  PrintClass("HP", hp_stats, cfg.seconds);
+  PrintClass("LP", lp_stats, cfg.seconds);
+  std::printf("lost_responses=%lu\n", static_cast<unsigned long>(lost));
+
+  if (obs.metrics()) {
+    auto& snap = obs.snapshot();
+    snap.SetMeta("schedule", cfg.schedule);
+    snap.SetMeta("mode", cfg.mode);
+    snap.SetMeta("policy",
+                 connect.empty() ? sched::PolicyName(policy) : "external");
+    snap.AddCounter("loadgen.hp_sent", hp_stats.sent.load());
+    snap.AddCounter("loadgen.lp_sent", lp_stats.sent.load());
+    snap.AddCounter("loadgen.hp_busy", hp_stats.busy.load());
+    snap.AddCounter("loadgen.lp_busy", lp_stats.busy.load());
+    snap.AddCounter("loadgen.hp_timeout", hp_stats.timeout.load());
+    snap.AddCounter("loadgen.lp_timeout", lp_stats.timeout.load());
+    snap.AddCounter("loadgen.lost_responses", lost);
+    snap.AddHistogramNanos("net.hp_latency", hp_stats.latency);
+    snap.AddHistogramNanos("net.lp_latency", lp_stats.latency);
+    snap.AddTxnType("net_hp", hp_stats.ok.load(),
+                    hp_stats.aborted.load() + hp_stats.busy.load() +
+                        hp_stats.timeout.load(),
+                    0, hp_stats.ok.load() / cfg.seconds, hp_stats.latency);
+    snap.AddTxnType("net_lp", lp_stats.ok.load(),
+                    lp_stats.aborted.load() + lp_stats.busy.load() +
+                        lp_stats.timeout.load(),
+                    0, lp_stats.ok.load() / cfg.seconds, lp_stats.latency);
+    if (server != nullptr) {
+      snap.AddCounter("server.admitted", server->admitted());
+      snap.AddCounter("server.busy", server->busy());
+      snap.AddCounter("server.replies", server->replies());
+      snap.AddCounter("server.responses_dropped", server->responses_dropped());
+    }
+  }
+
+  if (server != nullptr) server->Stop();
+  // Non-zero exit when responses were lost: the acceptance criterion is
+  // "zero lost accepted submissions", checkable from CI by exit code.
+  return lost == 0 ? 0 : 2;
+}

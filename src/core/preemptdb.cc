@@ -54,6 +54,7 @@ struct DB::Closure {
   std::atomic<bool>* done_flag = nullptr;  // set after rc_out
   uint64_t deadline_ns = 0;                // absolute MonoNanos; 0 = none
   RetryPolicy retry;
+  CompletionFn on_complete;  // optional; fired once with the terminal Rc
 };
 
 std::unique_ptr<DB> DB::Open(const Options& options) {
@@ -102,9 +103,17 @@ DB::~DB() {
     scheduler_->Stop();
   }
   // Free any closures that never ran (engine-only DBs or races at exit).
+  // Completion callbacks still fire — "accepted implies completed" holds
+  // even for a submission that slipped in as the DB shut down.
   Closure* c;
-  while (lp_submissions_->TryPop(&c)) delete c;
-  while (hp_submissions_->TryPop(&c)) delete c;
+  while (lp_submissions_->TryPop(&c)) {
+    if (c->on_complete) c->on_complete(Rc::kError);
+    delete c;
+  }
+  while (hp_submissions_->TryPop(&c)) {
+    if (c->on_complete) c->on_complete(Rc::kError);
+    delete c;
+  }
 }
 
 void DB::CompleteWithoutRunning(Closure* c, Rc rc) {
@@ -115,6 +124,7 @@ void DB::CompleteWithoutRunning(Closure* c, Rc rc) {
   if (c->done_flag != nullptr) {
     c->done_flag->store(true, std::memory_order_release);
   }
+  if (c->on_complete) c->on_complete(rc);
   delete c;
   completed_.fetch_add(1, std::memory_order_release);
 }
@@ -191,6 +201,7 @@ Rc DB::ExecuteThunk(const sched::Request& req, void* ctx, int /*worker_id*/) {
   if (c->done_flag != nullptr) {
     c->done_flag->store(true, std::memory_order_release);
   }
+  if (c->on_complete) c->on_complete(rc);
   delete c;
   db->completed_.fetch_add(1, std::memory_order_release);
   return rc;
@@ -198,9 +209,16 @@ Rc DB::ExecuteThunk(const sched::Request& req, void* ctx, int /*worker_id*/) {
 
 SubmitResult DB::Submit(sched::Priority priority, TxnFn fn,
                         const SubmitOptions& options) {
+  return Submit(priority, std::move(fn), CompletionFn(), options);
+}
+
+SubmitResult DB::Submit(sched::Priority priority, TxnFn fn,
+                        CompletionFn on_complete,
+                        const SubmitOptions& options) {
   PDB_CHECK_MSG(scheduler_ != nullptr, "DB opened without a scheduler");
   if (stopping_.load(std::memory_order_acquire)) return SubmitResult::kStopped;
-  auto* c = new Closure{std::move(fn), nullptr, nullptr, 0, options.retry};
+  auto* c = new Closure{std::move(fn), nullptr, nullptr, 0, options.retry,
+                        std::move(on_complete)};
   if (options.timeout_us > 0) {
     c->deadline_ns = MonoNanos() + options.timeout_us * 1000;
   }

@@ -34,6 +34,16 @@ namespace preemptdb {
 // status (typically the Commit() result).
 using TxnFn = std::function<Rc(engine::Engine&)>;
 
+// Completion notification for fire-and-forget submissions (the Submit
+// overload below). Invoked exactly once per accepted submission with the
+// terminal status: the transaction's final Rc after retries, or Rc::kTimeout
+// when the deadline expired before it could run. Runs on whichever thread
+// completed the submission — a worker thread, or the scheduling thread for
+// deadline expiry — so it must be fast, non-blocking, and must not touch the
+// engine. Network front-ends use this to turn completions into wire
+// responses without parking a thread per in-flight request.
+using CompletionFn = std::function<void(Rc)>;
+
 // Automatic re-execution of transactions that abort for transient reasons
 // (write conflicts, serialization failures — see IsRetryableAbort). The
 // default policy (max_attempts = 1) never retries; opting in re-runs the
@@ -106,6 +116,14 @@ class DB {
   // Enqueues `fn` with the given priority. Never blocks; see SubmitResult
   // for the backpressure contract. Completion is recorded in metrics().
   SubmitResult Submit(sched::Priority priority, TxnFn fn,
+                      const SubmitOptions& options = {});
+
+  // Submit with asynchronous completion: if (and only if) the submission is
+  // accepted, `on_complete` fires exactly once with the terminal status (see
+  // CompletionFn). On kQueueFull/kStopped nothing was enqueued and
+  // `on_complete` will never be called — the caller still owns the reaction.
+  SubmitResult Submit(sched::Priority priority, TxnFn fn,
+                      CompletionFn on_complete,
                       const SubmitOptions& options = {});
 
   // Submits and blocks until the transaction ran (or its deadline expired);

@@ -26,9 +26,11 @@ std::atomic<uint64_t> g_seed{0x70bdfau};
 
 // Fire counters surfaced through the metrics registry (snapshot-visible).
 obs::Counter g_fire_counters[kNumPoints] = {
-    obs::Counter("fault.sigdrop"),   obs::Counter("fault.sigdelay"),
-    obs::Counter("fault.logwrite"), obs::Counter("fault.queuefull"),
-    obs::Counter("fault.allocfail"),
+    obs::Counter("fault.sigdrop"),      obs::Counter("fault.sigdelay"),
+    obs::Counter("fault.logwrite"),     obs::Counter("fault.queuefull"),
+    obs::Counter("fault.allocfail"),    obs::Counter("fault.acceptfail"),
+    obs::Counter("fault.partialread"),  obs::Counter("fault.partialwrite"),
+    obs::Counter("fault.connreset"),
 };
 
 uint64_t SplitMix(uint64_t z) {
@@ -108,6 +110,14 @@ const char* PointName(Point p) {
       return "queuefull";
     case Point::kAllocFail:
       return "allocfail";
+    case Point::kNetAccept:
+      return "acceptfail";
+    case Point::kNetPartialRead:
+      return "partialread";
+    case Point::kNetPartialWrite:
+      return "partialwrite";
+    case Point::kNetReset:
+      return "connreset";
     case Point::kNumPoints:
       break;
   }
@@ -175,10 +185,16 @@ bool ConfigureFromSpec(const std::string& spec, std::string* err) {
     std::string f[3];
     int nf = SplitFields(clause, f);
     Parsed p{Point::kNumPoints, 1.0, 0};
-    if (f[0] == "sigdrop" || f[0] == "queuefull" || f[0] == "allocfail") {
-      p.point = f[0] == "sigdrop" ? Point::kSigDrop
-                : f[0] == "queuefull" ? Point::kQueueFull
-                                      : Point::kAllocFail;
+    if (f[0] == "sigdrop" || f[0] == "queuefull" || f[0] == "allocfail" ||
+        f[0] == "acceptfail" || f[0] == "partialread" ||
+        f[0] == "partialwrite" || f[0] == "connreset") {
+      p.point = f[0] == "sigdrop"        ? Point::kSigDrop
+                : f[0] == "queuefull"    ? Point::kQueueFull
+                : f[0] == "allocfail"    ? Point::kAllocFail
+                : f[0] == "acceptfail"   ? Point::kNetAccept
+                : f[0] == "partialread"  ? Point::kNetPartialRead
+                : f[0] == "partialwrite" ? Point::kNetPartialWrite
+                                         : Point::kNetReset;
       if (nf > 2) return fail("too many fields in '" + clause + "'");
       if (nf == 2 && !ParseProbability(f[1], &p.probability)) {
         return fail("bad probability in '" + clause + "'");

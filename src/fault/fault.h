@@ -19,6 +19,10 @@
 //   logwrite:<E>[:P]     fail log writes; E = eio | enospc | eintr | short
 //   queuefull[:P]        treat a worker HP queue as full at placement
 //   allocfail[:P]        make the guarded allocator fail
+//   acceptfail[:P]       net server drops freshly accepted connections
+//   partialread[:P]      net server socket reads truncate to 1 byte
+//   partialwrite[:P]     net server socket writes truncate to 1 byte
+//   connreset[:P]        net server hard-closes a conn before its response
 //
 // Every point also owns an obs::Counter ("fault.<name>") so injected faults
 // show up in metrics snapshots next to the counters they perturb.
@@ -34,11 +38,17 @@
 namespace preemptdb::fault {
 
 enum class Point : uint8_t {
-  kSigDrop = 0,   // uintr::SendUipi: swallow the send (lost interrupt)
-  kSigDelay,      // uintr::SendUipi: spin param() microseconds before sending
-  kLogWrite,      // engine::LogManager::Sink: fail with errno, or short-write
-  kQueueFull,     // sched placement: pretend the worker's HP queue is full
-  kAllocFail,     // cls GuardedNew: return nullptr from the allocator
+  kSigDrop = 0,      // uintr::SendUipi: swallow the send (lost interrupt)
+  kSigDelay,         // uintr::SendUipi: spin param() microseconds before send
+  kLogWrite,         // engine::LogManager::Sink: fail with errno, or short
+  kQueueFull,        // sched placement: pretend the worker's HP queue is full
+  kAllocFail,        // cls GuardedNew: return nullptr from the allocator
+  kNetAccept,        // net::Server: drop a freshly accepted connection
+  kNetPartialRead,   // net::Server: truncate a socket read to 1 byte
+  kNetPartialWrite,  // net::Server: truncate a socket write to 1 byte
+  kNetReset,         // net::Server: hard-close a connection before its
+                     // response flushes (peer-reset simulation; the accepted
+                     // submission still completes DB-side)
   kNumPoints,
 };
 

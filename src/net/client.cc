@@ -1,0 +1,177 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace preemptdb::net {
+
+namespace {
+void FillErr(std::string* err, const char* what) {
+  if (err != nullptr) *err = std::string(what) + ": " + std::strerror(errno);
+}
+}  // namespace
+
+bool Client::Connect(const std::string& host, uint16_t port,
+                     std::string* err) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    FillErr(err, "socket");
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    FillErr(err, "inet_pton");
+    Close();
+    return false;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    FillErr(err, "connect");
+    Close();
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::WriteAll(const char* buf, size_t len, std::string* err) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::send(fd_, buf + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      FillErr(err, "send");
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool Client::ReadAll(char* buf, size_t len, std::string* err) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::read(fd_, buf + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      FillErr(err, "read");
+      return false;
+    }
+    if (n == 0) {
+      if (err != nullptr) *err = "connection closed by server";
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool Client::Send(RequestHeader h, std::string_view payload, std::string* err,
+                  uint64_t* id_out) {
+  if (fd_ < 0) {
+    if (err != nullptr) *err = "not connected";
+    return false;
+  }
+  h.request_id = next_id_++;
+  if (id_out != nullptr) *id_out = h.request_id;
+  std::string frame;
+  EncodeRequest(h, payload, &frame);
+  return WriteAll(frame.data(), frame.size(), err);
+}
+
+bool Client::Recv(Result* out, std::string* err) {
+  if (fd_ < 0) {
+    if (err != nullptr) *err = "not connected";
+    return false;
+  }
+  uint8_t hdr[kResponseHeaderSize];
+  if (!ReadAll(reinterpret_cast<char*>(hdr), sizeof(hdr), err)) return false;
+  ResponseHeader rh;
+  if (!DecodeResponseHeader(hdr, &rh)) {
+    if (err != nullptr) *err = "malformed response header";
+    return false;
+  }
+  out->request_id = rh.request_id;
+  out->status = static_cast<WireStatus>(rh.status);
+  out->rc = static_cast<Rc>(rh.rc);
+  out->server_ns = rh.server_ns;
+  out->payload.resize(rh.payload_len);
+  if (rh.payload_len > 0 &&
+      !ReadAll(out->payload.data(), rh.payload_len, err)) {
+    return false;
+  }
+  return true;
+}
+
+bool Client::Call(RequestHeader h, std::string_view payload, Result* out,
+                  std::string* err) {
+  uint64_t id = 0;
+  if (!Send(h, payload, err, &id)) return false;
+  // With no other outstanding requests the next response is ours; tolerate
+  // (skip) strays so a Call() issued after pipelined traffic still matches.
+  for (;;) {
+    if (!Recv(out, err)) return false;
+    if (out->request_id == id) return true;
+  }
+}
+
+bool Client::Ping(Result* out, std::string* err) {
+  RequestHeader h;
+  h.opcode = static_cast<uint8_t>(Op::kPing);
+  h.prio_class = static_cast<uint8_t>(WireClass::kHigh);
+  return Call(h, {}, out, err);
+}
+
+bool Client::Put(uint64_t key, std::string_view value, WireClass cls,
+                 Result* out, std::string* err, uint32_t timeout_us) {
+  RequestHeader h;
+  h.opcode = static_cast<uint8_t>(Op::kPut);
+  h.prio_class = static_cast<uint8_t>(cls);
+  h.timeout_us = timeout_us;
+  h.params[0] = key;
+  return Call(h, value, out, err);
+}
+
+bool Client::Get(uint64_t key, WireClass cls, Result* out, std::string* err,
+                 uint32_t timeout_us) {
+  RequestHeader h;
+  h.opcode = static_cast<uint8_t>(Op::kGet);
+  h.prio_class = static_cast<uint8_t>(cls);
+  h.timeout_us = timeout_us;
+  h.params[0] = key;
+  return Call(h, {}, out, err);
+}
+
+bool Client::ScanSum(uint64_t lo, uint64_t hi, WireClass cls, Result* out,
+                     std::string* err, uint32_t timeout_us) {
+  RequestHeader h;
+  h.opcode = static_cast<uint8_t>(Op::kScanSum);
+  h.prio_class = static_cast<uint8_t>(cls);
+  h.timeout_us = timeout_us;
+  h.params[0] = lo;
+  h.params[1] = hi;
+  return Call(h, {}, out, err);
+}
+
+}  // namespace preemptdb::net

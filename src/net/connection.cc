@@ -1,0 +1,132 @@
+#include "net/connection.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "fault/fault.h"
+
+namespace preemptdb::net {
+
+namespace {
+// Big enough that a burst of point-op frames reads in one syscall; small
+// enough that thousands of idle connections stay cheap.
+constexpr size_t kReadChunk = 16 * 1024;
+}  // namespace
+
+Connection::Connection(int fd, uint64_t id) : fd_(fd), id_(id) {}
+
+Connection::~Connection() { MarkClosed(); }
+
+Connection::IoResult Connection::ReadIntoBuffer() {
+  if (closed()) return IoResult::kClosed;
+  size_t old = rbuf_.size();
+  rbuf_.resize(old + kReadChunk);
+  size_t want = kReadChunk;
+  if (fault::ShouldFire(fault::Point::kNetPartialRead)) want = 1;
+  ssize_t n;
+  do {
+    n = ::read(fd_, rbuf_.data() + old, want);
+  } while (n < 0 && errno == EINTR);
+  if (n > 0) {
+    rbuf_.resize(old + static_cast<size_t>(n));
+    bytes_in_ += static_cast<uint64_t>(n);
+    return IoResult::kOk;
+  }
+  rbuf_.resize(old);
+  if (n == 0) return IoResult::kClosed;  // orderly EOF
+  if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kWouldBlock;
+  return IoResult::kClosed;  // ECONNRESET and friends
+}
+
+bool Connection::DrainFrames(
+    const std::function<bool(const RequestHeader&, std::string_view)>& cb) {
+  while (rbuf_.size() - roff_ >= kRequestHeaderSize) {
+    RequestHeader h;
+    if (!DecodeRequestHeader(rbuf_.data() + roff_, &h)) return false;
+    size_t frame = kRequestHeaderSize + h.payload_len;
+    if (rbuf_.size() - roff_ < frame) break;  // partial frame: wait for more
+    std::string_view payload(
+        reinterpret_cast<const char*>(rbuf_.data() + roff_) +
+            kRequestHeaderSize,
+        h.payload_len);
+    roff_ += frame;
+    if (!cb(h, payload)) return false;
+  }
+  // Compact: drop consumed bytes so the buffer never grows with the
+  // connection's lifetime, only with its largest in-flight frame.
+  if (roff_ > 0) {
+    rbuf_.erase(rbuf_.begin(), rbuf_.begin() + static_cast<long>(roff_));
+    roff_ = 0;
+  }
+  return true;
+}
+
+bool Connection::EnqueueResponse(std::string frame) {
+  std::lock_guard<std::mutex> g(outbox_mu_);
+  if (closed()) return false;
+  outbox_.push_back(std::move(frame));
+  return true;
+}
+
+bool Connection::WantsWrite() {
+  if (woff_ < wbuf_.size()) return true;
+  std::lock_guard<std::mutex> g(outbox_mu_);
+  return !outbox_.empty();
+}
+
+Connection::IoResult Connection::Flush() {
+  if (closed()) return IoResult::kClosed;
+  for (;;) {
+    if (woff_ >= wbuf_.size()) {
+      // Refill from the outbox in one swap; hold the lock only for the move.
+      wbuf_.clear();
+      woff_ = 0;
+      std::vector<std::string> ready;
+      {
+        std::lock_guard<std::mutex> g(outbox_mu_);
+        ready.swap(outbox_);
+      }
+      if (ready.empty()) return IoResult::kOk;  // fully flushed
+      for (std::string& r : ready) wbuf_ += r;
+    }
+    size_t len = wbuf_.size() - woff_;
+    if (fault::ShouldFire(fault::Point::kNetPartialWrite)) len = 1;
+    ssize_t n;
+    do {
+      n = ::send(fd_, wbuf_.data() + woff_, len, MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n > 0) {
+      woff_ += static_cast<size_t>(n);
+      bytes_out_ += static_cast<uint64_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return IoResult::kWouldBlock;
+    }
+    return IoResult::kClosed;  // EPIPE/ECONNRESET: peer is gone
+  }
+}
+
+size_t Connection::MarkClosed() {
+  bool was = closed_.exchange(true, std::memory_order_acq_rel);
+  if (was) return 0;
+  size_t dropped = 0;
+  {
+    // Poison the outbox under the lock so a racing EnqueueResponse either
+    // lands before (discarded here) or observes closed and drops.
+    std::lock_guard<std::mutex> g(outbox_mu_);
+    dropped = outbox_.size();
+    outbox_.clear();
+  }
+  // A partially-written wbuf frame is also lost, but frame boundaries are
+  // erased by concatenation — count at least one when unwritten bytes remain.
+  if (woff_ < wbuf_.size()) ++dropped;
+  ::shutdown(fd_, SHUT_RDWR);
+  ::close(fd_);
+  return dropped;
+}
+
+}  // namespace preemptdb::net

@@ -1,0 +1,110 @@
+// One accepted TCP connection of the networked front-end.
+//
+// Ownership and threading: the server's epoll thread is the only thread that
+// touches the socket (reads, frame parsing, writes, close). Worker threads
+// finishing submissions only ever call EnqueueResponse(), which appends a
+// serialized frame to a mutex-protected outbox; the epoll thread later moves
+// the outbox into the write buffer and writes. Connections are held by
+// shared_ptr — a completion callback captured at admission keeps the object
+// alive after the socket dies, so an accepted submission always has
+// somewhere to deliver its completion even if the peer reset mid-response
+// (the frame is then dropped and counted, never the submission).
+#ifndef PREEMPTDB_NET_CONNECTION_H_
+#define PREEMPTDB_NET_CONNECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/protocol.h"
+#include "util/macros.h"
+
+namespace preemptdb::net {
+
+class Connection {
+ public:
+  enum class IoResult : uint8_t {
+    kOk,          // made progress; buffer state advanced
+    kWouldBlock,  // socket drained/full; wait for the next epoll edge
+    kClosed,      // peer closed or fatal error; caller must CloseAndDrop
+  };
+
+  Connection(int fd, uint64_t id);
+  ~Connection();
+  PDB_DISALLOW_COPY_AND_ASSIGN(Connection);
+
+  int fd() const { return fd_; }
+  uint64_t id() const { return id_; }
+
+  // --- Epoll-thread-only socket I/O ---
+
+  // Reads whatever the socket has into the input buffer. The
+  // kNetPartialRead fault point truncates each read to a single byte —
+  // exercising exactly the resume-partial-frame path a slow peer causes.
+  IoResult ReadIntoBuffer();
+
+  // Invokes `cb` for every complete frame in the input buffer and compacts
+  // it. Returns false on a malformed header: framing is unrecoverable, the
+  // caller must close. `cb` returning false also stops parsing (close).
+  bool DrainFrames(
+      const std::function<bool(const RequestHeader&, std::string_view)>& cb);
+
+  // Moves queued responses into the write buffer and writes as much as the
+  // socket accepts. kNetPartialWrite truncates each write to one byte (the
+  // loop resumes on the next edge, so responses still arrive whole).
+  IoResult Flush();
+
+  // True when bytes are queued (write buffer or outbox) — drives EPOLLOUT
+  // interest.
+  bool WantsWrite();
+
+  // --- Any thread ---
+
+  // Queues one serialized response frame for the epoll thread to write.
+  // Returns false when the connection is already closed: the response is
+  // dropped (the caller counts it), while the submission that produced it
+  // has already completed DB-side — nothing is lost except the reply bytes,
+  // exactly what a peer reset means.
+  bool EnqueueResponse(std::string frame);
+
+  // Epoll thread: closes the socket and poisons the outbox. Idempotent.
+  // Returns the number of completed responses that were queued but never
+  // written — the reply bytes this close actually lost (the caller counts
+  // them as dropped; the submissions behind them completed regardless).
+  size_t MarkClosed();
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  // In-flight submissions admitted on this connection (admission-side
+  // backpressure: the server replies BUSY beyond Options::max_inflight).
+  std::atomic<uint32_t> in_flight{0};
+
+  uint64_t bytes_in() const { return bytes_in_; }
+  uint64_t bytes_out() const { return bytes_out_; }
+
+ private:
+  const int fd_;
+  const uint64_t id_;
+
+  // Input: frames accumulate at the tail, parsing consumes from roff_.
+  std::vector<uint8_t> rbuf_;
+  size_t roff_ = 0;
+
+  // Output: wbuf_[woff_..] is unwritten; refilled from the outbox.
+  std::string wbuf_;
+  size_t woff_ = 0;
+
+  std::mutex outbox_mu_;
+  std::vector<std::string> outbox_;  // completed responses awaiting flush
+
+  std::atomic<bool> closed_{false};
+  uint64_t bytes_in_ = 0;
+  uint64_t bytes_out_ = 0;
+};
+
+}  // namespace preemptdb::net
+
+#endif  // PREEMPTDB_NET_CONNECTION_H_

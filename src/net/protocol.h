@@ -1,0 +1,127 @@
+// Compact binary wire protocol for the networked front-end.
+//
+// Framing is length-prefixed and fixed-layout (little-endian, the only byte
+// order this codebase targets): a 48-byte request header optionally followed
+// by `payload_len` opaque bytes, and a 32-byte response header likewise.
+// Requests carry everything the admission path needs to classify and bound
+// the work *before* touching the storage engine: a priority class (mapped to
+// sched::Priority at the server), a transaction opcode, a relative deadline,
+// and three inline u64 params (keys, ranges) so the common point ops never
+// need a payload allocation.
+//
+// The response status is deliberately wider than Rc: backpressure
+// (kQueueFull) and shutdown surface as explicit BUSY / SHUTTING_DOWN frames
+// — the PR-2 contract "rejected means rejected, nothing queued silently"
+// extended to the wire — while transaction-level outcomes keep the exact Rc
+// in a detail byte next to the coarse status.
+#ifndef PREEMPTDB_NET_PROTOCOL_H_
+#define PREEMPTDB_NET_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace preemptdb::net {
+
+inline constexpr uint32_t kRequestMagic = 0x51424450;   // "PDBQ"
+inline constexpr uint32_t kResponseMagic = 0x52424450;  // "PDBR"
+inline constexpr uint8_t kProtocolVersion = 1;
+
+// Transaction opcodes of the built-in KV service (Server::Options.handler
+// replaces the dispatch entirely for custom workloads; opcodes are then
+// interpreted by that handler).
+enum class Op : uint8_t {
+  kPing = 0,     // no transaction; liveness + latency floor
+  kGet = 1,      // params[0] = key; response payload = value
+  kPut = 2,      // params[0] = key; request payload = value
+  kDelete = 3,   // params[0] = key
+  kScanSum = 4,  // params[0] = lo, params[1] = hi; payload = {count, bytes}
+                 // — the long-running "analytics" op (Q2 analog) used as the
+                 // low-priority stream by net_loadgen
+};
+
+// Priority class carried on the wire; admission maps it to sched::Priority.
+enum class WireClass : uint8_t { kLow = 0, kHigh = 1 };
+
+// Coarse request outcome. Anything >= kBusy never reached (or never
+// finished inside) the engine.
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kNotFound = 1,      // Rc::kNotFound from the transaction
+  kAborted = 2,       // conflict/serialization/user abort (detail in rc)
+  kError = 3,         // engine-internal or I/O error (detail in rc)
+  kBusy = 4,          // submission queue full: NOT enqueued, retry or shed
+  kTimeout = 5,       // deadline expired before/while queued; never executed
+                      // after expiry (detail rc == Rc::kTimeout)
+  kBadRequest = 6,    // malformed frame, unknown opcode, oversized payload
+  kShuttingDown = 7,  // server/DB stopping; submission rejected
+};
+
+const char* WireStatusString(WireStatus s);
+
+// Maps a transaction-terminal Rc to the coarse wire status (BUSY /
+// BAD_REQUEST / SHUTTING_DOWN never come from an Rc).
+WireStatus StatusFromRc(Rc rc);
+
+// --- Request frame ---
+
+struct RequestHeader {
+  uint32_t magic = kRequestMagic;
+  uint8_t version = kProtocolVersion;
+  uint8_t opcode = 0;
+  uint8_t prio_class = 0;  // WireClass
+  uint8_t flags = 0;       // reserved
+  uint64_t request_id = 0;
+  uint32_t timeout_us = 0;  // relative deadline; 0 = none (see SubmitOptions)
+  uint32_t payload_len = 0;
+  uint64_t params[3] = {};
+};
+
+inline constexpr size_t kRequestHeaderSize = 48;
+static_assert(sizeof(RequestHeader) == kRequestHeaderSize,
+              "wire layout must be packed: 4+4+8+4+4+24");
+
+// --- Response frame ---
+
+struct ResponseHeader {
+  uint32_t magic = kResponseMagic;
+  uint8_t version = kProtocolVersion;
+  uint8_t status = 0;  // WireStatus
+  uint8_t rc = 0;      // underlying Rc detail (valid for kOk..kTimeout)
+  uint8_t flags = 0;   // reserved
+  uint64_t request_id = 0;
+  uint64_t server_ns = 0;  // accept-to-completion latency measured serverside
+  uint32_t payload_len = 0;
+  uint32_t reserved = 0;
+};
+
+inline constexpr size_t kResponseHeaderSize = 32;
+static_assert(sizeof(ResponseHeader) == kResponseHeaderSize,
+              "wire layout must be packed: 4+4+8+8+4+4");
+
+// Frames larger than this are rejected at parse time (kBadRequest) before
+// any allocation proportional to the claimed length.
+inline constexpr uint32_t kMaxPayload = 1u << 20;
+
+// --- Encode / decode ---
+//
+// Encoders append header + payload to `out` (one buffer per frame keeps the
+// write path a single copy). Decoders validate magic/version/length and
+// return false on a malformed header — the connection is then poisoned and
+// closed, since framing can no longer be trusted.
+
+void EncodeRequest(const RequestHeader& h, std::string_view payload,
+                   std::string* out);
+void EncodeResponse(const ResponseHeader& h, std::string_view payload,
+                    std::string* out);
+
+// `buf` must hold at least kRequestHeaderSize / kResponseHeaderSize bytes.
+bool DecodeRequestHeader(const uint8_t* buf, RequestHeader* out);
+bool DecodeResponseHeader(const uint8_t* buf, ResponseHeader* out);
+
+}  // namespace preemptdb::net
+
+#endif  // PREEMPTDB_NET_PROTOCOL_H_

@@ -1,0 +1,156 @@
+// Epoll-based TCP front-end for a PreemptDB instance.
+//
+// One event-loop thread owns the listening socket, an eventfd wakeup, and
+// every connection (src/net/connection.h for the threading contract).
+// Requests are classified HP/LP *at admission* from the wire priority class
+// — the network edge is where mixed OLTP/OLAP traffic gets its priority,
+// before any engine resource is touched — and driven through the
+// completion-callback Submit() overload so the PR-2 backpressure contract
+// reaches the wire verbatim:
+//
+//   DB::SubmitResult::kQueueFull  ->  WireStatus::kBusy      (not enqueued)
+//   DB::SubmitResult::kStopped    ->  WireStatus::kShuttingDown
+//   Rc::kTimeout (deadline shed)  ->  WireStatus::kTimeout   (never executed)
+//
+// Nothing is silently queued or dropped: every admitted submission completes
+// (run, or shed-as-timeout) and produces exactly one completion; the only
+// thing a dead connection loses is the reply bytes (net.responses_dropped).
+//
+// Lifecycle: construct over an open DB, Start(), serve, Stop(). Stop()
+// rejects new work, drains the DB (so in-flight completions fire), then
+// tears the loop down — the server must be stopped before the DB dies.
+#ifndef PREEMPTDB_NET_SERVER_H_
+#define PREEMPTDB_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/preemptdb.h"
+#include "net/connection.h"
+#include "net/protocol.h"
+
+namespace preemptdb::net {
+
+class Server {
+ public:
+  // Interprets one decoded request inside a transaction. Runs on worker
+  // threads (possibly many at once): must be thread-safe and touch the
+  // engine only through `eng`. `payload` is the request body; reply bytes go
+  // to `*reply` (returned with WireStatus::kOk / kNotFound / kAborted...).
+  using OpHandler =
+      std::function<Rc(engine::Engine& eng, const RequestHeader& req,
+                       const std::string& payload, std::string* reply)>;
+
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;  // 0 = ephemeral; read the bound port via port()
+    int backlog = 128;
+    // Per-connection admission cap: requests beyond this many in flight get
+    // an immediate BUSY (connection-level backpressure, upstream of the
+    // submit-queue kind). 0 disables.
+    uint32_t max_inflight = 512;
+    // Payload cap for this server (<= protocol kMaxPayload).
+    uint32_t max_payload = kMaxPayload;
+    // Table backing the built-in KV ops; created on Start() if absent.
+    std::string kv_table = "netkv";
+    // Replaces the built-in KV dispatch entirely when set.
+    OpHandler handler;
+  };
+
+  Server(DB* db, Options options);
+  ~Server();
+  PDB_DISALLOW_COPY_AND_ASSIGN(Server);
+
+  // Binds, listens, and spawns the event loop. False + *err on bind/listen
+  // failure (port in use, bad host).
+  bool Start(std::string* err);
+
+  // Stops accepting, drains the DB, closes every connection, joins the
+  // loop. Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // --- Per-instance statistics (tests want deltas per server, not the
+  // process-global obs counters, which also exist: net.*) ---
+  uint64_t conns_accepted() const { return conns_accepted_.load(); }
+  uint64_t conns_closed() const { return conns_closed_.load(); }
+  uint64_t requests() const { return requests_.load(); }
+  uint64_t admitted() const { return admitted_.load(); }
+  uint64_t busy() const { return busy_.load(); }
+  uint64_t bad_requests() const { return bad_requests_.load(); }
+  uint64_t replies() const { return replies_.load(); }
+  uint64_t responses_dropped() const { return responses_dropped_.load(); }
+  uint64_t timeouts() const { return timeouts_.load(); }
+  uint64_t conn_resets_injected() const { return conn_resets_.load(); }
+
+ private:
+  // Everything one admitted request needs to complete after its connection
+  // dies: kept alive by the TxnFn and completion lambdas.
+  struct PendingOp {
+    std::shared_ptr<Connection> conn;
+    RequestHeader hdr;
+    uint64_t accept_ns = 0;
+    std::string in;   // request payload (owned copy; the rbuf recycles)
+    std::string out;  // reply payload, written inside the transaction
+  };
+
+  void EventLoop();
+  void HandleAccept();
+  void HandleConnReadable(const std::shared_ptr<Connection>& conn);
+  // Parses + admits one frame; returns false when the connection must close.
+  bool HandleRequest(const std::shared_ptr<Connection>& conn,
+                     const RequestHeader& hdr, std::string_view payload);
+  // Completion path (worker/scheduler thread): serialize + enqueue + wake.
+  void CompleteOp(const std::shared_ptr<PendingOp>& op, Rc rc);
+  // Immediate reply from the epoll thread (BUSY, BAD_REQUEST, ...).
+  void ReplyNow(const std::shared_ptr<Connection>& conn, uint64_t request_id,
+                WireStatus status, Rc rc);
+  void FlushConn(const std::shared_ptr<Connection>& conn);
+  void CloseConn(const std::shared_ptr<Connection>& conn);
+  void UpdateEpollInterest(const std::shared_ptr<Connection>& conn);
+  void Wake();
+  Rc DefaultKvHandler(engine::Engine& eng, const RequestHeader& req,
+                      const std::string& payload, std::string* reply);
+
+  DB* const db_;
+  Options opts_;
+  engine::Table* kv_table_ = nullptr;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread loop_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  uint64_t next_conn_id_ = 1;
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+
+  // Connections with completions waiting to flush (worker -> epoll thread).
+  std::mutex dirty_mu_;
+  std::vector<int> dirty_fds_;
+
+  std::atomic<uint64_t> conns_accepted_{0};
+  std::atomic<uint64_t> conns_closed_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> busy_{0};
+  std::atomic<uint64_t> bad_requests_{0};
+  std::atomic<uint64_t> replies_{0};
+  std::atomic<uint64_t> responses_dropped_{0};
+  std::atomic<uint64_t> timeouts_{0};
+  std::atomic<uint64_t> conn_resets_{0};
+};
+
+}  // namespace preemptdb::net
+
+#endif  // PREEMPTDB_NET_SERVER_H_

@@ -137,6 +137,14 @@ const char* EventName(EventType t) {
       return "WorkerDemoted";
     case EventType::kWorkerPromoted:
       return "WorkerPromoted";
+    case EventType::kNetAccept:
+      return "NetAccept";
+    case EventType::kNetRequest:
+      return "NetRequest";
+    case EventType::kNetSubmit:
+      return "NetSubmit";
+    case EventType::kNetReply:
+      return "NetReply";
     case EventType::kNumEventTypes:
       break;
   }
@@ -165,6 +173,11 @@ const char* EventCategory(EventType t) {
     case EventType::kGcPass:
     case EventType::kLogFlush:
       return "engine";
+    case EventType::kNetAccept:
+    case EventType::kNetRequest:
+    case EventType::kNetSubmit:
+    case EventType::kNetReply:
+      return "net";
     case EventType::kNumEventTypes:
       break;
   }

@@ -41,6 +41,10 @@ enum class EventType : uint16_t {
   kHpExpired,          // a32 = request type; deadline passed before placement
   kWorkerDemoted,      // a32 = worker track; preempt -> yield degradation
   kWorkerPromoted,     // a32 = worker track; recovered to preempt mode
+  kNetAccept,          // net-server track; a32 = connection id
+  kNetRequest,         // frame parsed; a32 = opcode, a64 = request id
+  kNetSubmit,          // admitted into DB::Submit; a32 = 1 when high priority
+  kNetReply,           // response enqueued; a32 = WireStatus, a64 = server ns
   kNumEventTypes,
 };
 

@@ -172,11 +172,11 @@ size_t TraceExporter::DeriveUipiLatency(LatencyHistogram* out) const {
 }
 
 int TraceExporter::NumCategoriesPresent() const {
-  bool seen[4] = {};
-  const char* cats[4] = {"uintr", "fiber", "sched", "engine"};
+  bool seen[5] = {};
+  const char* cats[5] = {"uintr", "fiber", "sched", "engine", "net"};
   for (const TraceEvent& e : events_) {
     const char* c = EventCategory(static_cast<EventType>(e.type));
-    for (int i = 0; i < 4; ++i) {
+    for (int i = 0; i < 5; ++i) {
       if (std::strcmp(c, cats[i]) == 0) seen[i] = true;
     }
   }

@@ -14,6 +14,8 @@
 #include "core/preemptdb.h"
 #include "engine/engine.h"
 #include "fault/fault.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "util/clock.h"
 
 namespace preemptdb {
@@ -112,15 +114,17 @@ TEST_F(FaultTest, SpecParsesAllClauses) {
   std::string err;
   ASSERT_TRUE(fault::ConfigureFromSpec(
       "sigdrop:0.25,sigdelay:5us:0.5,logwrite:eio:0.125,queuefull,"
-      "allocfail:0.01",
+      "allocfail:0.01,acceptfail:0.5,partialread,partialwrite:0.25,"
+      "connreset:0.125",
       &err))
       << err;
   EXPECT_TRUE(fault::Enabled());
   EXPECT_EQ(fault::Param(fault::Point::kSigDelay), 5u);
   EXPECT_EQ(fault::Param(fault::Point::kLogWrite),
             static_cast<uint64_t>(EIO));
-  // queuefull defaults to probability 1.
+  // Probability-only clauses default to 1 when the :P is omitted.
   EXPECT_TRUE(fault::ShouldFire(fault::Point::kQueueFull));
+  EXPECT_TRUE(fault::ShouldFire(fault::Point::kNetPartialRead));
 }
 
 TEST_F(FaultTest, SpecShortWriteAndEnospc) {
@@ -468,6 +472,127 @@ TEST_F(FaultTest, SigDropDemotesThenRecoveryPromotes) {
   blocker.join();
   db->Drain();
   EXPECT_EQ(hp_ran.load(), 8) << "no HP submission may be lost to drops";
+}
+
+// --- Networked front-end fault points ---
+
+std::unique_ptr<DB> OpenNetDb() {
+  DB::Options o;
+  o.scheduler.policy = sched::Policy::kPreempt;
+  o.scheduler.num_workers = 1;
+  o.scheduler.arrival_interval_us = 500;
+  return DB::Open(o);
+}
+
+TEST_F(FaultTest, PartialReadsAndWritesOnlySlowRequestsDown) {
+  auto db = OpenNetDb();
+  net::Server server(db.get(), {});
+  std::string err;
+  ASSERT_TRUE(server.Start(&err)) << err;
+
+  // Every server-side read and write is truncated to one byte: a 48-byte
+  // request header takes ~48 reads, a response dribbles out byte by byte.
+  // Level-triggered epoll must keep resuming both directions until each
+  // frame completes — correctness is untouched, only latency suffers.
+  fault::Configure(fault::Point::kNetPartialRead, 1.0);
+  fault::Configure(fault::Point::kNetPartialWrite, 1.0);
+
+  net::Client c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server.port(), &err)) << err;
+  net::Client::Result res;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(c.Put(static_cast<uint64_t>(i + 1), "chunked",
+                      net::WireClass::kHigh, &res, &err))
+        << err << " op " << i;
+    EXPECT_EQ(res.status, net::WireStatus::kOk);
+  }
+  ASSERT_TRUE(c.Get(3, net::WireClass::kLow, &res, &err)) << err;
+  EXPECT_EQ(res.status, net::WireStatus::kOk);
+  EXPECT_EQ(res.payload, "chunked");
+
+  EXPECT_GT(fault::FireCount(fault::Point::kNetPartialRead), 48u);
+  EXPECT_GT(fault::FireCount(fault::Point::kNetPartialWrite), 32u);
+  fault::Reset();
+  server.Stop();
+}
+
+TEST_F(FaultTest, InjectedAcceptFailureDropsConnNotServer) {
+  auto db = OpenNetDb();
+  net::Server server(db.get(), {});
+  std::string err;
+  ASSERT_TRUE(server.Start(&err)) << err;
+
+  fault::Configure(fault::Point::kNetAccept, 1.0);
+  {
+    net::Client c;
+    // connect() itself succeeds (the kernel completed the handshake from the
+    // backlog); the injected failure closes the fd server-side, so the first
+    // round trip fails instead.
+    if (c.Connect("127.0.0.1", server.port(), &err)) {
+      net::Client::Result res;
+      EXPECT_FALSE(c.Ping(&res, &err));
+    }
+  }
+  ASSERT_TRUE(WaitUntil(
+      [&] { return fault::FireCount(fault::Point::kNetAccept) >= 1; }, 5000));
+  EXPECT_EQ(server.conns_accepted(), 0u);
+
+  // Disarm: the server itself is unharmed and accepts normally.
+  fault::Reset();
+  net::Client c2;
+  ASSERT_TRUE(c2.Connect("127.0.0.1", server.port(), &err)) << err;
+  net::Client::Result res;
+  ASSERT_TRUE(c2.Ping(&res, &err)) << err;
+  EXPECT_EQ(res.status, net::WireStatus::kOk);
+  server.Stop();
+}
+
+TEST_F(FaultTest, ConnResetMidResponseNeverLosesAcceptedSubmission) {
+  auto db = OpenNetDb();
+  net::Server server(db.get(), {});
+  std::string err;
+  ASSERT_TRUE(server.Start(&err)) << err;
+
+  // Establish the connection and a baseline round trip first, then arm the
+  // reset so it fires on the next queued response.
+  net::Client c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server.port(), &err)) << err;
+  net::Client::Result res;
+  ASSERT_TRUE(c.Put(1, "before", net::WireClass::kHigh, &res, &err)) << err;
+  ASSERT_EQ(res.status, net::WireStatus::kOk);
+
+  fault::Configure(fault::Point::kNetReset, 1.0);
+  net::RequestHeader h;
+  h.opcode = static_cast<uint8_t>(net::Op::kPut);
+  h.prio_class = static_cast<uint8_t>(net::WireClass::kHigh);
+  h.params[0] = 2;
+  ASSERT_TRUE(c.Send(h, "after", &err)) << err;
+  // The client observes a hard close instead of its response.
+  EXPECT_FALSE(c.Recv(&res, &err));
+
+  ASSERT_TRUE(WaitUntil([&] { return server.conn_resets_injected() >= 1; },
+                        5000));
+  db->Drain();
+  fault::Reset();
+  // The accepted submission completed despite the reset: the write is
+  // committed and only the reply bytes were lost.
+  EXPECT_EQ(server.admitted(), 2u);
+  ASSERT_TRUE(
+      WaitUntil([&] { return server.responses_dropped() >= 1; }, 5000));
+  Rc rc = db->Execute([&](engine::Engine& eng) {
+    auto* t = eng.GetTable("netkv");
+    auto* txn = eng.Begin();
+    Slice s;
+    Rc r = txn->Read(t, 2, &s);
+    if (!IsOk(r)) {
+      txn->Abort();
+      return r;
+    }
+    EXPECT_EQ(std::string(s.data, s.size), "after");
+    return txn->Commit();
+  });
+  EXPECT_EQ(rc, Rc::kOk) << "reset must lose reply bytes, not the txn";
+  server.Stop();
 }
 
 }  // namespace

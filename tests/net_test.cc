@@ -1,0 +1,587 @@
+// Networked front-end tests: wire protocol round trips, admission
+// classification, and — the part that matters — the PR-2 backpressure
+// contract surfacing on the wire: kQueueFull as BUSY, deadlines as TIMEOUT
+// (expired work never executed), zero timeout meaning "no deadline", and a
+// dead peer losing only its reply bytes, never an accepted submission.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "core/preemptdb.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "util/clock.h"
+
+namespace preemptdb {
+namespace {
+
+using namespace std::chrono_literals;
+using net::Op;
+using net::WireClass;
+using net::WireStatus;
+
+bool WaitUntil(const std::function<bool()>& pred, int timeout_ms) {
+  uint64_t deadline = MonoNanos() + static_cast<uint64_t>(timeout_ms) * 1000000;
+  while (MonoNanos() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return pred();
+}
+
+// DB + server on an ephemeral loopback port, torn down in order (server
+// before DB, as the server contract requires).
+class NetTest : public ::testing::Test {
+ protected:
+  void Start(DB::Options dbo, net::Server::Options so = {}) {
+    db_ = DB::Open(dbo);
+    server_ = std::make_unique<net::Server>(db_.get(), so);
+    std::string err;
+    ASSERT_TRUE(server_->Start(&err)) << err;
+  }
+
+  void StartDefault() {
+    DB::Options dbo;
+    dbo.scheduler.policy = sched::Policy::kPreempt;
+    dbo.scheduler.num_workers = 2;
+    dbo.scheduler.arrival_interval_us = 500;
+    Start(dbo);
+  }
+
+  // Single worker + fast tick: tests that need to wedge the pipeline block
+  // the one worker with a direct Submit and own the timing completely.
+  void StartSingleWorker(net::Server::Options so = {}) {
+    DB::Options dbo;
+    dbo.scheduler.policy = sched::Policy::kPreempt;
+    dbo.scheduler.num_workers = 1;
+    dbo.scheduler.arrival_interval_us = 500;
+    Start(dbo, so);
+  }
+
+  void TearDown() override {
+    if (server_) server_->Stop();
+    server_.reset();
+    db_.reset();
+  }
+
+  net::Client Connect() {
+    net::Client c;
+    std::string err;
+    EXPECT_TRUE(c.Connect("127.0.0.1", server_->port(), &err)) << err;
+    return c;
+  }
+
+  std::unique_ptr<DB> db_;
+  std::unique_ptr<net::Server> server_;
+};
+
+// --- Protocol layer (no sockets) ---
+
+TEST(NetProtocolTest, RequestHeaderRoundTrip) {
+  net::RequestHeader h;
+  h.opcode = static_cast<uint8_t>(Op::kScanSum);
+  h.prio_class = 1;
+  h.request_id = 0xdeadbeefcafe;
+  h.timeout_us = 1234;
+  h.params[0] = 7;
+  h.params[1] = 9000;
+  std::string frame;
+  net::EncodeRequest(h, "xyz", &frame);
+  ASSERT_EQ(frame.size(), net::kRequestHeaderSize + 3);
+  net::RequestHeader d;
+  ASSERT_TRUE(net::DecodeRequestHeader(
+      reinterpret_cast<const uint8_t*>(frame.data()), &d));
+  EXPECT_EQ(d.opcode, h.opcode);
+  EXPECT_EQ(d.prio_class, 1);
+  EXPECT_EQ(d.request_id, h.request_id);
+  EXPECT_EQ(d.timeout_us, 1234u);
+  EXPECT_EQ(d.payload_len, 3u);
+  EXPECT_EQ(d.params[1], 9000u);
+}
+
+TEST(NetProtocolTest, DecodeRejectsCorruptHeaders) {
+  net::RequestHeader h;
+  std::string frame;
+  net::EncodeRequest(h, {}, &frame);
+  net::RequestHeader d;
+
+  std::string bad_magic = frame;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(net::DecodeRequestHeader(
+      reinterpret_cast<const uint8_t*>(bad_magic.data()), &d));
+
+  std::string bad_version = frame;
+  bad_version[4] = 99;
+  EXPECT_FALSE(net::DecodeRequestHeader(
+      reinterpret_cast<const uint8_t*>(bad_version.data()), &d));
+
+  // Claimed payload beyond kMaxPayload is rejected before any allocation.
+  std::string bad_len = frame;
+  uint32_t huge = net::kMaxPayload + 1;
+  std::memcpy(&bad_len[20], &huge, sizeof(huge));
+  EXPECT_FALSE(net::DecodeRequestHeader(
+      reinterpret_cast<const uint8_t*>(bad_len.data()), &d));
+}
+
+TEST(NetProtocolTest, ResponseHeaderRoundTrip) {
+  net::ResponseHeader h;
+  h.status = static_cast<uint8_t>(WireStatus::kTimeout);
+  h.rc = static_cast<uint8_t>(Rc::kTimeout);
+  h.request_id = 42;
+  h.server_ns = 5555;
+  std::string frame;
+  net::EncodeResponse(h, "pp", &frame);
+  ASSERT_EQ(frame.size(), net::kResponseHeaderSize + 2);
+  net::ResponseHeader d;
+  ASSERT_TRUE(net::DecodeResponseHeader(
+      reinterpret_cast<const uint8_t*>(frame.data()), &d));
+  EXPECT_EQ(d.status, h.status);
+  EXPECT_EQ(d.rc, h.rc);
+  EXPECT_EQ(d.request_id, 42u);
+  EXPECT_EQ(d.server_ns, 5555u);
+  EXPECT_EQ(d.payload_len, 2u);
+}
+
+TEST(NetProtocolTest, StatusFromRcCoarsens) {
+  EXPECT_EQ(net::StatusFromRc(Rc::kOk), WireStatus::kOk);
+  EXPECT_EQ(net::StatusFromRc(Rc::kNotFound), WireStatus::kNotFound);
+  EXPECT_EQ(net::StatusFromRc(Rc::kAbortWriteConflict), WireStatus::kAborted);
+  EXPECT_EQ(net::StatusFromRc(Rc::kAbortSerialization), WireStatus::kAborted);
+  EXPECT_EQ(net::StatusFromRc(Rc::kTimeout), WireStatus::kTimeout);
+  EXPECT_EQ(net::StatusFromRc(Rc::kIoError), WireStatus::kError);
+  EXPECT_STREQ(net::WireStatusString(WireStatus::kBusy), "busy");
+}
+
+// --- End-to-end KV round trips ---
+
+TEST_F(NetTest, PingAndKvOpsRoundTrip) {
+  StartDefault();
+  net::Client c = Connect();
+  net::Client::Result res;
+  std::string err;
+
+  ASSERT_TRUE(c.Ping(&res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kOk);
+  EXPECT_GT(res.server_ns, 0u);
+
+  ASSERT_TRUE(c.Put(7, "hello", WireClass::kHigh, &res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kOk);
+
+  ASSERT_TRUE(c.Get(7, WireClass::kHigh, &res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kOk);
+  EXPECT_EQ(res.payload, "hello");
+
+  // Upsert: Put on an existing key overwrites.
+  ASSERT_TRUE(c.Put(7, "world", WireClass::kLow, &res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kOk);
+  ASSERT_TRUE(c.Get(7, WireClass::kLow, &res, &err)) << err;
+  EXPECT_EQ(res.payload, "world");
+
+  ASSERT_TRUE(c.Get(9999, WireClass::kHigh, &res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kNotFound);
+  EXPECT_EQ(res.rc, Rc::kNotFound);
+
+  // ScanSum over [1, 100]: one key with 5 bytes.
+  ASSERT_TRUE(c.ScanSum(1, 100, WireClass::kLow, &res, &err)) << err;
+  ASSERT_EQ(res.status, WireStatus::kOk);
+  ASSERT_EQ(res.payload.size(), 16u);
+  uint64_t count, bytes;
+  std::memcpy(&count, res.payload.data(), 8);
+  std::memcpy(&bytes, res.payload.data() + 8, 8);
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(bytes, 5u);
+
+  EXPECT_EQ(server_->bad_requests(), 0u);
+  EXPECT_GE(server_->admitted(), 5u);  // ping is admission-free
+}
+
+TEST_F(NetTest, BadRequestsGetExplicitStatusAndConnectionSurvives) {
+  StartDefault();
+  net::Client c = Connect();
+  net::Client::Result res;
+  std::string err;
+
+  net::RequestHeader h;
+  h.opcode = 200;  // unknown opcode
+  ASSERT_TRUE(c.Call(h, {}, &res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kBadRequest);
+
+  h = net::RequestHeader{};
+  h.opcode = static_cast<uint8_t>(Op::kGet);
+  h.prio_class = 7;  // not a WireClass
+  ASSERT_TRUE(c.Call(h, {}, &res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kBadRequest);
+
+  EXPECT_EQ(server_->bad_requests(), 2u);
+  // Bad requests are per-frame errors, not framing corruption: the same
+  // connection keeps working.
+  ASSERT_TRUE(c.Ping(&res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kOk);
+}
+
+TEST_F(NetTest, CorruptFramingClosesTheConnection) {
+  StartDefault();
+  net::Client c = Connect();
+  std::string junk(net::kRequestHeaderSize, 'Z');
+  ASSERT_EQ(::send(c.fd(), junk.data(), junk.size(), 0),
+            static_cast<ssize_t>(junk.size()));
+  net::Client::Result res;
+  std::string err;
+  EXPECT_FALSE(c.Recv(&res, &err));  // server closed us: framing is gone
+  ASSERT_TRUE(WaitUntil([&] { return server_->conns_closed() >= 1; }, 5000));
+
+  // A fresh connection is unaffected.
+  net::Client c2 = Connect();
+  ASSERT_TRUE(c2.Ping(&res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kOk);
+}
+
+TEST_F(NetTest, OversizedPayloadRejectedPerServerLimit) {
+  net::Server::Options so;
+  so.max_payload = 64;
+  StartSingleWorker(so);
+  net::Client c = Connect();
+  net::Client::Result res;
+  std::string err;
+  // 65 bytes: over this server's cap but under the protocol cap, so the
+  // frame parses and the server answers BAD_REQUEST instead of closing.
+  ASSERT_TRUE(c.Put(1, std::string(65, 'x'), WireClass::kHigh, &res, &err))
+      << err;
+  EXPECT_EQ(res.status, WireStatus::kBadRequest);
+  ASSERT_TRUE(c.Put(1, std::string(64, 'x'), WireClass::kHigh, &res, &err))
+      << err;
+  EXPECT_EQ(res.status, WireStatus::kOk);
+}
+
+// --- Backpressure contract on the wire ---
+
+TEST_F(NetTest, QueueFullSurfacesAsBusyNeverSilentlyDropped) {
+  // Tiny submission queue + glacial scheduler tick: a pipelined burst must
+  // split into kAccepted (eventually kOk) and kQueueFull (immediately BUSY),
+  // with every single request answered.
+  DB::Options dbo;
+  dbo.scheduler.policy = sched::Policy::kPreempt;
+  dbo.scheduler.num_workers = 1;
+  dbo.scheduler.arrival_interval_us = 200000;
+  dbo.submit_queue_capacity = 4;
+  Start(dbo);
+
+  net::Client c = Connect();
+  std::string err;
+  constexpr int kBurst = 64;
+  for (int i = 0; i < kBurst; ++i) {
+    net::RequestHeader h;
+    h.opcode = static_cast<uint8_t>(Op::kGet);
+    h.prio_class = static_cast<uint8_t>(WireClass::kLow);
+    h.params[0] = 1;
+    ASSERT_TRUE(c.Send(h, {}, &err)) << err;
+  }
+  int ok = 0, busy = 0, other = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    net::Client::Result res;
+    ASSERT_TRUE(c.Recv(&res, &err)) << err << " after " << i;
+    if (res.status == WireStatus::kBusy) {
+      ++busy;
+    } else if (res.status == WireStatus::kOk ||
+               res.status == WireStatus::kNotFound) {
+      ++ok;
+    } else {
+      ++other;
+    }
+  }
+  EXPECT_GT(busy, 0) << "queue of 4 cannot absorb a burst of 64";
+  EXPECT_GT(ok, 0) << "the queue's worth of requests must still be served";
+  EXPECT_EQ(other, 0);
+  EXPECT_EQ(ok + busy, kBurst) << "no request may go unanswered";
+  EXPECT_EQ(server_->busy(), static_cast<uint64_t>(busy));
+  EXPECT_GT(server_->admitted(), 0u);
+}
+
+TEST_F(NetTest, ZeroTimeoutMeansNoDeadline) {
+  StartSingleWorker();
+  // Wedge the only worker long enough that any accidental deadline would
+  // fire; a timeout_us=0 request must simply wait and complete.
+  std::atomic<bool> release{false};
+  std::atomic<bool> running{false};
+  ASSERT_EQ(db_->Submit(sched::Priority::kHigh,
+                        [&](engine::Engine&) {
+                          running.store(true);
+                          while (!release.load()) {
+                            std::this_thread::sleep_for(1ms);
+                          }
+                          return Rc::kOk;
+                        }),
+            SubmitResult::kAccepted);
+  ASSERT_TRUE(WaitUntil([&] { return running.load(); }, 5000));
+
+  net::Client c = Connect();
+  std::string err;
+  net::RequestHeader h;
+  h.opcode = static_cast<uint8_t>(Op::kPut);
+  h.prio_class = static_cast<uint8_t>(WireClass::kHigh);
+  h.timeout_us = 0;  // explicitly: no deadline
+  h.params[0] = 5;
+  ASSERT_TRUE(c.Send(h, "v", &err)) << err;
+
+  std::this_thread::sleep_for(100ms);  // long past any plausible deadline
+  release.store(true);
+
+  net::Client::Result res;
+  ASSERT_TRUE(c.Recv(&res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kOk);
+  EXPECT_EQ(server_->timeouts(), 0u);
+}
+
+TEST_F(NetTest, DeadlineExpiringWhileQueuedAnswersTimeoutAndNeverRuns) {
+  // Custom handler so execution is observable: the timed-out request must
+  // never reach it.
+  std::atomic<int> executed{0};
+  net::Server::Options so;
+  so.handler = [&](engine::Engine&, const net::RequestHeader&,
+                   const std::string&, std::string*) {
+    executed.fetch_add(1);
+    return Rc::kOk;
+  };
+  StartSingleWorker(so);
+
+  std::atomic<bool> release{false};
+  std::atomic<bool> running{false};
+  ASSERT_EQ(db_->Submit(sched::Priority::kHigh,
+                        [&](engine::Engine&) {
+                          running.store(true);
+                          while (!release.load()) {
+                            std::this_thread::sleep_for(1ms);
+                          }
+                          return Rc::kOk;
+                        }),
+            SubmitResult::kAccepted);
+  ASSERT_TRUE(WaitUntil([&] { return running.load(); }, 5000));
+
+  net::Client c = Connect();
+  std::string err;
+  net::RequestHeader h;
+  h.opcode = 1;
+  h.prio_class = static_cast<uint8_t>(WireClass::kHigh);
+  h.timeout_us = 2000;  // 2 ms; the worker stays wedged for ~300 ms
+  ASSERT_TRUE(c.Send(h, {}, &err)) << err;
+
+  // Expiry is detected when the pipeline next touches the closure (dequeue /
+  // pre-exec), so free the worker well after the deadline: the request must
+  // then complete as TIMEOUT, not run.
+  auto releaser = std::thread([&] {
+    std::this_thread::sleep_for(300ms);
+    release.store(true);
+  });
+
+  net::Client::Result res;
+  ASSERT_TRUE(c.Recv(&res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kTimeout);
+  EXPECT_EQ(res.rc, Rc::kTimeout);
+  EXPECT_EQ(server_->timeouts(), 1u);
+
+  releaser.join();
+  db_->Drain();
+  EXPECT_EQ(executed.load(), 0) << "expired work must never execute";
+}
+
+TEST_F(NetTest, PerConnectionInflightCapAnswersBusy) {
+  net::Server::Options so;
+  so.max_inflight = 1;
+  StartSingleWorker(so);
+
+  std::atomic<bool> release{false};
+  std::atomic<bool> running{false};
+  ASSERT_EQ(db_->Submit(sched::Priority::kHigh,
+                        [&](engine::Engine&) {
+                          running.store(true);
+                          while (!release.load()) {
+                            std::this_thread::sleep_for(1ms);
+                          }
+                          return Rc::kOk;
+                        }),
+            SubmitResult::kAccepted);
+  ASSERT_TRUE(WaitUntil([&] { return running.load(); }, 5000));
+
+  net::Client c = Connect();
+  std::string err;
+  net::RequestHeader h;
+  h.opcode = static_cast<uint8_t>(Op::kGet);
+  h.prio_class = static_cast<uint8_t>(WireClass::kHigh);
+  h.params[0] = 1;
+  // Two pipelined requests against max_inflight=1: the first is admitted
+  // (and parks behind the wedged worker), the second bounces as BUSY.
+  ASSERT_TRUE(c.Send(h, {}, &err)) << err;
+  ASSERT_TRUE(c.Send(h, {}, &err)) << err;
+
+  net::Client::Result res;
+  ASSERT_TRUE(c.Recv(&res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kBusy);
+
+  release.store(true);
+  ASSERT_TRUE(c.Recv(&res, &err)) << err;
+  EXPECT_TRUE(res.status == WireStatus::kOk ||
+              res.status == WireStatus::kNotFound);
+}
+
+TEST_F(NetTest, DeadPeerLosesOnlyReplyBytesNeverTheSubmission) {
+  // The client vanishes while its request is still executing. The accepted
+  // submission must run to completion (its write commits); only the reply
+  // is dropped.
+  std::atomic<bool> release{false};
+  std::atomic<bool> entered{false};
+  net::Server::Options so;
+  so.handler = [&](engine::Engine& eng, const net::RequestHeader& req,
+                   const std::string&, std::string*) {
+    entered.store(true);
+    while (!release.load()) {
+      std::this_thread::sleep_for(1ms);
+    }
+    auto* t = eng.GetTable("netkv");
+    auto* txn = eng.Begin();
+    Rc r = txn->Insert(t, req.params[0], "survived");
+    if (!IsOk(r)) {
+      txn->Abort();
+      return r;
+    }
+    return txn->Commit();
+  };
+  StartSingleWorker(so);
+  // Custom handlers own their tables; the server only auto-creates the KV
+  // table for the built-in dispatch.
+  db_->CreateTable("netkv");
+
+  {
+    net::Client c = Connect();
+    std::string err;
+    net::RequestHeader h;
+    h.opcode = static_cast<uint8_t>(Op::kPut);
+    h.prio_class = static_cast<uint8_t>(WireClass::kHigh);
+    h.params[0] = 77;
+    ASSERT_TRUE(c.Send(h, {}, &err)) << err;
+    ASSERT_TRUE(WaitUntil([&] { return entered.load(); }, 5000));
+  }  // client destroyed: socket closed mid-execution
+  ASSERT_TRUE(WaitUntil([&] { return server_->conns_closed() >= 1; }, 5000));
+  release.store(true);
+  db_->Drain();
+
+  EXPECT_EQ(server_->admitted(), 1u);
+  ASSERT_TRUE(WaitUntil([&] { return server_->responses_dropped() >= 1; },
+                        5000))
+      << "the completion must have found a dead connection";
+
+  // The transaction's effect is durable and visible engine-side.
+  Rc rc = db_->Execute([&](engine::Engine& eng) {
+    auto* t = eng.GetTable("netkv");
+    auto* txn = eng.Begin();
+    Slice s;
+    Rc r = txn->Read(t, 77, &s);
+    if (IsOk(r)) {
+      EXPECT_EQ(std::string(s.data, s.size), "survived");
+      return txn->Commit();
+    }
+    txn->Abort();
+    return r;
+  });
+  EXPECT_EQ(rc, Rc::kOk);
+}
+
+TEST_F(NetTest, CustomHandlerReplacesKvDispatch) {
+  net::Server::Options so;
+  so.handler = [](engine::Engine&, const net::RequestHeader&,
+                  const std::string& payload, std::string* reply) {
+    reply->assign(payload.rbegin(), payload.rend());
+    return Rc::kOk;
+  };
+  DB::Options dbo;
+  dbo.scheduler.policy = sched::Policy::kPreempt;
+  dbo.scheduler.num_workers = 2;
+  dbo.scheduler.arrival_interval_us = 500;
+  Start(dbo, so);
+
+  net::Client c = Connect();
+  net::Client::Result res;
+  std::string err;
+  net::RequestHeader h;
+  h.opcode = 200;  // custom handlers own the opcode space entirely
+  h.prio_class = static_cast<uint8_t>(WireClass::kHigh);
+  ASSERT_TRUE(c.Call(h, "abc", &res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kOk);
+  EXPECT_EQ(res.payload, "cba");
+}
+
+TEST_F(NetTest, HighPriorityOvertakesQueuedLowPriority) {
+  // One worker, wedged while a burst of LP scans and then one HP get are
+  // queued. On release the HP request must not be answered last even though
+  // it was sent last — admission classification put it on the high-priority
+  // queue, which drains first.
+  StartSingleWorker();
+  net::Client c = Connect();
+  std::string err;
+  // Seed one key so ops do real work.
+  net::Client::Result res;
+  ASSERT_TRUE(c.Put(1, "v", WireClass::kHigh, &res, &err)) << err;
+
+  std::atomic<bool> release{false};
+  std::atomic<bool> running{false};
+  ASSERT_EQ(db_->Submit(sched::Priority::kHigh,
+                        [&](engine::Engine&) {
+                          running.store(true);
+                          while (!release.load()) {
+                            std::this_thread::sleep_for(1ms);
+                          }
+                          return Rc::kOk;
+                        }),
+            SubmitResult::kAccepted);
+  ASSERT_TRUE(WaitUntil([&] { return running.load(); }, 5000));
+
+  constexpr int kLpBurst = 8;
+  for (int i = 0; i < kLpBurst; ++i) {
+    net::RequestHeader h;
+    h.opcode = static_cast<uint8_t>(Op::kScanSum);
+    h.prio_class = static_cast<uint8_t>(WireClass::kLow);
+    h.params[0] = 1;
+    h.params[1] = 1000;
+    ASSERT_TRUE(c.Send(h, {}, &err)) << err;
+  }
+  net::RequestHeader hp;
+  hp.opcode = static_cast<uint8_t>(Op::kGet);
+  hp.prio_class = static_cast<uint8_t>(WireClass::kHigh);
+  hp.params[0] = 1;
+  uint64_t hp_id = 0;
+  ASSERT_TRUE(c.Send(hp, {}, &err, &hp_id)) << err;
+
+  // Everything is queued behind the wedge; let the worker loose.
+  std::this_thread::sleep_for(20ms);
+  release.store(true);
+
+  int hp_position = -1;
+  for (int i = 0; i < kLpBurst + 1; ++i) {
+    ASSERT_TRUE(c.Recv(&res, &err)) << err;
+    if (res.request_id == hp_id) hp_position = i;
+  }
+  ASSERT_GE(hp_position, 0);
+  EXPECT_LT(hp_position, kLpBurst)
+      << "the HP request must overtake at least one queued LP scan";
+}
+
+TEST_F(NetTest, StopAnswersDrainAndRejectsAfterwards) {
+  StartDefault();
+  net::Client c = Connect();
+  net::Client::Result res;
+  std::string err;
+  ASSERT_TRUE(c.Put(3, "x", WireClass::kHigh, &res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kOk);
+  server_->Stop();
+  EXPECT_FALSE(server_->running());
+  // The connection is gone; a fresh connect is refused (listener closed).
+  net::Client c2;
+  EXPECT_FALSE(c2.Connect("127.0.0.1", server_->port(), &err));
+}
+
+}  // namespace
+}  // namespace preemptdb
