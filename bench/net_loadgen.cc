@@ -35,6 +35,7 @@
 //   --mode=open|closed open loop or closed loop               (open)
 //   --pipeline=N       closed-loop window per connection      (1)
 //   --policy=preempt|wait|coop   in-process server policy     (preempt)
+//   --shards=N         in-process event-loop shards           (1)
 //   --workers=N        in-process worker threads              (PDB_WORKERS)
 //   --port=P           in-process listen port                 (ephemeral)
 //   --connect=H:P      use an external server instead
@@ -392,6 +393,10 @@ int main(int argc, char** argv) {
     db = DB::Open(dbo);
     net::Server::Options so;
     so.port = static_cast<uint16_t>(flags.GetInt("port", 0));
+    // Sharded front-end: with SO_REUSEPORT the kernel spreads the --conns
+    // connections across the shard listeners, so each event loop carries
+    // roughly conns/shards sockets with no generator-side routing.
+    so.num_shards = static_cast<uint32_t>(flags.GetInt("shards", 1));
     server = std::make_unique<net::Server>(db.get(), so);
     std::string err;
     if (!server->Start(&err)) {
@@ -415,8 +420,11 @@ int main(int argc, char** argv) {
       return txn->Commit();
     });
     PDB_CHECK_MSG(IsOk(rc), "preload failed");
-    std::fprintf(stderr, "# in-process server on %s:%u (%s), %lu keys\n",
+    std::fprintf(stderr,
+                 "# in-process server on %s:%u (%s), %u shard(s)%s, %lu keys\n",
                  host.c_str(), port, sched::PolicyName(policy),
+                 server->num_shards(),
+                 server->handoff_mode() ? " [handoff]" : "",
                  static_cast<unsigned long>(cfg.keys));
   } else {
     size_t colon = connect.rfind(':');
@@ -523,6 +531,26 @@ int main(int argc, char** argv) {
       snap.AddCounter("server.busy", server->busy());
       snap.AddCounter("server.replies", server->replies());
       snap.AddCounter("server.responses_dropped", server->responses_dropped());
+      snap.AddCounter("server.eventfd_wakes", server->eventfd_wakes());
+      snap.AddCounter("server.completions", server->completions());
+      snap.AddCounter("server.accept_handoffs", server->accept_handoffs());
+    }
+  }
+
+  if (server != nullptr) {
+    // Per-shard balance report: with REUSEPORT expect conns and replies to
+    // spread across shards; replies/wakes > 1 shows wake coalescing working.
+    for (uint32_t i = 0; i < server->num_shards(); ++i) {
+      net::ListenerStats ss = server->shard_stats(i);
+      std::fprintf(stderr,
+                   "# shard%u: conns=%lu admitted=%lu replies=%lu "
+                   "wakes=%lu batches=%lu handoffs=%lu\n",
+                   i, static_cast<unsigned long>(ss.conns_accepted),
+                   static_cast<unsigned long>(ss.admitted),
+                   static_cast<unsigned long>(ss.replies),
+                   static_cast<unsigned long>(ss.eventfd_wakes),
+                   static_cast<unsigned long>(ss.completion_batches),
+                   static_cast<unsigned long>(ss.accept_handoffs));
     }
   }
 

@@ -55,6 +55,7 @@ struct DB::Closure {
   uint64_t deadline_ns = 0;                // absolute MonoNanos; 0 = none
   RetryPolicy retry;
   CompletionFn on_complete;  // optional; fired once with the terminal Rc
+  uint32_t shard_id = 0;     // submitting front-end shard (observational)
 };
 
 std::unique_ptr<DB> DB::Open(const Options& options) {
@@ -143,6 +144,7 @@ bool DB::PopSubmission(sched::Priority priority, sched::Request* out) {
     out->type = 0;
     out->params[0] = reinterpret_cast<uint64_t>(c);
     out->deadline_ns = c->deadline_ns;
+    out->shard_id = c->shard_id;
     return true;
   }
   return false;
@@ -218,7 +220,7 @@ SubmitResult DB::Submit(sched::Priority priority, TxnFn fn,
   PDB_CHECK_MSG(scheduler_ != nullptr, "DB opened without a scheduler");
   if (stopping_.load(std::memory_order_acquire)) return SubmitResult::kStopped;
   auto* c = new Closure{std::move(fn), nullptr, nullptr, 0, options.retry,
-                        std::move(on_complete)};
+                        std::move(on_complete), options.shard_id};
   if (options.timeout_us > 0) {
     c->deadline_ns = MonoNanos() + options.timeout_us * 1000;
   }
@@ -238,7 +240,8 @@ Rc DB::SubmitAndWait(sched::Priority priority, TxnFn fn,
   PDB_CHECK_MSG(scheduler_ != nullptr, "DB opened without a scheduler");
   std::atomic<Rc> rc{Rc::kError};
   std::atomic<bool> done{false};
-  auto* c = new Closure{std::move(fn), &rc, &done, 0, options.retry};
+  auto* c = new Closure{std::move(fn), &rc, &done, 0, options.retry,
+                        CompletionFn(), options.shard_id};
   uint64_t deadline_ns = 0;
   if (options.timeout_us > 0) {
     deadline_ns = MonoNanos() + options.timeout_us * 1000;

@@ -38,10 +38,12 @@ using TxnFn = std::function<Rc(engine::Engine&)>;
 // overload below). Invoked exactly once per accepted submission with the
 // terminal status: the transaction's final Rc after retries, or Rc::kTimeout
 // when the deadline expired before it could run. Runs on whichever thread
-// completed the submission — a worker thread, or the scheduling thread for
-// deadline expiry — so it must be fast, non-blocking, and must not touch the
-// engine. Network front-ends use this to turn completions into wire
-// responses without parking a thread per in-flight request.
+// completed the submission — a worker thread (possibly inside a fiber that
+// has been preempted and resumed), or the scheduling thread for deadline
+// expiry — so it must be fast, non-blocking, lock-free, and must not touch
+// the engine. The networked front-end's callback appends the completion to
+// a shard-local MPSC ring and issues at most one coalesced eventfd wake
+// ("enqueue + maybe-wake") rather than taking locks or blocking.
 using CompletionFn = std::function<void(Rc)>;
 
 // Automatic re-execution of transactions that abort for transient reasons
@@ -65,6 +67,11 @@ struct SubmitOptions {
   // placement (scheduler), at dequeue, and before execution — a transaction
   // that already started is never cut short. 0 = no deadline.
   uint64_t timeout_us = 0;
+  // Identity of the submitting front-end shard, carried through
+  // sched::Request::shard_id for per-shard attribution (traces, counters).
+  // Purely observational: placement, priority, and backpressure are
+  // independent of it. 0 for single-shard callers.
+  uint32_t shard_id = 0;
 };
 
 // Outcome of a Submit() call. Backpressure contract: kQueueFull means the

@@ -7,7 +7,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace preemptdb::net {
 
@@ -17,35 +20,49 @@ void FillErr(std::string* err, const char* what) {
 }
 }  // namespace
 
-bool Client::Connect(const std::string& host, uint16_t port,
-                     std::string* err) {
+bool Client::Connect(const std::string& host, uint16_t port, std::string* err,
+                     int max_attempts) {
   Close();
-  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd_ < 0) {
-    FillErr(err, "socket");
-    return false;
-  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     errno = EINVAL;
     FillErr(err, "inet_pton");
-    Close();
     return false;
   }
-  int rc;
-  do {
-    rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-  } while (rc < 0 && errno == EINTR);
-  if (rc < 0) {
-    FillErr(err, "connect");
+  if (max_attempts < 1) max_attempts = 1;
+  uint64_t backoff_us = 500;
+  for (int attempt = 1;; ++attempt) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) {
+      FillErr(err, "socket");
+      return false;
+    }
+    int rc;
+    do {
+      rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      int one = 1;
+      ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return true;
+    }
+    // Transient refusals — the listener is not up yet, or its backlog
+    // momentarily overflowed — are worth retrying; anything else is a real
+    // configuration/network error the caller should see at once. A fresh
+    // socket per attempt: a failed connect() leaves the old one unusable.
+    bool transient = errno == ECONNREFUSED || errno == ECONNABORTED ||
+                     errno == EAGAIN;
+    if (!transient || attempt >= max_attempts) {
+      FillErr(err, "connect");
+      Close();
+      return false;
+    }
     Close();
-    return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    backoff_us = std::min<uint64_t>(backoff_us * 2, 20'000);
   }
-  int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return true;
 }
 
 void Client::Close() {

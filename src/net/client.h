@@ -54,7 +54,15 @@ class Client {
     return *this;
   }
 
-  bool Connect(const std::string& host, uint16_t port, std::string* err);
+  // Connects with bounded retry: ECONNREFUSED / ECONNABORTED / EAGAIN (and
+  // an EINTR-interrupted attempt) are retried up to `max_attempts` times
+  // total with doubling backoff (0.5 ms start, 20 ms cap — worst case well
+  // under 200 ms), covering the race where the client beats the server's
+  // listen() or a shard's backlog momentarily overflows. Other errors (bad
+  // host, unreachable network) fail immediately; max_attempts <= 1 restores
+  // single-shot behaviour.
+  bool Connect(const std::string& host, uint16_t port, std::string* err,
+               int max_attempts = 8);
   void Close();
   bool connected() const { return fd_ >= 0; }
 

@@ -16,7 +16,8 @@ namespace {
 constexpr size_t kReadChunk = 16 * 1024;
 }  // namespace
 
-Connection::Connection(int fd, uint64_t id) : fd_(fd), id_(id) {}
+Connection::Connection(int fd, uint64_t id, uint32_t shard_id)
+    : fd_(fd), id_(id), shard_id_(shard_id) {}
 
 Connection::~Connection() { MarkClosed(); }
 
@@ -65,32 +66,22 @@ bool Connection::DrainFrames(
 }
 
 bool Connection::EnqueueResponse(std::string frame) {
-  std::lock_guard<std::mutex> g(outbox_mu_);
   if (closed()) return false;
   outbox_.push_back(std::move(frame));
   return true;
-}
-
-bool Connection::WantsWrite() {
-  if (woff_ < wbuf_.size()) return true;
-  std::lock_guard<std::mutex> g(outbox_mu_);
-  return !outbox_.empty();
 }
 
 Connection::IoResult Connection::Flush() {
   if (closed()) return IoResult::kClosed;
   for (;;) {
     if (woff_ >= wbuf_.size()) {
-      // Refill from the outbox in one swap; hold the lock only for the move.
+      // Refill from the outbox: concatenate so a pipelined burst goes out
+      // in as few sends as the socket allows.
       wbuf_.clear();
       woff_ = 0;
-      std::vector<std::string> ready;
-      {
-        std::lock_guard<std::mutex> g(outbox_mu_);
-        ready.swap(outbox_);
-      }
-      if (ready.empty()) return IoResult::kOk;  // fully flushed
-      for (std::string& r : ready) wbuf_ += r;
+      if (outbox_.empty()) return IoResult::kOk;  // fully flushed
+      for (std::string& r : outbox_) wbuf_ += r;
+      outbox_.clear();
     }
     size_t len = wbuf_.size() - woff_;
     if (fault::ShouldFire(fault::Point::kNetPartialWrite)) len = 1;
@@ -113,14 +104,8 @@ Connection::IoResult Connection::Flush() {
 size_t Connection::MarkClosed() {
   bool was = closed_.exchange(true, std::memory_order_acq_rel);
   if (was) return 0;
-  size_t dropped = 0;
-  {
-    // Poison the outbox under the lock so a racing EnqueueResponse either
-    // lands before (discarded here) or observes closed and drops.
-    std::lock_guard<std::mutex> g(outbox_mu_);
-    dropped = outbox_.size();
-    outbox_.clear();
-  }
+  size_t dropped = outbox_.size();
+  outbox_.clear();
   // A partially-written wbuf frame is also lost, but frame boundaries are
   // erased by concatenation — count at least one when unwritten bytes remain.
   if (woff_ < wbuf_.size()) ++dropped;

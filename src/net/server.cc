@@ -3,9 +3,6 @@
 #include <arpa/inet.h>
 #include <errno.h>
 #include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/epoll.h>
-#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -13,28 +10,12 @@
 #include <cstring>
 #include <thread>
 
-#include "fault/fault.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
-#include "util/clock.h"
+#include "net/shard.h"
 #include "util/slice.h"
 
 namespace preemptdb::net {
 
 namespace {
-
-// Process-global wire-level counters (per-server deltas live on the Server).
-obs::Counter g_conns_accepted("net.conns_accepted");
-obs::Counter g_conns_closed("net.conns_closed");
-obs::Counter g_requests("net.requests");
-obs::Counter g_accepted("net.accepted");
-obs::Counter g_rejected("net.rejected");
-obs::Counter g_busy("net.busy");
-obs::Counter g_replies("net.replies");
-obs::Counter g_responses_dropped("net.responses_dropped");
-obs::Counter g_wire_timeouts("net.timeouts");
-obs::Counter g_class_hp("net.class_hp");
-obs::Counter g_class_lp("net.class_lp");
 
 void AppendU64(std::string* out, uint64_t v) {
   out->append(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -42,21 +23,68 @@ void AppendU64(std::string* out, uint64_t v) {
 
 }  // namespace
 
+ListenerStats& ListenerStats::operator+=(const ListenerStats& o) {
+  conns_accepted += o.conns_accepted;
+  conns_closed += o.conns_closed;
+  requests += o.requests;
+  admitted += o.admitted;
+  busy += o.busy;
+  bad_requests += o.bad_requests;
+  replies += o.replies;
+  responses_dropped += o.responses_dropped;
+  timeouts += o.timeouts;
+  conn_resets += o.conn_resets;
+  eventfd_wakes += o.eventfd_wakes;
+  completions_pushed += o.completions_pushed;
+  completions += o.completions;
+  completion_batches += o.completion_batches;
+  accept_handoffs += o.accept_handoffs;
+  open_conns += o.open_conns;
+  return *this;
+}
+
 Server::Server(DB* db, Options options) : db_(db), opts_(std::move(options)) {
   if (opts_.max_payload > kMaxPayload) opts_.max_payload = kMaxPayload;
+  if (opts_.num_shards < 1) opts_.num_shards = 1;
+  if (opts_.num_shards > kMaxShards) opts_.num_shards = kMaxShards;
 }
 
 Server::~Server() { Stop(); }
 
-bool Server::Start(std::string* err) {
-  auto fail = [&](const std::string& msg) {
-    if (err != nullptr) *err = msg + ": " + std::strerror(errno);
-    if (listen_fd_ >= 0) ::close(listen_fd_);
-    if (epoll_fd_ >= 0) ::close(epoll_fd_);
-    if (wake_fd_ >= 0) ::close(wake_fd_);
-    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
-    return false;
+uint32_t Server::num_shards() const { return opts_.num_shards; }
+
+int Server::OpenListener(bool reuseport, uint16_t port, std::string* err) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  auto fail = [&](const std::string& what) {
+    if (err != nullptr) *err = what + ": " + std::strerror(errno);
+    if (fd >= 0) ::close(fd);
+    return -1;
   };
+  if (fd < 0) return fail("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuseport &&
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+    // No REUSEPORT on this kernel: surface the failure so the caller can
+    // degrade to handoff mode instead of binding a listener that will not
+    // share the port.
+    return fail("setsockopt(SO_REUSEPORT)");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    return fail("inet_pton(" + opts_.host + ")");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return fail("bind");
+  }
+  if (::listen(fd, opts_.backlog) < 0) return fail("listen");
+  return fd;
+}
+
+bool Server::Start(std::string* err) {
   PDB_CHECK_MSG(!running(), "Server::Start called twice");
 
   if (!opts_.handler) {
@@ -64,46 +92,87 @@ bool Server::Start(std::string* err) {
     if (kv_table_ == nullptr) kv_table_ = db_->CreateTable(opts_.kv_table);
   }
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) return fail("socket");
-  int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const uint32_t n = opts_.num_shards;
+  bool want_reuseport = n > 1 && opts_.reuseport;
+  handoff_mode_ = n > 1 && !want_reuseport;
+
+  // Shard 0 binds first — with an ephemeral port request this resolves the
+  // real port the remaining listeners must share.
+  std::vector<int> listeners(n, -1);
+  listeners[0] = OpenListener(want_reuseport, opts_.port, err);
+  if (listeners[0] < 0 && want_reuseport) {
+    // Kernel without SO_REUSEPORT: retry plain and hand connections off.
+    handoff_mode_ = true;
+    want_reuseport = false;
+    listeners[0] = OpenListener(false, opts_.port, err);
+  }
+  if (listeners[0] < 0) return false;
 
   sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(opts_.port);
-  if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
-    errno = EINVAL;
-    return fail("inet_pton(" + opts_.host + ")");
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    return fail("bind");
-  }
-  if (::listen(listen_fd_, opts_.backlog) < 0) return fail("listen");
-
   socklen_t alen = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen) <
+  if (::getsockname(listeners[0], reinterpret_cast<sockaddr*>(&addr), &alen) <
       0) {
-    return fail("getsockname");
+    if (err != nullptr) {
+      *err = std::string("getsockname: ") + std::strerror(errno);
+    }
+    ::close(listeners[0]);
+    return false;
   }
   port_ = ntohs(addr.sin_port);
 
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  if (epoll_fd_ < 0) return fail("epoll_create1");
-  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  if (wake_fd_ < 0) return fail("eventfd");
+  if (want_reuseport) {
+    for (uint32_t i = 1; i < n; ++i) {
+      std::string lerr;
+      listeners[i] = OpenListener(true, port_, &lerr);
+      if (listeners[i] < 0) {
+        // Mid-flight refusal (policy, namespace quirks): degrade to the
+        // handoff path rather than failing Start — shard 0 keeps the only
+        // listener and routes by fd hash.
+        for (uint32_t j = 1; j < i; ++j) {
+          ::close(listeners[j]);
+          listeners[j] = -1;
+        }
+        handoff_mode_ = true;
+        break;
+      }
+    }
+  }
 
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.fd = listen_fd_;
-  PDB_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0);
-  ev.data.fd = wake_fd_;
-  PDB_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0);
+  shards_.clear();
+  shards_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<NetShard>(this, i));
+    shards_[i]->SetListener(listeners[i]);
+  }
+  for (auto& s : shards_) {
+    if (!s->Init(err)) {
+      for (auto& t : shards_) t->TearDown();
+      shards_.clear();
+      return false;
+    }
+  }
+
+  // Per-shard gauges: the pull-side view of ShardStats, sampled by the
+  // metrics exporter. Registered before the loops start, cleared in Stop()
+  // before the shards are torn down.
+  for (uint32_t i = 0; i < n; ++i) {
+    const ShardStats* s = &shards_[i]->stats();
+    const std::string p = "net.shard" + std::to_string(i) + ".";
+    auto gauge = [](const std::atomic<uint64_t>* c) {
+      return [c] {
+        return static_cast<double>(c->load(std::memory_order_relaxed));
+      };
+    };
+    shard_gauges_.Add(p + "conns", gauge(&s->open_conns));
+    shard_gauges_.Add(p + "admitted", gauge(&s->admitted));
+    shard_gauges_.Add(p + "replies", gauge(&s->replies));
+    shard_gauges_.Add(p + "eventfd_wakes", gauge(&s->eventfd_wakes));
+    shard_gauges_.Add(p + "completions", gauge(&s->completions));
+  }
 
   stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  loop_thread_ = std::thread([this] { EventLoop(); });
+  for (auto& s : shards_) s->StartThread();
   return true;
 }
 
@@ -111,304 +180,66 @@ void Server::Stop() {
   if (!running_.load(std::memory_order_acquire)) return;
   // Phase 1: reject new admissions (in-flight frames get SHUTTING_DOWN),
   // then wait for every already-admitted submission to complete so the
-  // completion callbacks have fired and their responses are queued.
+  // completion callbacks have fired and sit in the shard rings.
   stopping_.store(true, std::memory_order_release);
   db_->Drain();
-  // Phase 2: let the loop flush the queued responses before tearing down.
-  // Bounded wait: a wedged peer must not hang Stop() forever.
-  for (int i = 0; i < 20; ++i) {
-    Wake();
+  // Phase 2: let every loop drain its ring and flush the queued responses
+  // before teardown. Bounded: a wedged peer must not hang Stop() forever.
+  for (int i = 0; i < 40; ++i) {
+    bool all_quiesced = true;
+    for (auto& s : shards_) {
+      s->Wake();
+      if (!s->Quiesced()) all_quiesced = false;
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
-    std::lock_guard<std::mutex> g(dirty_mu_);
-    if (dirty_fds_.empty()) break;
+    if (all_quiesced) break;  // the sleep above gave the wire flush a tick
   }
   running_.store(false, std::memory_order_release);
-  Wake();
-  loop_thread_.join();
-  // Loop is gone: safe to tear down its state from here.
-  for (auto& [fd, conn] : conns_) {
-    size_t dropped = conn->MarkClosed();
-    if (dropped > 0) {
-      responses_dropped_.fetch_add(dropped, std::memory_order_relaxed);
-      g_responses_dropped.Add(dropped);
-    }
-    conns_closed_.fetch_add(1, std::memory_order_relaxed);
-    g_conns_closed.Add();
-  }
-  conns_.clear();
-  ::close(listen_fd_);
-  ::close(epoll_fd_);
-  ::close(wake_fd_);
-  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+  for (auto& s : shards_) s->Wake();
+  for (auto& s : shards_) s->JoinThread();
+  // Loops are gone: drop the gauges (they read shard memory), then tear the
+  // shards down from this thread. The NetShard objects stay alive so
+  // post-Stop stats() reads keep working.
+  shard_gauges_.Clear();
+  for (auto& s : shards_) s->TearDown();
 }
 
-void Server::Wake() {
-  uint64_t one = 1;
-  // eventfd writes are async-signal-safe and never block for a counter < max.
-  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+ListenerStats Server::shard_stats(uint32_t i) const {
+  ListenerStats out;
+  if (i >= shards_.size()) return out;
+  const ShardStats& s = shards_[i]->stats();
+  auto ld = [](const std::atomic<uint64_t>& c) {
+    return c.load(std::memory_order_acquire);
+  };
+  out.conns_accepted = ld(s.conns_accepted);
+  out.conns_closed = ld(s.conns_closed);
+  out.requests = ld(s.requests);
+  out.admitted = ld(s.admitted);
+  out.busy = ld(s.busy);
+  out.bad_requests = ld(s.bad_requests);
+  out.replies = ld(s.replies);
+  out.responses_dropped = ld(s.responses_dropped);
+  out.timeouts = ld(s.timeouts);
+  out.conn_resets = ld(s.conn_resets);
+  out.eventfd_wakes = ld(s.eventfd_wakes);
+  out.completions_pushed = ld(s.completions_pushed);
+  out.completions = ld(s.completions);
+  out.completion_batches = ld(s.completion_batches);
+  out.accept_handoffs = ld(s.accept_handoffs);
+  out.open_conns = ld(s.open_conns);
+  return out;
 }
 
-void Server::EventLoop() {
-  obs::RegisterThisThread("net-server");
-  constexpr int kMaxEvents = 64;
-  epoll_event events[kMaxEvents];
-  while (running_.load(std::memory_order_acquire)) {
-    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, 50);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;  // epoll fd died; only happens at teardown
-    }
-    for (int i = 0; i < n; ++i) {
-      int fd = events[i].data.fd;
-      uint32_t ev = events[i].events;
-      if (fd == listen_fd_) {
-        HandleAccept();
-        continue;
-      }
-      if (fd == wake_fd_) {
-        uint64_t junk;
-        while (::read(wake_fd_, &junk, sizeof(junk)) > 0) {
-        }
-        continue;  // dirty connections are drained below, every pass
-      }
-      auto it = conns_.find(fd);
-      if (it == conns_.end()) continue;  // closed earlier this batch
-      std::shared_ptr<Connection> conn = it->second;
-      if ((ev & (EPOLLHUP | EPOLLERR)) != 0) {
-        CloseConn(conn);
-        continue;
-      }
-      if ((ev & EPOLLIN) != 0) HandleConnReadable(conn);
-      if ((ev & EPOLLOUT) != 0 && conns_.count(fd) != 0) FlushConn(conn);
-    }
-    // Drain completion-marked connections regardless of which event (or
-    // timeout) woke us — responses must flow even on a quiet socket.
-    std::vector<int> dirty;
-    {
-      std::lock_guard<std::mutex> g(dirty_mu_);
-      dirty.swap(dirty_fds_);
-    }
-    for (int fd : dirty) {
-      auto it = conns_.find(fd);
-      if (it != conns_.end()) FlushConn(it->second);
-    }
-  }
+ListenerStats Server::stats() const {
+  ListenerStats out;
+  for (uint32_t i = 0; i < shards_.size(); ++i) out += shard_stats(i);
+  return out;
 }
 
-void Server::HandleAccept() {
-  for (;;) {
-    int fd = ::accept4(listen_fd_, nullptr, nullptr,
-                       SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // EAGAIN or transient (EMFILE): retry on the next edge
-    }
-    if (fault::ShouldFire(fault::Point::kNetAccept)) {
-      ::close(fd);  // injected accept failure: the peer sees a reset
-      continue;
-    }
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    auto conn = std::make_shared<Connection>(fd, next_conn_id_++);
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.fd = fd;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
-      conn->MarkClosed();
-      continue;
-    }
-    conns_.emplace(fd, std::move(conn));
-    conns_accepted_.fetch_add(1, std::memory_order_relaxed);
-    g_conns_accepted.Add();
-    obs::Trace(obs::EventType::kNetAccept,
-               static_cast<uint32_t>(next_conn_id_ - 1));
-  }
-}
-
-void Server::HandleConnReadable(const std::shared_ptr<Connection>& conn) {
-  for (;;) {
-    Connection::IoResult r = conn->ReadIntoBuffer();
-    if (r == Connection::IoResult::kOk) continue;
-    if (r == Connection::IoResult::kClosed) {
-      CloseConn(conn);
-      return;
-    }
-    break;  // kWouldBlock: buffer holds all available bytes
-  }
-  bool ok = conn->DrainFrames(
-      [&](const RequestHeader& hdr, std::string_view payload) {
-        return HandleRequest(conn, hdr, payload);
-      });
-  if (!ok) {
-    CloseConn(conn);
-    return;
-  }
-  FlushConn(conn);  // immediate replies (BUSY etc.) go out right away
-}
-
-bool Server::HandleRequest(const std::shared_ptr<Connection>& conn,
-                           const RequestHeader& hdr,
-                           std::string_view payload) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
-  g_requests.Add();
-  obs::Trace(obs::EventType::kNetRequest, hdr.opcode, hdr.request_id);
-
-  if (stopping_.load(std::memory_order_acquire)) {
-    g_rejected.Add();
-    ReplyNow(conn, hdr.request_id, WireStatus::kShuttingDown, Rc::kError);
-    return true;
-  }
-  bool known_op = opts_.handler || hdr.opcode <= static_cast<uint8_t>(Op::kScanSum);
-  if (!known_op || hdr.prio_class > 1 ||
-      hdr.payload_len > opts_.max_payload) {
-    bad_requests_.fetch_add(1, std::memory_order_relaxed);
-    g_rejected.Add();
-    ReplyNow(conn, hdr.request_id, WireStatus::kBadRequest, Rc::kError);
-    return true;
-  }
-  if (opts_.max_inflight > 0 &&
-      conn->in_flight.load(std::memory_order_relaxed) >= opts_.max_inflight) {
-    busy_.fetch_add(1, std::memory_order_relaxed);
-    g_busy.Add();
-    ReplyNow(conn, hdr.request_id, WireStatus::kBusy, Rc::kError);
-    return true;
-  }
-
-  // Admission classification: the wire class byte decides which submission
-  // queue (and thus which preemption tier) this request lands in.
-  sched::Priority prio = hdr.prio_class == 1 ? sched::Priority::kHigh
-                                             : sched::Priority::kLow;
-  (hdr.prio_class == 1 ? g_class_hp : g_class_lp).Add();
-
-  auto op = std::make_shared<PendingOp>();
-  op->conn = conn;
-  op->hdr = hdr;
-  op->accept_ns = MonoNanos();
-  op->in.assign(payload.data(), payload.size());
-
-  SubmitOptions so;
-  so.timeout_us = hdr.timeout_us;  // 0 = no deadline, same as SubmitOptions
-
-  conn->in_flight.fetch_add(1, std::memory_order_relaxed);
-  SubmitResult res = db_->Submit(
-      prio,
-      [this, op](engine::Engine& eng) {
-        return opts_.handler
-                   ? opts_.handler(eng, op->hdr, op->in, &op->out)
-                   : DefaultKvHandler(eng, op->hdr, op->in, &op->out);
-      },
-      [this, op](Rc rc) { CompleteOp(op, rc); }, so);
-
-  switch (res) {
-    case SubmitResult::kAccepted:
-      admitted_.fetch_add(1, std::memory_order_relaxed);
-      g_accepted.Add();
-      obs::Trace(obs::EventType::kNetSubmit, hdr.prio_class, hdr.request_id);
-      return true;
-    case SubmitResult::kQueueFull:
-      conn->in_flight.fetch_sub(1, std::memory_order_relaxed);
-      busy_.fetch_add(1, std::memory_order_relaxed);
-      g_busy.Add();
-      ReplyNow(conn, hdr.request_id, WireStatus::kBusy, Rc::kError);
-      return true;
-    case SubmitResult::kStopped:
-      conn->in_flight.fetch_sub(1, std::memory_order_relaxed);
-      g_rejected.Add();
-      ReplyNow(conn, hdr.request_id, WireStatus::kShuttingDown, Rc::kError);
-      return true;
-  }
-  return true;
-}
-
-void Server::CompleteOp(const std::shared_ptr<PendingOp>& op, Rc rc) {
-  op->conn->in_flight.fetch_sub(1, std::memory_order_relaxed);
-  if (rc == Rc::kTimeout) {
-    timeouts_.fetch_add(1, std::memory_order_relaxed);
-    g_wire_timeouts.Add();
-  }
-  ResponseHeader rh;
-  rh.status = static_cast<uint8_t>(StatusFromRc(rc));
-  rh.rc = static_cast<uint8_t>(rc);
-  rh.request_id = op->hdr.request_id;
-  rh.server_ns = MonoNanos() - op->accept_ns;
-  std::string frame;
-  EncodeResponse(rh, IsOk(rc) ? op->out : std::string_view(), &frame);
-  if (!op->conn->EnqueueResponse(std::move(frame))) {
-    // Connection died first. The submission itself completed above — only
-    // the reply bytes are lost, which is all a peer reset can ever lose.
-    responses_dropped_.fetch_add(1, std::memory_order_relaxed);
-    g_responses_dropped.Add();
-    return;
-  }
-  replies_.fetch_add(1, std::memory_order_relaxed);
-  g_replies.Add();
-  obs::Trace(obs::EventType::kNetReply, static_cast<uint32_t>(rh.status),
-             rh.server_ns);
-  {
-    std::lock_guard<std::mutex> g(dirty_mu_);
-    dirty_fds_.push_back(op->conn->fd());
-  }
-  Wake();
-}
-
-void Server::ReplyNow(const std::shared_ptr<Connection>& conn,
-                      uint64_t request_id, WireStatus status, Rc rc) {
-  ResponseHeader rh;
-  rh.status = static_cast<uint8_t>(status);
-  rh.rc = static_cast<uint8_t>(rc);
-  rh.request_id = request_id;
-  std::string frame;
-  EncodeResponse(rh, {}, &frame);
-  if (conn->EnqueueResponse(std::move(frame))) {
-    replies_.fetch_add(1, std::memory_order_relaxed);
-    g_replies.Add();
-    obs::Trace(obs::EventType::kNetReply, static_cast<uint32_t>(status), 0);
-  } else {
-    responses_dropped_.fetch_add(1, std::memory_order_relaxed);
-    g_responses_dropped.Add();
-  }
-}
-
-void Server::FlushConn(const std::shared_ptr<Connection>& conn) {
-  if (conn->closed()) return;
-  if (conn->WantsWrite() && fault::ShouldFire(fault::Point::kNetReset)) {
-    // Injected peer reset mid-response: the admitted submissions on this
-    // connection still complete (their completions find a closed outbox and
-    // count responses_dropped) — the chaos suite asserts exactly that.
-    conn_resets_.fetch_add(1, std::memory_order_relaxed);
-    CloseConn(conn);
-    return;
-  }
-  Connection::IoResult r = conn->Flush();
-  if (r == Connection::IoResult::kClosed) {
-    CloseConn(conn);
-    return;
-  }
-  UpdateEpollInterest(conn);
-}
-
-void Server::UpdateEpollInterest(const std::shared_ptr<Connection>& conn) {
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  if (conn->WantsWrite()) ev.events |= EPOLLOUT;
-  ev.data.fd = conn->fd();
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd(), &ev);
-}
-
-void Server::CloseConn(const std::shared_ptr<Connection>& conn) {
-  auto it = conns_.find(conn->fd());
-  if (it == conns_.end() || it->second != conn) return;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd(), nullptr);
-  conns_.erase(it);
-  size_t dropped = conn->MarkClosed();
-  if (dropped > 0) {
-    // Responses that made it into the outbox but never onto the wire: their
-    // submissions completed, only the reply bytes died with the socket.
-    responses_dropped_.fetch_add(dropped, std::memory_order_relaxed);
-    g_responses_dropped.Add(dropped);
-  }
-  conns_closed_.fetch_add(1, std::memory_order_relaxed);
-  g_conns_closed.Add();
+Rc Server::Dispatch(engine::Engine& eng, const RequestHeader& req,
+                    const std::string& payload, std::string* reply) {
+  return opts_.handler ? opts_.handler(eng, req, payload, reply)
+                       : DefaultKvHandler(eng, req, payload, reply);
 }
 
 Rc Server::DefaultKvHandler(engine::Engine& eng, const RequestHeader& req,
@@ -430,7 +261,9 @@ Rc Server::DefaultKvHandler(engine::Engine& eng, const RequestHeader& req,
     case Op::kPut: {
       auto* txn = eng.Begin();
       Rc r = txn->Update(kv_table_, req.params[0], payload);
-      if (r == Rc::kNotFound) r = txn->Insert(kv_table_, req.params[0], payload);
+      if (r == Rc::kNotFound) {
+        r = txn->Insert(kv_table_, req.params[0], payload);
+      }
       if (!IsOk(r)) {
         txn->Abort();
         return r;

@@ -1,16 +1,28 @@
-// Epoll-based TCP front-end for a PreemptDB instance.
+// Sharded epoll TCP front-end for a PreemptDB instance.
 //
-// One event-loop thread owns the listening socket, an eventfd wakeup, and
-// every connection (src/net/connection.h for the threading contract).
+// The front-end is N independent event-loop shards (net/shard.h): each owns
+// its epoll fd, wakeup eventfd, listening socket, and connection table, so
+// accept + frame parsing + completion wakeups scale past one core with no
+// cross-shard locking on the hot path. With SO_REUSEPORT (the default for
+// num_shards > 1) every shard listens on the same port and the kernel
+// spreads incoming connections; when REUSEPORT is unavailable or disabled,
+// shard 0 owns the single listener and hands each accepted fd to shard
+// `fd % num_shards`.
+//
 // Requests are classified HP/LP *at admission* from the wire priority class
 // — the network edge is where mixed OLTP/OLAP traffic gets its priority,
 // before any engine resource is touched — and driven through the
 // completion-callback Submit() overload so the PR-2 backpressure contract
-// reaches the wire verbatim:
+// reaches the wire verbatim, independently on every shard:
 //
 //   DB::SubmitResult::kQueueFull  ->  WireStatus::kBusy      (not enqueued)
 //   DB::SubmitResult::kStopped    ->  WireStatus::kShuttingDown
 //   Rc::kTimeout (deadline shed)  ->  WireStatus::kTimeout   (never executed)
+//
+// Completions do not write the wakeup eventfd per response: they append to
+// the admitting shard's MPSC ring and wake it at most once per loop tick
+// (net.eventfd_wakes < net.responses_sent under pipelined load — see
+// shard.h for the enqueue + maybe-wake contract).
 //
 // Nothing is silently queued or dropped: every admitted submission completes
 // (run, or shed-as-timeout) and produces exactly one completion; the only
@@ -18,7 +30,7 @@
 //
 // Lifecycle: construct over an open DB, Start(), serve, Stop(). Stop()
 // rejects new work, drains the DB (so in-flight completions fire), then
-// tears the loop down — the server must be stopped before the DB dies.
+// tears the loops down — the server must be stopped before the DB dies.
 #ifndef PREEMPTDB_NET_SERVER_H_
 #define PREEMPTDB_NET_SERVER_H_
 
@@ -27,15 +39,42 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "core/preemptdb.h"
-#include "net/connection.h"
 #include "net/protocol.h"
+#include "obs/metrics.h"
 
 namespace preemptdb::net {
+
+class NetShard;
+
+// Point-in-time statistics for one shard or (summed) for the whole
+// listener. Aggregation keeps pre-sharding dashboards and tests working:
+// Server's scalar accessors read the aggregate, `net.shard<i>.*` gauges
+// expose the per-shard view.
+struct ListenerStats {
+  uint64_t conns_accepted = 0;
+  uint64_t conns_closed = 0;
+  uint64_t requests = 0;
+  uint64_t admitted = 0;
+  uint64_t busy = 0;
+  uint64_t bad_requests = 0;
+  uint64_t replies = 0;
+  uint64_t responses_dropped = 0;
+  uint64_t timeouts = 0;
+  uint64_t conn_resets = 0;
+  // Wake-coalescing accounting: eventfd writes vs completion frames. Under
+  // pipelined load eventfd_wakes < replies, i.e. >1 completion per wake.
+  uint64_t eventfd_wakes = 0;
+  uint64_t completions_pushed = 0;  // completion callbacks fired
+  uint64_t completions = 0;         // completions handled (queued or dropped)
+  uint64_t completion_batches = 0;  // loop ticks that drained >=1 completion
+  uint64_t accept_handoffs = 0;     // fds routed cross-shard (fallback mode)
+  uint64_t open_conns = 0;          // currently registered connections
+
+  ListenerStats& operator+=(const ListenerStats& o);
+};
 
 class Server {
  public:
@@ -51,6 +90,14 @@ class Server {
     std::string host = "127.0.0.1";
     uint16_t port = 0;  // 0 = ephemeral; read the bound port via port()
     int backlog = 128;
+    // Event-loop shards. 1 reproduces the pre-sharding single-loop server;
+    // clamped to [1, kMaxShards].
+    uint32_t num_shards = 1;
+    // Per-shard SO_REUSEPORT listeners when num_shards > 1. Set false to
+    // force the fd-hash handoff fallback (shard 0 accepts, then routes by
+    // `fd % num_shards`); the fallback also engages automatically when the
+    // kernel rejects SO_REUSEPORT.
+    bool reuseport = true;
     // Per-connection admission cap: requests beyond this many in flight get
     // an immediate BUSY (connection-level backpressure, upstream of the
     // submit-queue kind). 0 disables.
@@ -63,92 +110,70 @@ class Server {
     OpHandler handler;
   };
 
+  static constexpr uint32_t kMaxShards = 64;
+
   Server(DB* db, Options options);
   ~Server();
   PDB_DISALLOW_COPY_AND_ASSIGN(Server);
 
-  // Binds, listens, and spawns the event loop. False + *err on bind/listen
-  // failure (port in use, bad host).
+  // Binds, listens, and spawns the event-loop shards. False + *err on
+  // bind/listen failure (port in use, bad host).
   bool Start(std::string* err);
 
   // Stops accepting, drains the DB, closes every connection, joins the
-  // loop. Idempotent.
+  // loops. Idempotent.
   void Stop();
 
   uint16_t port() const { return port_; }
   bool running() const { return running_.load(std::memory_order_acquire); }
+  uint32_t num_shards() const;
+  // True when the fd-hash handoff accept path is active (REUSEPORT
+  // unavailable or disabled).
+  bool handoff_mode() const { return handoff_mode_; }
 
   // --- Per-instance statistics (tests want deltas per server, not the
   // process-global obs counters, which also exist: net.*) ---
-  uint64_t conns_accepted() const { return conns_accepted_.load(); }
-  uint64_t conns_closed() const { return conns_closed_.load(); }
-  uint64_t requests() const { return requests_.load(); }
-  uint64_t admitted() const { return admitted_.load(); }
-  uint64_t busy() const { return busy_.load(); }
-  uint64_t bad_requests() const { return bad_requests_.load(); }
-  uint64_t replies() const { return replies_.load(); }
-  uint64_t responses_dropped() const { return responses_dropped_.load(); }
-  uint64_t timeouts() const { return timeouts_.load(); }
-  uint64_t conn_resets_injected() const { return conn_resets_.load(); }
+  ListenerStats stats() const;                  // aggregate over shards
+  ListenerStats shard_stats(uint32_t i) const;  // one shard's view
+
+  uint64_t conns_accepted() const { return stats().conns_accepted; }
+  uint64_t conns_closed() const { return stats().conns_closed; }
+  uint64_t requests() const { return stats().requests; }
+  uint64_t admitted() const { return stats().admitted; }
+  uint64_t busy() const { return stats().busy; }
+  uint64_t bad_requests() const { return stats().bad_requests; }
+  uint64_t replies() const { return stats().replies; }
+  uint64_t responses_dropped() const { return stats().responses_dropped; }
+  uint64_t timeouts() const { return stats().timeouts; }
+  uint64_t conn_resets_injected() const { return stats().conn_resets; }
+  uint64_t eventfd_wakes() const { return stats().eventfd_wakes; }
+  uint64_t completions() const { return stats().completions; }
+  uint64_t accept_handoffs() const { return stats().accept_handoffs; }
 
  private:
-  // Everything one admitted request needs to complete after its connection
-  // dies: kept alive by the TxnFn and completion lambdas.
-  struct PendingOp {
-    std::shared_ptr<Connection> conn;
-    RequestHeader hdr;
-    uint64_t accept_ns = 0;
-    std::string in;   // request payload (owned copy; the rbuf recycles)
-    std::string out;  // reply payload, written inside the transaction
-  };
+  friend class NetShard;
 
-  void EventLoop();
-  void HandleAccept();
-  void HandleConnReadable(const std::shared_ptr<Connection>& conn);
-  // Parses + admits one frame; returns false when the connection must close.
-  bool HandleRequest(const std::shared_ptr<Connection>& conn,
-                     const RequestHeader& hdr, std::string_view payload);
-  // Completion path (worker/scheduler thread): serialize + enqueue + wake.
-  void CompleteOp(const std::shared_ptr<PendingOp>& op, Rc rc);
-  // Immediate reply from the epoll thread (BUSY, BAD_REQUEST, ...).
-  void ReplyNow(const std::shared_ptr<Connection>& conn, uint64_t request_id,
-                WireStatus status, Rc rc);
-  void FlushConn(const std::shared_ptr<Connection>& conn);
-  void CloseConn(const std::shared_ptr<Connection>& conn);
-  void UpdateEpollInterest(const std::shared_ptr<Connection>& conn);
-  void Wake();
+  // Routes to the installed handler or the built-in KV dispatch (worker
+  // threads, via the submitted TxnFn).
+  Rc Dispatch(engine::Engine& eng, const RequestHeader& req,
+              const std::string& payload, std::string* reply);
   Rc DefaultKvHandler(engine::Engine& eng, const RequestHeader& req,
                       const std::string& payload, std::string* reply);
+  // Creates + binds + listens one socket; -1 and *err on failure.
+  int OpenListener(bool reuseport, uint16_t port, std::string* err);
 
   DB* const db_;
   Options opts_;
   engine::Table* kv_table_ = nullptr;
 
-  int listen_fd_ = -1;
-  int epoll_fd_ = -1;
-  int wake_fd_ = -1;
   uint16_t port_ = 0;
-  std::thread loop_thread_;
+  bool handoff_mode_ = false;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
 
-  uint64_t next_conn_id_ = 1;
-  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
-
-  // Connections with completions waiting to flush (worker -> epoll thread).
-  std::mutex dirty_mu_;
-  std::vector<int> dirty_fds_;
-
-  std::atomic<uint64_t> conns_accepted_{0};
-  std::atomic<uint64_t> conns_closed_{0};
-  std::atomic<uint64_t> requests_{0};
-  std::atomic<uint64_t> admitted_{0};
-  std::atomic<uint64_t> busy_{0};
-  std::atomic<uint64_t> bad_requests_{0};
-  std::atomic<uint64_t> replies_{0};
-  std::atomic<uint64_t> responses_dropped_{0};
-  std::atomic<uint64_t> timeouts_{0};
-  std::atomic<uint64_t> conn_resets_{0};
+  std::vector<std::unique_ptr<NetShard>> shards_;
+  // Per-shard `net.shard<i>.*` gauges; cleared before the shards die.
+  obs::GaugeGroup shard_gauges_;
 };
 
 }  // namespace preemptdb::net

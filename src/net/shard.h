@@ -1,0 +1,242 @@
+// One event-loop shard of the networked front-end.
+//
+// The server is sharded into N independent event loops (Server::Options::
+// num_shards). Each NetShard owns, exclusively and without cross-shard
+// locking on the hot path:
+//
+//   * an epoll fd and the loop thread that polls it,
+//   * a wakeup eventfd with *coalesced* writes (below),
+//   * a listening socket — its own SO_REUSEPORT listener, or, in fd-hash
+//     handoff mode, shard 0 owns the single listener and routes each
+//     accepted fd to `fd % num_shards` via AdoptSocket(),
+//   * every Connection accepted into it (reads, frame parsing, admission,
+//     response writes, close — see connection.h for the ownership contract),
+//   * a ShardStats block surfaced as `net.shard<i>.*` gauges and aggregated
+//     into the server-wide ListenerStats.
+//
+// Completion path ("enqueue + maybe-wake"): DB completion callbacks fire on
+// worker/scheduler threads — possibly inside a fiber that was preempted and
+// resumed — so the path from completion to loop wakeup must not take locks,
+// block, or allocate. PushCompletion() appends the op to an intrusive
+// lock-free MPSC ring (two atomic ops, wait-free for producers) and then
+// writes the eventfd only if no wake is already pending: one eventfd write
+// per loop tick, not one per response. The loop clears the wake flag
+// *before* draining the ring, so a completion that arrives mid-drain either
+// lands in the same pass or re-arms the wake — never lost. Response
+// serialization happens on the shard thread, keeping the producer side
+// signal-safe.
+//
+// Idle behaviour: the loop blocks in epoll_wait indefinitely when nothing is
+// queued; when admitted requests carry deadlines, the timeout is computed
+// from the nearest one (EpollTimeoutMs) so deadline sheds flush on time
+// instead of up to a fixed tick late.
+#ifndef PREEMPTDB_NET_SHARD_H_
+#define PREEMPTDB_NET_SHARD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/connection.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "util/status.h"
+
+namespace preemptdb::net {
+
+// Everything one admitted request needs to complete after its connection
+// dies: kept alive by the TxnFn/completion lambdas and, while queued in the
+// completion ring, by its own `self` reference.
+struct PendingOp {
+  std::shared_ptr<Connection> conn;
+  NetShard* shard = nullptr;  // the loop that admitted (and will reply)
+  RequestHeader hdr;
+  uint64_t accept_ns = 0;
+  std::string in;   // request payload (owned copy; the rbuf recycles)
+  std::string out;  // reply payload, written inside the transaction
+  Rc rc = Rc::kError;  // terminal status, set just before the ring push
+
+  // Intrusive MPSC ring linkage (CompletionRing). `self` is the reference
+  // the ring holds: set by the producer right before Push, dropped by the
+  // consumer after the response is serialized.
+  std::atomic<PendingOp*> ring_next{nullptr};
+  std::shared_ptr<PendingOp> self;
+};
+
+// Intrusive MPSC queue (Vyukov-style): producers are wait-free (one
+// exchange + one store, no locks, no allocation — safe from completion
+// callbacks in preempted-fiber context), single consumer is the shard loop.
+class CompletionRing {
+ public:
+  enum class Pop : uint8_t {
+    kItem,   // *out holds the next completed op
+    kEmpty,  // nothing queued
+    kRetry,  // a producer is mid-push; poll again shortly, do not block
+  };
+
+  CompletionRing() : head_(&stub_), tail_(&stub_) {}
+  PDB_DISALLOW_COPY_AND_ASSIGN(CompletionRing);
+
+  // Any thread. Wait-free; `n` must not be queued already.
+  void Push(PendingOp* n) {
+    n->ring_next.store(nullptr, std::memory_order_relaxed);
+    PendingOp* prev = head_.exchange(n, std::memory_order_acq_rel);
+    prev->ring_next.store(n, std::memory_order_release);
+  }
+
+  // Consumer (shard loop) only.
+  Pop TryPop(PendingOp** out);
+
+ private:
+  std::atomic<PendingOp*> head_;  // last pushed node
+  PendingOp* tail_;               // consumer cursor (oldest)
+  PendingOp stub_;
+};
+
+// Per-shard statistics. Plain relaxed atomics: written by the shard thread
+// (and, for responses_dropped, by late completion producers), sampled by
+// gauges and the server-wide aggregate from any thread.
+struct ShardStats {
+  std::atomic<uint64_t> conns_accepted{0};
+  std::atomic<uint64_t> conns_closed{0};
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> admitted{0};
+  std::atomic<uint64_t> busy{0};
+  std::atomic<uint64_t> bad_requests{0};
+  std::atomic<uint64_t> replies{0};
+  std::atomic<uint64_t> responses_dropped{0};
+  std::atomic<uint64_t> timeouts{0};
+  std::atomic<uint64_t> conn_resets{0};
+  std::atomic<uint64_t> eventfd_wakes{0};
+  std::atomic<uint64_t> completions_pushed{0};
+  std::atomic<uint64_t> completions{0};
+  std::atomic<uint64_t> completion_batches{0};
+  std::atomic<uint64_t> accept_handoffs{0};
+  std::atomic<uint64_t> open_conns{0};
+};
+
+// Pure timeout policy, split out for unit testing: pops every deadline that
+// has already passed, then returns the epoll_wait timeout in milliseconds —
+// -1 (block indefinitely) when no deadline is queued, the rounded-up
+// distance to the nearest one otherwise, and 1 when `retry_soon` (a
+// completion producer was observed mid-push, so the ring must be re-polled
+// without waiting on a wakeup that may already have been consumed).
+using DeadlineHeap =
+    std::priority_queue<uint64_t, std::vector<uint64_t>, std::greater<>>;
+int EpollTimeoutMs(DeadlineHeap* deadlines, uint64_t now_ns, bool retry_soon);
+
+class NetShard {
+ public:
+  NetShard(Server* server, uint32_t id);
+  ~NetShard();
+  PDB_DISALLOW_COPY_AND_ASSIGN(NetShard);
+
+  uint32_t id() const { return id_; }
+  const ShardStats& stats() const { return stats_; }
+
+  // --- Server lifecycle (Start/Stop thread) ---
+
+  // Installs an already-bound-and-listening socket (or -1 for a shard that
+  // only serves handed-off connections).
+  void SetListener(int fd) { listen_fd_ = fd; }
+  // Creates the epoll instance + wake eventfd and registers the listener.
+  bool Init(std::string* err);
+  void StartThread();
+  void JoinThread();
+  // Closes every remaining connection and all owned fds; returns reply
+  // frames lost with those sockets. Only after JoinThread().
+  size_t TearDown();
+
+  // True once every pushed completion has been handled (response queued, or
+  // counted dropped): Stop() polls this after DB::Drain so queued responses
+  // reach the outboxes before the loop is torn down.
+  bool Quiesced() const {
+    return stats_.completions.load(std::memory_order_acquire) >=
+           stats_.completions_pushed.load(std::memory_order_acquire);
+  }
+
+  // --- Cross-thread entry points ---
+
+  // Coalesced wakeup: writes the eventfd only when no wake is pending.
+  // Async-signal-safe (eventfd write + atomics).
+  void MaybeWake();
+  // Unconditional wake (Stop path).
+  void Wake();
+
+  // Completion callback target (worker/scheduler threads, possibly from a
+  // preempted fiber): record the terminal status, enqueue, maybe-wake.
+  // Lock-free and allocation-free.
+  void PushCompletion(const std::shared_ptr<PendingOp>& op, Rc rc);
+
+  // fd-hash handoff (fallback accept path): shard 0's thread routes an
+  // accepted socket here; this shard adopts it on its next tick.
+  void AdoptSocket(int fd);
+
+ private:
+  friend class Server;
+
+  void EventLoop();
+  void HandleAccept();
+  void RegisterConn(int fd);
+  void HandleConnReadable(const std::shared_ptr<Connection>& conn);
+  bool HandleRequest(const std::shared_ptr<Connection>& conn,
+                     const RequestHeader& hdr, std::string_view payload);
+  // Shard thread: serialize one completed op and queue its response frame.
+  void ProcessCompletion(PendingOp* op);
+  void ReplyNow(const std::shared_ptr<Connection>& conn, uint64_t request_id,
+                WireStatus status, Rc rc);
+  void FlushConn(const std::shared_ptr<Connection>& conn);
+  void CloseConn(const std::shared_ptr<Connection>& conn);
+  void UpdateEpollInterest(const std::shared_ptr<Connection>& conn);
+  void DrainInbox();
+  // Clears the wake flag, drains the completion ring into connection
+  // outboxes, and flushes every connection touched this tick.
+  void DrainCompletionsAndFlush();
+  void MarkDirty(const std::shared_ptr<Connection>& conn);
+
+  Server* const server_;
+  const uint32_t id_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  bool torn_down_ = false;
+  std::thread thread_;
+
+  uint64_t next_conn_seq_ = 0;
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+
+  CompletionRing ring_;
+  std::atomic<bool> wake_pending_{false};
+  // Cleared after JoinThread: straggler completions (e.g. DB teardown
+  // firing kError for never-run closures) drop their reply instead of
+  // queueing into a loop that will never run again.
+  std::atomic<bool> ring_open_{true};
+  // Set when the last drain saw a producer mid-push: next epoll_wait must
+  // use a short timeout instead of blocking (shard-thread-only).
+  bool ring_retry_ = false;
+
+  // Handed-off sockets from the accepting shard (fallback mode only; the
+  // accept path is not the hot path, so a mutex is fine here).
+  std::mutex inbox_mu_;
+  std::vector<int> inbox_;
+
+  // Absolute deadlines of admitted timed requests, nearest first; lazily
+  // pruned by EpollTimeoutMs (shard-thread-only).
+  DeadlineHeap deadlines_;
+
+  // Connections with responses queued this tick (shard-thread-only).
+  std::vector<std::shared_ptr<Connection>> dirty_;
+
+  ShardStats stats_;
+};
+
+}  // namespace preemptdb::net
+
+#endif  // PREEMPTDB_NET_SHARD_H_

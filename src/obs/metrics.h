@@ -41,6 +41,29 @@ class Counter {
 int RegisterGauge(const std::string& name, std::function<double()> fn);
 void UnregisterGauge(int id);
 
+// RAII bundle of gauges that share one lifetime — the pattern for
+// per-instance families like the net server's per-shard `net.shard<i>.*`
+// gauges, which must all unregister together before the shards they sample
+// are destroyed. Clear() (or destruction) unregisters everything added.
+class GaugeGroup {
+ public:
+  GaugeGroup() = default;
+  ~GaugeGroup() { Clear(); }
+  PDB_DISALLOW_COPY_AND_ASSIGN(GaugeGroup);
+
+  void Add(const std::string& name, std::function<double()> fn) {
+    ids_.push_back(RegisterGauge(name, std::move(fn)));
+  }
+  void Clear() {
+    for (int id : ids_) UnregisterGauge(id);
+    ids_.clear();
+  }
+  size_t size() const { return ids_.size(); }
+
+ private:
+  std::vector<int> ids_;
+};
+
 // Enumeration hooks for snapshots (registry is append-only for counters).
 int NumCounters();
 const Counter* CounterAt(int i);

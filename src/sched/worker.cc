@@ -93,7 +93,9 @@ void Worker::ThreadBody() {
 }
 
 void Worker::RunRequest(const Request& req, bool count_starvation) {
-  obs::Trace(obs::EventType::kTxnStart, req.type);
+  // arg = submitting shard so sharded-front-end traces attribute each txn to
+  // the event loop that admitted it (0 for single-shard / non-net work).
+  obs::Trace(obs::EventType::kTxnStart, req.type, req.shard_id);
   uint64_t c0 = count_starvation ? RdtscP() : 0;
   Rc rc = execute_(req, exec_ctx_, id_);
   uint64_t done = MonoNanos();

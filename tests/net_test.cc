@@ -4,17 +4,22 @@
 // (expired work never executed), zero timeout meaning "no deadline", and a
 // dead peer losing only its reply bytes, never an accepted submission.
 #include <gtest/gtest.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cstring>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "core/preemptdb.h"
+#include "fault/fault.h"
 #include "net/client.h"
 #include "net/protocol.h"
 #include "net/server.h"
+#include "net/shard.h"
 #include "util/clock.h"
 
 namespace preemptdb {
@@ -567,6 +572,252 @@ TEST_F(NetTest, HighPriorityOvertakesQueuedLowPriority) {
   ASSERT_GE(hp_position, 0);
   EXPECT_LT(hp_position, kLpBurst)
       << "the HP request must overtake at least one queued LP scan";
+}
+
+// --- Sharded front-end ---
+
+TEST(NetShardPolicyTest, EpollTimeoutFollowsNearestDeadline) {
+  net::DeadlineHeap h;
+  // Idle loop blocks indefinitely; a ring gap forces a short poll instead.
+  EXPECT_EQ(net::EpollTimeoutMs(&h, 1000, false), -1);
+  EXPECT_EQ(net::EpollTimeoutMs(&h, 1000, true), 1);
+
+  const uint64_t now = 1'000'000'000;
+  h.push(now + 2'500'000);    // 2.5 ms out: rounds UP, never early-spins
+  h.push(now + 700'000'000);  // far deadline behind it
+  EXPECT_EQ(net::EpollTimeoutMs(&h, now, false), 3);
+
+  // Passed deadlines are pruned; the next nearest drives the wait.
+  EXPECT_EQ(net::EpollTimeoutMs(&h, now + 10'000'000, false), 690);
+
+  h.push(now + 800'000'000);
+  EXPECT_EQ(net::EpollTimeoutMs(&h, now + 750'000'000, false), 50);
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST_F(NetTest, ShardedServerSpreadsConnectionsAcrossReuseportListeners) {
+  net::Server::Options so;
+  so.num_shards = 4;
+  DB::Options dbo;
+  dbo.scheduler.policy = sched::Policy::kPreempt;
+  dbo.scheduler.num_workers = 2;
+  dbo.scheduler.arrival_interval_us = 500;
+  Start(dbo, so);
+  ASSERT_EQ(server_->num_shards(), 4u);
+  ASSERT_FALSE(server_->handoff_mode()) << "Linux should grant SO_REUSEPORT";
+
+  constexpr int kConns = 32;
+  std::vector<net::Client> clients(kConns);
+  net::Client::Result res;
+  std::string err;
+  for (int i = 0; i < kConns; ++i) {
+    clients[static_cast<size_t>(i)] = Connect();
+    ASSERT_TRUE(clients[static_cast<size_t>(i)].Ping(&res, &err)) << err;
+    EXPECT_EQ(res.status, WireStatus::kOk);
+  }
+  ASSERT_TRUE(WaitUntil(
+      [&] { return server_->conns_accepted() >= kConns; }, 5000));
+
+  // Every connection is owned by exactly one shard, and the kernel's
+  // REUSEPORT hashing spread them over more than one loop.
+  uint64_t sum = 0;
+  int shards_with_conns = 0;
+  for (uint32_t i = 0; i < 4; ++i) {
+    net::ListenerStats ss = server_->shard_stats(i);
+    sum += ss.conns_accepted;
+    if (ss.conns_accepted > 0) ++shards_with_conns;
+  }
+  EXPECT_EQ(sum, static_cast<uint64_t>(kConns));
+  EXPECT_GE(shards_with_conns, 2)
+      << "32 connections all hashed onto a single REUSEPORT listener";
+  EXPECT_EQ(server_->accept_handoffs(), 0u);
+  EXPECT_EQ(server_->replies(), static_cast<uint64_t>(kConns));
+}
+
+TEST_F(NetTest, HandoffFallbackSpreadsAndServesEveryConnection) {
+  net::Server::Options so;
+  so.num_shards = 4;
+  so.reuseport = false;  // force the fd-hash handoff accept path
+  DB::Options dbo;
+  dbo.scheduler.policy = sched::Policy::kPreempt;
+  dbo.scheduler.num_workers = 2;
+  dbo.scheduler.arrival_interval_us = 500;
+  Start(dbo, so);
+  ASSERT_TRUE(server_->handoff_mode());
+
+  constexpr int kConns = 16;
+  std::vector<net::Client> clients(kConns);
+  net::Client::Result res;
+  std::string err;
+  for (int i = 0; i < kConns; ++i) {
+    clients[static_cast<size_t>(i)] = Connect();
+    // The ping round-trips no matter which shard adopted the socket — the
+    // handoff is invisible on the wire.
+    ASSERT_TRUE(clients[static_cast<size_t>(i)].Ping(&res, &err)) << err;
+    EXPECT_EQ(res.status, WireStatus::kOk);
+  }
+  ASSERT_TRUE(WaitUntil(
+      [&] { return server_->conns_accepted() >= kConns; }, 5000));
+
+  uint64_t sum = 0;
+  int shards_with_conns = 0;
+  for (uint32_t i = 0; i < 4; ++i) {
+    net::ListenerStats ss = server_->shard_stats(i);
+    sum += ss.conns_accepted;
+    if (ss.conns_accepted > 0) ++shards_with_conns;
+  }
+  EXPECT_EQ(sum, static_cast<uint64_t>(kConns));
+  // 16 concurrently-open sockets get mostly-consecutive fds, so fd % 4
+  // cannot collapse onto one shard.
+  EXPECT_GE(shards_with_conns, 2);
+  EXPECT_GT(server_->accept_handoffs(), 0u)
+      << "shard 0 must have routed some sockets away from itself";
+}
+
+TEST_F(NetTest, CompletionWakesCoalesceUnderPipelinedLoad) {
+  // Wedge the single worker, pipeline a burst, release: the completions
+  // fire back-to-back while the shard loop sleeps, so one eventfd write
+  // must cover many responses (the whole point of the completion ring).
+  StartSingleWorker();
+  std::atomic<bool> release{false};
+  std::atomic<bool> running{false};
+  ASSERT_EQ(db_->Submit(sched::Priority::kHigh,
+                        [&](engine::Engine&) {
+                          running.store(true);
+                          while (!release.load()) {
+                            std::this_thread::sleep_for(1ms);
+                          }
+                          return Rc::kOk;
+                        }),
+            SubmitResult::kAccepted);
+  ASSERT_TRUE(WaitUntil([&] { return running.load(); }, 5000));
+
+  net::Client c = Connect();
+  std::string err;
+  constexpr int kBurst = 256;
+  for (int i = 0; i < kBurst; ++i) {
+    net::RequestHeader h;
+    h.opcode = static_cast<uint8_t>(Op::kGet);
+    h.prio_class = static_cast<uint8_t>(WireClass::kHigh);
+    h.params[0] = 1;
+    ASSERT_TRUE(c.Send(h, {}, &err)) << err;
+  }
+  release.store(true);
+  for (int i = 0; i < kBurst; ++i) {
+    net::Client::Result res;
+    ASSERT_TRUE(c.Recv(&res, &err)) << err << " after " << i;
+  }
+
+  net::ListenerStats agg = server_->stats();
+  EXPECT_EQ(agg.replies, static_cast<uint64_t>(kBurst));
+  EXPECT_LT(agg.eventfd_wakes, agg.replies)
+      << "per-response eventfd writes defeat wake coalescing";
+  ASSERT_GT(agg.completion_batches, 0u);
+  EXPECT_GT(static_cast<double>(agg.completions) /
+                static_cast<double>(agg.completion_batches),
+            1.0)
+      << "a drained batch should average more than one completion";
+}
+
+TEST_F(NetTest, ConnResetChurnNeverLosesCompletions) {
+  // Inject random peer resets while pipelined bursts churn over short-lived
+  // connections on both shards: reply bytes may die with their sockets, but
+  // every admitted submission must still produce exactly one completion.
+  struct FaultGuard {
+    ~FaultGuard() { fault::Reset(); }
+  } guard;
+  net::Server::Options so;
+  so.num_shards = 2;
+  DB::Options dbo;
+  dbo.scheduler.policy = sched::Policy::kPreempt;
+  dbo.scheduler.num_workers = 2;
+  dbo.scheduler.arrival_interval_us = 500;
+  Start(dbo, so);
+
+  fault::SetSeed(42);
+  fault::Configure(fault::Point::kNetReset, 0.1);
+
+  for (int round = 0; round < 4; ++round) {
+    for (int j = 0; j < 4; ++j) {
+      net::Client c;
+      std::string err;
+      if (!c.Connect("127.0.0.1", server_->port(), &err)) continue;
+      constexpr int kOps = 16;
+      int sent = 0;
+      for (int i = 0; i < kOps; ++i) {
+        net::RequestHeader h;
+        h.opcode = static_cast<uint8_t>(Op::kGet);
+        h.prio_class =
+            static_cast<uint8_t>(i % 2 == 0 ? WireClass::kHigh
+                                            : WireClass::kLow);
+        h.params[0] = static_cast<uint64_t>(i + 1);
+        if (!c.Send(h, {}, &err)) break;
+        ++sent;
+      }
+      for (int i = 0; i < sent; ++i) {
+        net::Client::Result res;
+        if (!c.Recv(&res, &err)) break;  // reset mid-burst: expected
+      }
+    }  // client destroyed: more churn
+  }
+  fault::Reset();
+  db_->Drain();
+
+  ASSERT_GT(server_->conn_resets_injected(), 0u)
+      << "the fault must actually have fired for this test to mean anything";
+  // The loop may still be draining the last pushed completions; completion
+  // accounting must then converge exactly: one completion per admission.
+  ASSERT_TRUE(WaitUntil(
+      [&] { return server_->completions() >= server_->admitted(); }, 5000));
+  net::ListenerStats agg = server_->stats();
+  EXPECT_EQ(agg.completions, agg.admitted) << "lost or duplicated completion";
+  EXPECT_EQ(agg.completions_pushed, agg.admitted);
+}
+
+TEST(NetClientRetryTest, ConnectRetriesUntilListenerAppears) {
+  // Reserve an ephemeral port, then bring the server up only after the
+  // client has started connecting: bounded retry must bridge the gap that a
+  // single-shot connect() loses to ECONNREFUSED.
+  int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t alen = sizeof(addr);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &alen),
+            0);
+  uint16_t port = ntohs(addr.sin_port);
+  ::close(probe);
+
+  DB::Options dbo;
+  dbo.scheduler.policy = sched::Policy::kPreempt;
+  dbo.scheduler.num_workers = 1;
+  dbo.scheduler.arrival_interval_us = 500;
+  auto db = DB::Open(dbo);
+  net::Server::Options so;
+  so.port = port;
+  net::Server server(db.get(), so);
+
+  std::string start_err;
+  std::atomic<bool> started{false};
+  std::thread late_start([&] {
+    std::this_thread::sleep_for(30ms);
+    started.store(server.Start(&start_err));
+  });
+
+  net::Client c;
+  std::string err;
+  bool connected = c.Connect("127.0.0.1", port, &err, /*max_attempts=*/12);
+  late_start.join();
+  ASSERT_TRUE(started.load()) << start_err;
+  ASSERT_TRUE(connected) << err;
+
+  net::Client::Result res;
+  ASSERT_TRUE(c.Ping(&res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kOk);
+  server.Stop();
 }
 
 TEST_F(NetTest, StopAnswersDrainAndRejectsAfterwards) {
