@@ -38,6 +38,8 @@
 //   --shards=N         in-process event-loop shards           (1)
 //   --workers=N        in-process worker threads              (PDB_WORKERS)
 //   --port=P           in-process listen port                 (ephemeral)
+//   --timeline-sample=N  in-process timeline echo sampling    (1)
+//   --slo-hp-us=T --slo-lp-us=T  in-process SLO p99 targets   (0 = off)
 //   --connect=H:P      use an external server instead
 //   --trace-out=F --metrics-json=F   obs artifacts (see ObsSession)
 #include <poll.h>
@@ -397,6 +399,10 @@ int main(int argc, char** argv) {
     // connections across the shard listeners, so each event loop carries
     // roughly conns/shards sockets with no generator-side routing.
     so.num_shards = static_cast<uint32_t>(flags.GetInt("shards", 1));
+    so.timeline_sample_every =
+        static_cast<uint32_t>(flags.GetInt("timeline-sample", 1));
+    so.slo.hp_target_us = static_cast<uint64_t>(flags.GetInt("slo-hp-us", 0));
+    so.slo.lp_target_us = static_cast<uint64_t>(flags.GetInt("slo-lp-us", 0));
     server = std::make_unique<net::Server>(db.get(), so);
     std::string err;
     if (!server->Start(&err)) {

@@ -1,0 +1,135 @@
+// Standalone PreemptDB network server: boots a DB + net::Server and serves
+// the wire protocol until the run length expires or SIGINT/SIGTERM arrives.
+// The live end of the observability walkthrough (EXPERIMENTS.md): point
+// net_loadgen at it with --connect, and pdb_top at it for the admin plane.
+//
+//   ./bench/pdb_server --port=7878 --shards=2 --workers=4 &
+//   ./bench/net_loadgen --connect=127.0.0.1:7878 --seconds=10
+//   ./bench/pdb_top --connect=127.0.0.1:7878
+//
+// Flags (bench::FlagSet):
+//   --port=P           listen port (0 = ephemeral, printed on stdout) (7878)
+//   --host=H           bind address                          (127.0.0.1)
+//   --shards=N         event-loop shards                     (1)
+//   --workers=N        worker threads                        (PDB_WORKERS)
+//   --policy=preempt|wait|coop   scheduling policy           (preempt)
+//   --keys=N           preloaded KV keys                     (10000)
+//   --value-size=B     value bytes                           (64)
+//   --seconds=S        run length; 0 = until signal          (0)
+//   --timeline-sample=N  echo timeline every Nth asking req  (1)
+//   --slo-hp-us=T      HP p99 SLO target in us, 0 = off      (0)
+//   --slo-lp-us=T      LP p99 SLO target in us, 0 = off      (0)
+//   --slo-window-ms=W  SLO rolling window                    (1000)
+//   --trace             enable event tracing (kTraceSnapshot needs this)
+#include <csignal>
+#include <cstdio>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "bench/common.h"
+#include "core/preemptdb.h"
+#include "net/server.h"
+#include "obs/trace.h"
+
+using namespace preemptdb;
+using namespace preemptdb::bench;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void OnSignal(int) { g_stop.store(true, std::memory_order_release); }
+
+sched::Policy ParsePolicy(const std::string& s) {
+  if (s == "wait") return sched::Policy::kWait;
+  if (s == "coop" || s == "cooperative") return sched::Policy::kCooperative;
+  return sched::Policy::kPreempt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags(argc, argv);
+  BenchEnv env = BenchEnv::FromEnv();
+
+  // Tracing must be armed before any worker thread starts or those threads
+  // skip ring registration and kTraceSnapshot comes back empty.
+  if (flags.Has("trace")) {
+    obs::SetTraceEnabled(true);
+    obs::RegisterThisThread("server-main");
+  }
+
+  DB::Options dbo;
+  dbo.scheduler.policy = ParsePolicy(flags.Get("policy", "preempt"));
+  dbo.scheduler.num_workers =
+      static_cast<int>(flags.GetInt("workers", env.workers));
+  auto db = DB::Open(dbo);
+
+  net::Server::Options so;
+  so.host = flags.Get("host", "127.0.0.1");
+  so.port = static_cast<uint16_t>(flags.GetInt("port", 7878));
+  so.num_shards = static_cast<uint32_t>(flags.GetInt("shards", 1));
+  so.timeline_sample_every =
+      static_cast<uint32_t>(flags.GetInt("timeline-sample", 1));
+  so.slo.hp_target_us = static_cast<uint64_t>(flags.GetInt("slo-hp-us", 0));
+  so.slo.lp_target_us = static_cast<uint64_t>(flags.GetInt("slo-lp-us", 0));
+  so.slo.window_ms =
+      static_cast<uint64_t>(flags.GetInt("slo-window-ms", 1000));
+
+  net::Server server(db.get(), so);
+  std::string err;
+  if (!server.Start(&err)) {
+    std::fprintf(stderr, "server start failed: %s\n", err.c_str());
+    return 1;
+  }
+
+  // Preload through the engine so wire GET/ScanSum hit real data at once.
+  uint64_t keys = static_cast<uint64_t>(flags.GetInt("keys", 10000));
+  std::string value(static_cast<size_t>(flags.GetInt("value-size", 64)), 'v');
+  auto* table = db->GetTable(so.kv_table);
+  Rc rc = db->Execute([&](engine::Engine& eng) {
+    auto* txn = eng.Begin();
+    for (uint64_t k = 1; k <= keys; ++k) {
+      Rc r = txn->Insert(table, k, value);
+      if (!IsOk(r)) {
+        txn->Abort();
+        return r;
+      }
+    }
+    return txn->Commit();
+  });
+  if (!IsOk(rc)) {
+    std::fprintf(stderr, "preload failed\n");
+    return 1;
+  }
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  // Line-buffered-friendly startup handshake: scripts wait for this line
+  // (and parse the port out of it when --port=0 asked for an ephemeral one).
+  std::printf("pdb_server listening on %s:%u shards=%u workers=%d keys=%lu\n",
+              so.host.c_str(), server.port(), server.num_shards(),
+              dbo.scheduler.num_workers, static_cast<unsigned long>(keys));
+  std::fflush(stdout);
+
+  double seconds = flags.GetDouble("seconds", 0);
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(
+                      static_cast<int64_t>(seconds * 1000));
+  while (!g_stop.load(std::memory_order_acquire)) {
+    if (seconds > 0 && std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  server.Stop();
+  net::ListenerStats s = server.stats();
+  std::printf("pdb_server done: requests=%lu admitted=%lu replies=%lu\n",
+              static_cast<unsigned long>(s.requests),
+              static_cast<unsigned long>(s.admitted),
+              static_cast<unsigned long>(s.replies));
+  return 0;
+}

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/clock.h"
 
 namespace preemptdb {
@@ -56,6 +57,9 @@ struct DB::Closure {
   RetryPolicy retry;
   CompletionFn on_complete;  // optional; fired once with the terminal Rc
   uint32_t shard_id = 0;     // submitting front-end shard (observational)
+  // Caller-owned lifecycle timeline; must not be touched after on_complete
+  // fires (the owner may free it then). See SubmitOptions::timeline.
+  obs::TxnTimeline* timeline = nullptr;
 };
 
 std::unique_ptr<DB> DB::Open(const Options& options) {
@@ -119,6 +123,13 @@ DB::~DB() {
 
 void DB::CompleteWithoutRunning(Closure* c, Rc rc) {
   if (rc == Rc::kTimeout) g_txn_timeouts.Add();
+  // Never ran: stamp terminal time so the owner can compute total latency,
+  // but record no run-stage samples (first_run_ns stays 0, which is the
+  // "excluded from stage histograms" marker). Must happen before
+  // on_complete — the owner may free the timeline from the callback.
+  if (c->timeline != nullptr) {
+    c->timeline->done_ns = MonoNanos();
+  }
   if (c->rc_out != nullptr) {
     c->rc_out->store(rc, std::memory_order_release);
   }
@@ -145,6 +156,11 @@ bool DB::PopSubmission(sched::Priority priority, sched::Request* out) {
     out->params[0] = reinterpret_cast<uint64_t>(c);
     out->deadline_ns = c->deadline_ns;
     out->shard_id = c->shard_id;
+    out->timeline = c->timeline;
+    if (c->timeline != nullptr) {
+      c->timeline->dispatch_ns = MonoNanos();
+      obs::Trace(obs::EventType::kTxnDispatch, c->shard_id);
+    }
     return true;
   }
   return false;
@@ -192,11 +208,26 @@ Rc DB::ExecuteThunk(const sched::Request& req, void* ctx, int /*worker_id*/) {
   // this worker picking the request up. Started transactions are never cut
   // short, so this is the final check.
   if (req.deadline_ns != 0 && MonoNanos() >= req.deadline_ns) {
+    // The worker installed this request's timeline as the thread's active
+    // one; drop it before completion frees the struct, or an interrupt
+    // landing between the free and the worker's restore would write through
+    // a dangling pointer.
+    if (c->timeline != nullptr) obs::SetActiveTimeline(nullptr);
     db->CompleteWithoutRunning(c, Rc::kTimeout);
     return Rc::kTimeout;
   }
   Rc rc = db->RunWithRetry(c->fn, c->retry, reinterpret_cast<uint64_t>(c),
                            req.deadline_ns);
+  // Terminal timeline bookkeeping, strictly before the completion callback:
+  // once on_complete fires the owner may free the timeline, so this is the
+  // last point it can be touched. Clearing the active slot here (rather
+  // than in the worker, which runs after this returns) closes the window
+  // where a preemption could attribute itself to a freed timeline.
+  if (c->timeline != nullptr) {
+    c->timeline->done_ns = MonoNanos();
+    obs::RecordSchedStages(*c->timeline);
+    obs::SetActiveTimeline(nullptr);
+  }
   if (c->rc_out != nullptr) {
     c->rc_out->store(rc, std::memory_order_release);
   }
@@ -220,9 +251,14 @@ SubmitResult DB::Submit(sched::Priority priority, TxnFn fn,
   PDB_CHECK_MSG(scheduler_ != nullptr, "DB opened without a scheduler");
   if (stopping_.load(std::memory_order_acquire)) return SubmitResult::kStopped;
   auto* c = new Closure{std::move(fn), nullptr, nullptr, 0, options.retry,
-                        std::move(on_complete), options.shard_id};
+                        std::move(on_complete), options.shard_id,
+                        options.timeline};
   if (options.timeout_us > 0) {
     c->deadline_ns = MonoNanos() + options.timeout_us * 1000;
+  }
+  if (c->timeline != nullptr) {
+    c->timeline->high_priority = priority == sched::Priority::kHigh ? 1 : 0;
+    c->timeline->enqueue_ns = MonoNanos();
   }
   auto& q = priority == sched::Priority::kHigh ? *hp_submissions_
                                                : *lp_submissions_;
@@ -241,7 +277,11 @@ Rc DB::SubmitAndWait(sched::Priority priority, TxnFn fn,
   std::atomic<Rc> rc{Rc::kError};
   std::atomic<bool> done{false};
   auto* c = new Closure{std::move(fn), &rc, &done, 0, options.retry,
-                        CompletionFn(), options.shard_id};
+                        CompletionFn(), options.shard_id, options.timeline};
+  if (c->timeline != nullptr) {
+    c->timeline->high_priority = priority == sched::Priority::kHigh ? 1 : 0;
+    c->timeline->enqueue_ns = MonoNanos();
+  }
   uint64_t deadline_ns = 0;
   if (options.timeout_us > 0) {
     deadline_ns = MonoNanos() + options.timeout_us * 1000;

@@ -25,6 +25,7 @@
 #include <string>
 
 #include "engine/engine.h"
+#include "obs/timeline.h"
 #include "sched/scheduler.h"
 #include "sync/mpmc_queue.h"
 
@@ -72,6 +73,13 @@ struct SubmitOptions {
   // Purely observational: placement, priority, and backpressure are
   // independent of it. 0 for single-shard callers.
   uint32_t shard_id = 0;
+  // Optional lifecycle timeline (obs/timeline.h). The caller owns the
+  // struct and must keep it alive until the completion callback fires (the
+  // net layer keeps it inside the PendingOp the callback retains). The DB
+  // stamps enqueue/dispatch/done, the worker stamps first-run and the
+  // preemption counters, and completed runs are folded into the
+  // sched.stage.* histograms. Null = no per-request tracing (zero cost).
+  obs::TxnTimeline* timeline = nullptr;
 };
 
 // Outcome of a Submit() call. Backpressure contract: kQueueFull means the

@@ -133,10 +133,23 @@ bool Client::Recv(Result* out, std::string* err) {
   out->status = static_cast<WireStatus>(rh.status);
   out->rc = static_cast<Rc>(rh.rc);
   out->server_ns = rh.server_ns;
+  out->version = rh.version;
+  out->has_timeline = false;
   out->payload.resize(rh.payload_len);
   if (rh.payload_len > 0 &&
       !ReadAll(out->payload.data(), rh.payload_len, err)) {
     return false;
+  }
+  if ((rh.flags & kRespFlagTimeline) != 0) {
+    // v2 timeline echo: strip the trailing 72 bytes out of the payload so
+    // opcode-level consumers (Get values, ScanSum sums) see the same bytes
+    // with or without the flag.
+    if (!DecodeTimelineWire(out->payload, &out->timeline)) {
+      if (err != nullptr) *err = "timeline flag set but payload too short";
+      return false;
+    }
+    out->has_timeline = true;
+    out->payload.resize(out->payload.size() - kTimelineWireSize);
   }
   return true;
 }
@@ -157,6 +170,12 @@ bool Client::Ping(Result* out, std::string* err) {
   RequestHeader h;
   h.opcode = static_cast<uint8_t>(Op::kPing);
   h.prio_class = static_cast<uint8_t>(WireClass::kHigh);
+  return Call(h, {}, out, err);
+}
+
+bool Client::Admin(Op op, Result* out, std::string* err) {
+  RequestHeader h;
+  h.opcode = static_cast<uint8_t>(op);
   return Call(h, {}, out, err);
 }
 

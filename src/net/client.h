@@ -34,7 +34,13 @@ class Client {
     WireStatus status = WireStatus::kError;
     Rc rc = Rc::kError;
     uint64_t server_ns = 0;
-    std::string payload;
+    uint8_t version = 0;  // protocol version the server answered with
+    std::string payload;  // timeline bytes (if any) already stripped
+    // Server-side lifecycle timeline, present when the response carried
+    // kRespFlagTimeline (the request asked via kReqFlagWantTimeline and
+    // sampling selected it). Timestamps are server MonoNanos — deltas only.
+    bool has_timeline = false;
+    TimelineWire timeline;
   };
 
   Client() = default;
@@ -88,6 +94,9 @@ class Client {
   // Convenience wrappers over the built-in KV opcodes, blocking, high or
   // low priority class. timeout_us = 0 means no deadline.
   bool Ping(Result* out, std::string* err);
+  // Admin plane: fetch one introspection document (kMetrics / kHealth /
+  // kTraceSnapshot); Result::payload is the JSON body.
+  bool Admin(Op op, Result* out, std::string* err);
   bool Put(uint64_t key, std::string_view value, WireClass cls, Result* out,
            std::string* err, uint32_t timeout_us = 0);
   bool Get(uint64_t key, WireClass cls, Result* out, std::string* err,

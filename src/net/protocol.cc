@@ -46,11 +46,22 @@ WireStatus StatusFromRc(Rc rc) {
   return WireStatus::kError;
 }
 
+void AppendTimelineWire(const TimelineWire& t, std::string* out) {
+  out->append(reinterpret_cast<const char*>(&t), kTimelineWireSize);
+}
+
+bool DecodeTimelineWire(std::string_view payload, TimelineWire* out) {
+  if (payload.size() < kTimelineWireSize) return false;
+  std::memcpy(out, payload.data() + payload.size() - kTimelineWireSize,
+              kTimelineWireSize);
+  return true;
+}
+
 void EncodeRequest(const RequestHeader& h, std::string_view payload,
                    std::string* out) {
   RequestHeader copy = h;
   copy.magic = kRequestMagic;
-  copy.version = kProtocolVersion;
+  if (!VersionSupported(copy.version)) copy.version = kProtocolVersion;
   copy.payload_len = static_cast<uint32_t>(payload.size());
   out->reserve(out->size() + kRequestHeaderSize + payload.size());
   out->append(reinterpret_cast<const char*>(&copy), kRequestHeaderSize);
@@ -61,7 +72,7 @@ void EncodeResponse(const ResponseHeader& h, std::string_view payload,
                     std::string* out) {
   ResponseHeader copy = h;
   copy.magic = kResponseMagic;
-  copy.version = kProtocolVersion;
+  if (!VersionSupported(copy.version)) copy.version = kProtocolVersion;
   copy.payload_len = static_cast<uint32_t>(payload.size());
   out->reserve(out->size() + kResponseHeaderSize + payload.size());
   out->append(reinterpret_cast<const char*>(&copy), kResponseHeaderSize);
@@ -69,14 +80,17 @@ void EncodeResponse(const ResponseHeader& h, std::string_view payload,
 }
 
 bool DecodeRequestHeader(const uint8_t* buf, RequestHeader* out) {
+  // Version is intentionally NOT validated here: the frame layout is
+  // version-stable, so the server can always frame the request and reply
+  // kBadRequest to an unsupported version instead of poisoning the
+  // connection (which would look like a hang to a naive client).
   std::memcpy(out, buf, kRequestHeaderSize);
-  return out->magic == kRequestMagic && out->version == kProtocolVersion &&
-         out->payload_len <= kMaxPayload;
+  return out->magic == kRequestMagic && out->payload_len <= kMaxPayload;
 }
 
 bool DecodeResponseHeader(const uint8_t* buf, ResponseHeader* out) {
   std::memcpy(out, buf, kResponseHeaderSize);
-  return out->magic == kResponseMagic && out->version == kProtocolVersion &&
+  return out->magic == kResponseMagic && VersionSupported(out->version) &&
          out->payload_len <= kMaxPayload;
 }
 

@@ -28,11 +28,35 @@ namespace preemptdb::net {
 
 inline constexpr uint32_t kRequestMagic = 0x51424450;   // "PDBQ"
 inline constexpr uint32_t kResponseMagic = 0x52424450;  // "PDBR"
-inline constexpr uint8_t kProtocolVersion = 1;
+// Version negotiation (v2): headers carry the sender's version; the server
+// accepts any version in [kMinProtocolVersion, kProtocolVersion] and echoes
+// the request's (clamped) version in the response so old clients keep
+// working unchanged. Out-of-range versions get a well-formed kBadRequest
+// reply — not a hang, not a dropped connection — because the 48-byte frame
+// layout itself is version-stable.
+//
+// v1 -> v2 additions (all optional; a v1 peer never sees them):
+//   - request flag kReqFlagWantTimeline asks the server to append the
+//     transaction's lifecycle timeline (TimelineWire) to the response
+//     payload, signalled by kRespFlagTimeline.
+//   - admin opcodes kMetrics / kHealth / kTraceSnapshot (introspection
+//     plane; served off the txn hot path, even while draining).
+inline constexpr uint8_t kProtocolVersion = 2;
+inline constexpr uint8_t kMinProtocolVersion = 1;
+
+// Request flags (v2+).
+inline constexpr uint8_t kReqFlagWantTimeline = 0x1;
+// Response flags (v2+): the last kTimelineWireSize bytes of the payload are
+// an encoded TimelineWire (included in payload_len, so version-unaware
+// framing still works).
+inline constexpr uint8_t kRespFlagTimeline = 0x1;
 
 // Transaction opcodes of the built-in KV service (Server::Options.handler
 // replaces the dispatch entirely for custom workloads; opcodes are then
-// interpreted by that handler).
+// interpreted by that handler). Admin opcodes (>= kMetrics) are served by
+// the shard event loop itself — never submitted to the engine, never
+// subject to admission control — so a wedged or draining server can still
+// be inspected.
 enum class Op : uint8_t {
   kPing = 0,     // no transaction; liveness + latency floor
   kGet = 1,      // params[0] = key; response payload = value
@@ -41,6 +65,15 @@ enum class Op : uint8_t {
   kScanSum = 4,  // params[0] = lo, params[1] = hi; payload = {count, bytes}
                  // — the long-running "analytics" op (Q2 analog) used as the
                  // low-priority stream by net_loadgen
+  // --- Admin / introspection plane (v2) ---
+  kMetrics = 16,        // payload = MetricsSnapshot JSON (counters, gauges,
+                        // stage histograms, per-txn-type rows)
+  kHealth = 17,         // payload = JSON: per-shard conn/inflight stats,
+                        // per-worker queue depths + starvation + degradation,
+                        // scheduler counters, lifecycle state
+  kTraceSnapshot = 18,  // payload = Chrome trace-event JSON of the trace
+                        // rings (truncated to the payload cap; consumed
+                        // events are not re-exported)
 };
 
 // Priority class carried on the wire; admission maps it to sched::Priority.
@@ -73,7 +106,7 @@ struct RequestHeader {
   uint8_t version = kProtocolVersion;
   uint8_t opcode = 0;
   uint8_t prio_class = 0;  // WireClass
-  uint8_t flags = 0;       // reserved
+  uint8_t flags = 0;       // kReqFlag* (v2+); must be 0 on v1 frames
   uint64_t request_id = 0;
   uint32_t timeout_us = 0;  // relative deadline; 0 = none (see SubmitOptions)
   uint32_t payload_len = 0;
@@ -91,7 +124,7 @@ struct ResponseHeader {
   uint8_t version = kProtocolVersion;
   uint8_t status = 0;  // WireStatus
   uint8_t rc = 0;      // underlying Rc detail (valid for kOk..kTimeout)
-  uint8_t flags = 0;   // reserved
+  uint8_t flags = 0;   // kRespFlag* (v2+); always 0 on v1 responses
   uint64_t request_id = 0;
   uint64_t server_ns = 0;  // accept-to-completion latency measured serverside
   uint32_t payload_len = 0;
@@ -106,12 +139,46 @@ static_assert(sizeof(ResponseHeader) == kResponseHeaderSize,
 // any allocation proportional to the claimed length.
 inline constexpr uint32_t kMaxPayload = 1u << 20;
 
+// --- Timeline echo (v2) ---
+//
+// Fixed-layout wire form of obs::TxnTimeline, appended as the *last*
+// kTimelineWireSize bytes of a response payload when kRespFlagTimeline is
+// set. All timestamps are server-side MonoNanos — only the *deltas* are
+// meaningful to a client.
+struct TimelineWire {
+  uint64_t arrival_ns = 0;
+  uint64_t admit_ns = 0;
+  uint64_t enqueue_ns = 0;
+  uint64_t dispatch_ns = 0;
+  uint64_t first_run_ns = 0;
+  uint64_t done_ns = 0;
+  uint64_t reply_ns = 0;
+  uint64_t last_resume_ns = 0;
+  uint32_t preempts = 0;
+  uint32_t yields = 0;
+};
+
+inline constexpr size_t kTimelineWireSize = 72;
+static_assert(sizeof(TimelineWire) == kTimelineWireSize,
+              "wire layout must be packed: 8*8 + 2*4");
+
+// Appends the 72-byte encoding to `out`.
+void AppendTimelineWire(const TimelineWire& t, std::string* out);
+// Decodes the trailing kTimelineWireSize bytes of `payload`; returns false
+// if the payload is too short.
+bool DecodeTimelineWire(std::string_view payload, TimelineWire* out);
+
 // --- Encode / decode ---
 //
 // Encoders append header + payload to `out` (one buffer per frame keeps the
-// write path a single copy). Decoders validate magic/version/length and
+// write path a single copy); they preserve the caller's `version` when it is
+// in the supported range (so tests and old clients can emit v1 frames) and
+// stamp kProtocolVersion otherwise. Decoders validate magic and length and
 // return false on a malformed header — the connection is then poisoned and
-// closed, since framing can no longer be trusted.
+// closed, since framing can no longer be trusted. An unsupported *version*
+// is NOT a decode failure on the request path: the layout is version-stable,
+// so the server decodes the frame and answers kBadRequest (see
+// RequestVersionSupported), keeping the connection alive.
 
 void EncodeRequest(const RequestHeader& h, std::string_view payload,
                    std::string* out);
@@ -121,6 +188,10 @@ void EncodeResponse(const ResponseHeader& h, std::string_view payload,
 // `buf` must hold at least kRequestHeaderSize / kResponseHeaderSize bytes.
 bool DecodeRequestHeader(const uint8_t* buf, RequestHeader* out);
 bool DecodeResponseHeader(const uint8_t* buf, ResponseHeader* out);
+
+inline bool VersionSupported(uint8_t v) {
+  return v >= kMinProtocolVersion && v <= kProtocolVersion;
+}
 
 }  // namespace preemptdb::net
 

@@ -11,6 +11,10 @@
 #include <thread>
 
 #include "net/shard.h"
+#include "obs/json.h"
+#include "obs/trace_export.h"
+#include "sched/scheduler.h"
+#include "util/clock.h"
 #include "util/slice.h"
 
 namespace preemptdb::net {
@@ -170,6 +174,11 @@ bool Server::Start(std::string* err) {
     shard_gauges_.Add(p + "completions", gauge(&s->completions));
   }
 
+  if (opts_.slo.enabled()) {
+    slo_watchdog_ = std::make_unique<obs::SloWatchdog>(opts_.slo);
+    slo_watchdog_->Start();
+  }
+
   stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   for (auto& s : shards_) s->StartThread();
@@ -202,6 +211,111 @@ void Server::Stop() {
   // post-Stop stats() reads keep working.
   shard_gauges_.Clear();
   for (auto& s : shards_) s->TearDown();
+  if (slo_watchdog_ != nullptr) {
+    slo_watchdog_->Stop();
+    slo_watchdog_.reset();
+  }
+}
+
+void Server::RecordSlo(bool high_priority, uint64_t latency_ns) {
+  if (slo_watchdog_ != nullptr) {
+    slo_watchdog_->Record(high_priority, latency_ns, MonoNanos());
+  }
+}
+
+std::string Server::BuildMetricsJson() const {
+  obs::MetricsSnapshot snap;
+  snap.SetMeta("source", "preemptdb-server");
+  snap.SetMeta("port", std::to_string(port_));
+  snap.CaptureRegistry();
+  db_->metrics().AppendTo(snap, nullptr, 0, /*seconds=*/0.0, "net.");
+  return snap.ToJson();
+}
+
+std::string Server::BuildHealthJson() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("running").Bool(running_.load(std::memory_order_acquire));
+  w.Key("stopping").Bool(stopping_.load(std::memory_order_acquire));
+  w.Key("handoff_mode").Bool(handoff_mode_);
+  w.Key("port").Uint(port_);
+
+  w.Key("shards").BeginArray();
+  for (uint32_t i = 0; i < shards_.size(); ++i) {
+    ListenerStats s = shard_stats(i);
+    w.BeginObject();
+    w.Key("id").Uint(i);
+    w.Key("open_conns").Uint(s.open_conns);
+    w.Key("requests").Uint(s.requests);
+    w.Key("admitted").Uint(s.admitted);
+    w.Key("busy").Uint(s.busy);
+    w.Key("bad_requests").Uint(s.bad_requests);
+    w.Key("replies").Uint(s.replies);
+    w.Key("responses_dropped").Uint(s.responses_dropped);
+    w.Key("timeouts").Uint(s.timeouts);
+    w.Key("completions_pushed").Uint(s.completions_pushed);
+    w.Key("completions").Uint(s.completions);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  sched::Scheduler& sch = db_->scheduler();
+  w.Key("scheduler").BeginObject();
+  w.Key("uipis_sent").Uint(sch.uipis_sent());
+  w.Key("hp_admitted").Uint(sch.hp_admitted());
+  w.Key("hp_dropped").Uint(sch.hp_dropped());
+  w.Key("expired").Uint(sch.expired());
+  w.Key("demotions").Uint(sch.demotions());
+  w.Key("promotions").Uint(sch.promotions());
+  w.Key("workers").BeginArray();
+  for (int i = 0; i < sch.num_workers(); ++i) {
+    sched::Worker& wk = sch.worker(i);
+    w.BeginObject();
+    w.Key("id").Uint(static_cast<uint64_t>(i));
+    w.Key("hp_depth").Uint(wk.HpDepth());
+    w.Key("lp_depth").Uint(wk.LpDepth());
+    w.Key("starvation").Double(wk.StarvationLevel());
+    w.Key("degraded").Bool(wk.degraded());
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  if (slo_watchdog_ != nullptr) {
+    const obs::SloWatchdog& sw = *slo_watchdog_;
+    w.Key("slo").BeginObject();
+    w.Key("hp_breached").Bool(sw.hp_breached());
+    w.Key("lp_breached").Bool(sw.lp_breached());
+    w.Key("hp_violations").Uint(sw.hp_violations());
+    w.Key("lp_violations").Uint(sw.lp_violations());
+    w.Key("hp_measured_us").Uint(sw.hp_measured_ns() / 1000);
+    w.Key("lp_measured_us").Uint(sw.lp_measured_ns() / 1000);
+    w.Key("evaluations").Uint(sw.evaluations());
+    w.EndObject();
+  }
+  w.EndObject();
+  return w.str();
+}
+
+std::string Server::BuildTraceJson(size_t max_bytes) const {
+  // Exporting marks every ring consumed, so back-to-back snapshots return
+  // disjoint event sets (and wrap-overwrites of unconsumed events count into
+  // trace.dropped_events).
+  obs::TraceExporter exporter;
+  std::string json = exporter.ChromeTraceJson();
+  if (json.size() > max_bytes) {
+    // Too big for one response frame: degrade to a well-formed stub rather
+    // than a truncated (unparseable) document. The file-based exporter has
+    // no such cap; this only bounds the wire path.
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("traceEvents").BeginArray().EndArray();
+    w.Key("truncated").Bool(true);
+    w.Key("full_size_bytes").Uint(json.size());
+    w.EndObject();
+    return w.str();
+  }
+  return json;
 }
 
 ListenerStats Server::shard_stats(uint32_t i) const {

@@ -44,6 +44,7 @@
 #include "core/preemptdb.h"
 #include "net/protocol.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 
 namespace preemptdb::net {
 
@@ -106,8 +107,19 @@ class Server {
     uint32_t max_payload = kMaxPayload;
     // Table backing the built-in KV ops; created on Start() if absent.
     std::string kv_table = "netkv";
-    // Replaces the built-in KV dispatch entirely when set.
+    // Replaces the built-in KV dispatch entirely when set. Admin opcodes
+    // (kMetrics / kHealth / kTraceSnapshot) are reserved and served by the
+    // shard loop before the handler ever sees them.
     OpHandler handler;
+    // Timeline echo sampling: a request asking for its lifecycle timeline
+    // (kReqFlagWantTimeline) gets one appended to the response payload every
+    // Nth such request per shard. 1 = every request that asks, 0 = never.
+    // Timelines are always *collected* (they feed the *.stage.* histograms);
+    // this only gates the extra 72 bytes on the wire.
+    uint32_t timeline_sample_every = 1;
+    // SLO watchdog over wire-level server_ns per priority class; disabled
+    // unless a target is set (see obs/slo.h).
+    obs::SloConfig slo;
   };
 
   static constexpr uint32_t kMaxShards = 64;
@@ -150,6 +162,20 @@ class Server {
   uint64_t completions() const { return stats().completions; }
   uint64_t accept_handoffs() const { return stats().accept_handoffs; }
 
+  // The SLO watchdog, when Options::slo enabled a class (null otherwise).
+  obs::SloWatchdog* slo_watchdog() { return slo_watchdog_.get(); }
+
+  // --- Admin / introspection plane (also callable in-process) ---
+  //
+  // The JSON bodies behind the kMetrics / kHealth / kTraceSnapshot wire
+  // opcodes. Built off the transaction hot path (shard thread for wire
+  // requests) and served even while the server is draining, so a wedged
+  // instance can still be inspected. `max_bytes` truncates the trace export
+  // (oldest events dropped) to fit a response payload.
+  std::string BuildMetricsJson() const;
+  std::string BuildHealthJson() const;
+  std::string BuildTraceJson(size_t max_bytes) const;
+
  private:
   friend class NetShard;
 
@@ -161,6 +187,9 @@ class Server {
                       const std::string& payload, std::string* reply);
   // Creates + binds + listens one socket; -1 and *err on failure.
   int OpenListener(bool reuseport, uint16_t port, std::string* err);
+  // Shard threads feed each completed request's server-side latency here
+  // (no-op without a watchdog).
+  void RecordSlo(bool high_priority, uint64_t latency_ns);
 
   DB* const db_;
   Options opts_;
@@ -174,6 +203,7 @@ class Server {
   std::vector<std::unique_ptr<NetShard>> shards_;
   // Per-shard `net.shard<i>.*` gauges; cleared before the shards die.
   obs::GaugeGroup shard_gauges_;
+  std::unique_ptr<obs::SloWatchdog> slo_watchdog_;
 };
 
 }  // namespace preemptdb::net

@@ -353,14 +353,31 @@ void NetShard::HandleConnReadable(const std::shared_ptr<Connection>& conn) {
 bool NetShard::HandleRequest(const std::shared_ptr<Connection>& conn,
                              const RequestHeader& hdr,
                              std::string_view payload) {
+  const uint64_t arrival_ns = MonoNanos();
   stats_.requests.fetch_add(1, std::memory_order_relaxed);
   g_requests.Add();
   obs::Trace(obs::EventType::kNetRequest, hdr.opcode, hdr.request_id);
 
+  // Version negotiation: the 48-byte frame layout is version-stable, so an
+  // unsupported version still decoded cleanly — answer it with kBadRequest
+  // (at the server's own version, naming what we do speak) instead of
+  // poisoning the connection, which a naive client would see as a hang.
+  if (!VersionSupported(hdr.version)) {
+    stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    g_rejected.Add();
+    ReplyNow(conn, hdr, WireStatus::kBadRequest, Rc::kError);
+    return true;
+  }
+
+  // Introspection plane: served by this loop directly — no admission
+  // control, no engine, and deliberately *before* the stopping check so a
+  // draining (or wedged-draining) server can still be scraped.
+  if (HandleAdminRequest(conn, hdr)) return true;
+
   const Server::Options& opts = server_->opts_;
   if (server_->stopping_.load(std::memory_order_acquire)) {
     g_rejected.Add();
-    ReplyNow(conn, hdr.request_id, WireStatus::kShuttingDown, Rc::kError);
+    ReplyNow(conn, hdr, WireStatus::kShuttingDown, Rc::kError);
     return true;
   }
   bool known_op =
@@ -368,14 +385,14 @@ bool NetShard::HandleRequest(const std::shared_ptr<Connection>& conn,
   if (!known_op || hdr.prio_class > 1 || hdr.payload_len > opts.max_payload) {
     stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
     g_rejected.Add();
-    ReplyNow(conn, hdr.request_id, WireStatus::kBadRequest, Rc::kError);
+    ReplyNow(conn, hdr, WireStatus::kBadRequest, Rc::kError);
     return true;
   }
   if (opts.max_inflight > 0 &&
       conn->in_flight.load(std::memory_order_relaxed) >= opts.max_inflight) {
     stats_.busy.fetch_add(1, std::memory_order_relaxed);
     g_busy.Add();
-    ReplyNow(conn, hdr.request_id, WireStatus::kBusy, Rc::kError);
+    ReplyNow(conn, hdr, WireStatus::kBusy, Rc::kError);
     return true;
   }
 
@@ -389,12 +406,23 @@ bool NetShard::HandleRequest(const std::shared_ptr<Connection>& conn,
   op->conn = conn;
   op->shard = this;
   op->hdr = hdr;
-  op->accept_ns = MonoNanos();
+  // accept_ns anchors both the wire server_ns and the timeline, so the
+  // net.stage.* partition sums exactly to the latency the client sees.
+  op->accept_ns = arrival_ns;
   op->in.assign(payload.data(), payload.size());
+  op->tl.arrival_ns = arrival_ns;
+  op->tl.admit_ns = MonoNanos();
+  if ((hdr.flags & kReqFlagWantTimeline) != 0 &&
+      opts.timeline_sample_every > 0) {
+    op->echo_timeline =
+        (timeline_want_seq_++ % opts.timeline_sample_every) == 0;
+  }
 
   SubmitOptions so;
   so.timeout_us = hdr.timeout_us;  // 0 = no deadline, same as SubmitOptions
   so.shard_id = id_;               // per-shard attribution in traces/metrics
+  so.timeline = &op->tl;           // owned by the op, which the completion
+                                   // lambda keeps alive — contract satisfied
 
   conn->in_flight.fetch_add(1, std::memory_order_relaxed);
   Server* server = server_;
@@ -420,14 +448,44 @@ bool NetShard::HandleRequest(const std::shared_ptr<Connection>& conn,
       conn->in_flight.fetch_sub(1, std::memory_order_relaxed);
       stats_.busy.fetch_add(1, std::memory_order_relaxed);
       g_busy.Add();
-      ReplyNow(conn, hdr.request_id, WireStatus::kBusy, Rc::kError);
+      ReplyNow(conn, hdr, WireStatus::kBusy, Rc::kError);
       return true;
     case SubmitResult::kStopped:
       conn->in_flight.fetch_sub(1, std::memory_order_relaxed);
       g_rejected.Add();
-      ReplyNow(conn, hdr.request_id, WireStatus::kShuttingDown, Rc::kError);
+      ReplyNow(conn, hdr, WireStatus::kShuttingDown, Rc::kError);
       return true;
   }
+  return true;
+}
+
+bool NetShard::HandleAdminRequest(const std::shared_ptr<Connection>& conn,
+                                  const RequestHeader& hdr) {
+  const Op op = static_cast<Op>(hdr.opcode);
+  if (op != Op::kMetrics && op != Op::kHealth && op != Op::kTraceSnapshot) {
+    return false;
+  }
+  std::string body;
+  switch (op) {
+    case Op::kMetrics:
+      body = server_->BuildMetricsJson();
+      break;
+    case Op::kHealth:
+      body = server_->BuildHealthJson();
+      break;
+    case Op::kTraceSnapshot:
+      body = server_->BuildTraceJson(server_->opts_.max_payload);
+      break;
+    default:
+      break;
+  }
+  if (body.size() > server_->opts_.max_payload) {
+    // A metrics/health document larger than the payload cap means a
+    // pathological registry; refuse rather than emit an unframeable reply.
+    ReplyNow(conn, hdr, WireStatus::kError, Rc::kError);
+    return true;
+  }
+  ReplyNow(conn, hdr, WireStatus::kOk, Rc::kOk, body);
   return true;
 }
 
@@ -441,13 +499,41 @@ void NetShard::ProcessCompletion(PendingOp* raw) {
     stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
     g_wire_timeouts.Add();
   }
+  // Reply stamp closes the timeline: server_ns and net.stage.total are the
+  // same subtraction, so the stage histograms partition exactly the latency
+  // reported on the wire.
+  op->tl.reply_ns = MonoNanos();
+  obs::RecordNetStages(op->tl);
   ResponseHeader rh;
+  rh.version = op->hdr.version;  // encode clamps unsupported values
   rh.status = static_cast<uint8_t>(StatusFromRc(rc));
   rh.rc = static_cast<uint8_t>(rc);
   rh.request_id = op->hdr.request_id;
-  rh.server_ns = MonoNanos() - op->accept_ns;
+  rh.server_ns = op->tl.reply_ns - op->accept_ns;
+  server_->RecordSlo(op->hdr.prio_class == 1, rh.server_ns);
+  std::string_view body = IsOk(rc) ? op->out : std::string_view();
+  std::string with_tl;
+  if (op->echo_timeline) {
+    // Timeline rides as the last 72 bytes of the payload (counted in
+    // payload_len), so version-unaware framing still works.
+    rh.flags |= kRespFlagTimeline;
+    TimelineWire tw;
+    tw.arrival_ns = op->tl.arrival_ns;
+    tw.admit_ns = op->tl.admit_ns;
+    tw.enqueue_ns = op->tl.enqueue_ns;
+    tw.dispatch_ns = op->tl.dispatch_ns;
+    tw.first_run_ns = op->tl.first_run_ns;
+    tw.done_ns = op->tl.done_ns;
+    tw.reply_ns = op->tl.reply_ns;
+    tw.last_resume_ns = op->tl.last_resume_ns;
+    tw.preempts = op->tl.preempts;
+    tw.yields = op->tl.yields;
+    with_tl.assign(body.data(), body.size());
+    AppendTimelineWire(tw, &with_tl);
+    body = with_tl;
+  }
   std::string frame;
-  EncodeResponse(rh, IsOk(rc) ? op->out : std::string_view(), &frame);
+  EncodeResponse(rh, body, &frame);
   if (!op->conn->EnqueueResponse(std::move(frame))) {
     // Connection died first. The submission itself completed — only the
     // reply bytes are lost, which is all a peer reset can ever lose.
@@ -506,13 +592,17 @@ void NetShard::MarkDirty(const std::shared_ptr<Connection>& conn) {
 }
 
 void NetShard::ReplyNow(const std::shared_ptr<Connection>& conn,
-                        uint64_t request_id, WireStatus status, Rc rc) {
+                        const RequestHeader& req, WireStatus status, Rc rc,
+                        std::string_view payload) {
   ResponseHeader rh;
+  // Echo the peer's version when we speak it; unsupported versions get the
+  // server's own (EncodeResponse clamps), which doubles as "max supported".
+  rh.version = req.version;
   rh.status = static_cast<uint8_t>(status);
   rh.rc = static_cast<uint8_t>(rc);
-  rh.request_id = request_id;
+  rh.request_id = req.request_id;
   std::string frame;
-  EncodeResponse(rh, {}, &frame);
+  EncodeResponse(rh, payload, &frame);
   if (conn->EnqueueResponse(std::move(frame))) {
     stats_.replies.fetch_add(1, std::memory_order_relaxed);
     g_replies.Add();

@@ -46,6 +46,7 @@
 #include "net/connection.h"
 #include "net/protocol.h"
 #include "net/server.h"
+#include "obs/timeline.h"
 #include "util/status.h"
 
 namespace preemptdb::net {
@@ -61,6 +62,13 @@ struct PendingOp {
   std::string in;   // request payload (owned copy; the rbuf recycles)
   std::string out;  // reply payload, written inside the transaction
   Rc rc = Rc::kError;  // terminal status, set just before the ring push
+  // Lifecycle timeline, stamped from arrival to reply (obs/timeline.h). By
+  // value: the PendingOp outlives the completion callback by construction,
+  // which is exactly the SubmitOptions::timeline ownership contract.
+  obs::TxnTimeline tl;
+  // Echo `tl` on the response (kRespFlagTimeline)? Set at admission when the
+  // client asked (kReqFlagWantTimeline) and sampling selected this request.
+  bool echo_timeline = false;
 
   // Intrusive MPSC ring linkage (CompletionRing). `self` is the reference
   // the ring holds: set by the producer right before Push, dropped by the
@@ -187,10 +195,18 @@ class NetShard {
   void HandleConnReadable(const std::shared_ptr<Connection>& conn);
   bool HandleRequest(const std::shared_ptr<Connection>& conn,
                      const RequestHeader& hdr, std::string_view payload);
+  // Admin-plane opcodes (kMetrics/kHealth/kTraceSnapshot): served inline on
+  // the shard thread, never submitted to the engine, answered even while the
+  // server is draining. Returns false if `op` is not an admin opcode.
+  bool HandleAdminRequest(const std::shared_ptr<Connection>& conn,
+                          const RequestHeader& hdr);
   // Shard thread: serialize one completed op and queue its response frame.
   void ProcessCompletion(PendingOp* op);
-  void ReplyNow(const std::shared_ptr<Connection>& conn, uint64_t request_id,
-                WireStatus status, Rc rc);
+  // Immediate reply from the shard thread (rejections + admin payloads);
+  // echoes the request's protocol version when supported.
+  void ReplyNow(const std::shared_ptr<Connection>& conn,
+                const RequestHeader& req, WireStatus status, Rc rc,
+                std::string_view payload = {});
   void FlushConn(const std::shared_ptr<Connection>& conn);
   void CloseConn(const std::shared_ptr<Connection>& conn);
   void UpdateEpollInterest(const std::shared_ptr<Connection>& conn);
@@ -211,6 +227,10 @@ class NetShard {
 
   uint64_t next_conn_seq_ = 0;
   std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+
+  // Timeline-echo sampling counter (shard-thread-only): counts requests
+  // that asked for their timeline; every Nth one gets it.
+  uint64_t timeline_want_seq_ = 0;
 
   CompletionRing ring_;
   std::atomic<bool> wake_pending_{false};

@@ -1,0 +1,203 @@
+#include "obs/json_parse.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace preemptdb::obs {
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& kv : members) {
+    if (kv.first == key) return &kv.second;
+  }
+  return nullptr;
+}
+
+const JsonValue* JsonValue::Path(
+    std::initializer_list<std::string_view> keys) const {
+  const JsonValue* v = this;
+  for (std::string_view k : keys) {
+    v = v->Find(k);
+    if (v == nullptr) return nullptr;
+  }
+  return v;
+}
+
+double JsonValue::NumberOr(std::string_view key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+namespace {
+
+constexpr int kMaxDepth = 32;
+
+struct Parser {
+  std::string_view in;
+  size_t pos = 0;
+  std::string* err;
+
+  bool Fail(const char* what) {
+    if (err != nullptr) {
+      *err = std::string(what) + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos < in.size() && (in[pos] == ' ' || in[pos] == '\t' ||
+                               in[pos] == '\n' || in[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos >= in.size() || in[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected string");
+    out->clear();
+    while (pos < in.size()) {
+      char c = in[pos++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos >= in.size()) break;
+      char e = in[pos++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos + 4 > in.size()) return Fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = in[pos++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else return Fail("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (the writer only escapes
+          // control characters, all < 0x80; be permissive anyway).
+          if (cp < 0x80) {
+            out->push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWs();
+    if (pos >= in.size()) return Fail("unexpected end of input");
+    char c = in[pos];
+    if (c == '{') {
+      ++pos;
+      out->type = JsonValue::Type::kObject;
+      SkipWs();
+      if (Consume('}')) return true;
+      for (;;) {
+        std::string key;
+        if (!ParseString(&key)) return false;
+        if (!Consume(':')) return Fail("expected ':'");
+        JsonValue v;
+        if (!ParseValue(&v, depth + 1)) return false;
+        out->members.emplace_back(std::move(key), std::move(v));
+        if (Consume(',')) continue;
+        if (Consume('}')) return true;
+        return Fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      out->type = JsonValue::Type::kArray;
+      SkipWs();
+      if (Consume(']')) return true;
+      for (;;) {
+        JsonValue v;
+        if (!ParseValue(&v, depth + 1)) return false;
+        out->items.push_back(std::move(v));
+        if (Consume(',')) continue;
+        if (Consume(']')) return true;
+        return Fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->str);
+    }
+    if (in.compare(pos, 4, "true") == 0) {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = true;
+      pos += 4;
+      return true;
+    }
+    if (in.compare(pos, 5, "false") == 0) {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = false;
+      pos += 5;
+      return true;
+    }
+    if (in.compare(pos, 4, "null") == 0) {
+      out->type = JsonValue::Type::kNull;
+      pos += 4;
+      return true;
+    }
+    // Number: delegate to strtod over a bounded copy.
+    size_t start = pos;
+    if (c == '-' || c == '+') ++pos;
+    bool digits = false;
+    while (pos < in.size() &&
+           (std::isdigit(static_cast<unsigned char>(in[pos])) != 0 ||
+            in[pos] == '.' || in[pos] == 'e' || in[pos] == 'E' ||
+            in[pos] == '+' || in[pos] == '-')) {
+      digits = true;
+      ++pos;
+    }
+    if (!digits) return Fail("unexpected character");
+    std::string num(in.substr(start, pos - start));
+    char* end = nullptr;
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::strtod(num.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("malformed number");
+    return true;
+  }
+};
+
+}  // namespace
+
+bool JsonParse(std::string_view in, JsonValue* out, std::string* err) {
+  *out = JsonValue{};
+  Parser p{in, 0, err};
+  if (!p.ParseValue(out, 0)) return false;
+  p.SkipWs();
+  if (p.pos != in.size()) return p.Fail("trailing data");
+  return true;
+}
+
+}  // namespace preemptdb::obs

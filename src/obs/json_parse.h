@@ -1,0 +1,50 @@
+// Minimal JSON DOM parser — the read side of obs/json.h's writer.
+//
+// Exists for consumers of the admin plane (bench/pdb_top, tests) that must
+// interpret kMetrics / kHealth payloads without pulling in an external JSON
+// dependency. Handles the subset the JsonWriter emits (objects, arrays,
+// strings with escapes, numbers, bools, null) plus standard \uXXXX escapes
+// (decoded as UTF-8, surrogate pairs unsupported — the writer never emits
+// them). Not built for adversarial input sizes: recursion depth is bounded,
+// everything else is caller-trusted telemetry.
+#ifndef PREEMPTDB_OBS_JSON_PARSE_H_
+#define PREEMPTDB_OBS_JSON_PARSE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace preemptdb::obs {
+
+struct JsonValue {
+  enum class Type : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  // Object member lookup; null when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+  // Nested lookup: Path({"histograms_ns", "net.stage.total", "p99_ns"}).
+  const JsonValue* Path(std::initializer_list<std::string_view> keys) const;
+  // Convenience: member's number, or `fallback` when missing / wrong type.
+  double NumberOr(std::string_view key, double fallback) const;
+};
+
+// Parses `in` into *out. On failure returns false and describes the problem
+// (with byte offset) in *err when non-null.
+bool JsonParse(std::string_view in, JsonValue* out, std::string* err = nullptr);
+
+}  // namespace preemptdb::obs
+
+#endif  // PREEMPTDB_OBS_JSON_PARSE_H_

@@ -18,6 +18,14 @@ std::mutex g_counter_mu;
 const Counter* g_counters[kMaxCounters];
 std::atomic<int> g_num_counters{0};
 
+// Stage-histogram registry: same append-only shape as counters. Instances
+// are namespace-scope objects (obs/timeline.cc), so registration is
+// static-init only.
+constexpr int kMaxStageHistograms = 64;
+std::mutex g_stage_mu;
+const StageHistogram* g_stages[kMaxStageHistograms];
+std::atomic<int> g_num_stages{0};
+
 struct GaugeEntry {
   int id;
   std::string name;
@@ -39,6 +47,23 @@ Counter::Counter(const char* name) : name_(name) {
     g_counters[n] = this;
     g_num_counters.store(n + 1, std::memory_order_release);
   }
+}
+
+StageHistogram::StageHistogram(const char* name) : name_(name) {
+  std::lock_guard<std::mutex> g(g_stage_mu);
+  int n = g_num_stages.load(std::memory_order_relaxed);
+  if (n < kMaxStageHistograms) {
+    g_stages[n] = this;
+    g_num_stages.store(n + 1, std::memory_order_release);
+  }
+}
+
+int NumStageHistograms() {
+  return g_num_stages.load(std::memory_order_acquire);
+}
+
+const StageHistogram* StageHistogramAt(int i) {
+  return i >= 0 && i < NumStageHistograms() ? g_stages[i] : nullptr;
 }
 
 int RegisterGauge(const std::string& name, std::function<double()> fn) {
@@ -122,6 +147,11 @@ void MetricsSnapshot::CaptureRegistry() {
     AddCounter(c->name(), c->Value());
   }
   SampleGauges([this](const std::string& name, double v) { AddGauge(name, v); });
+  int ns = NumStageHistograms();
+  for (int i = 0; i < ns; ++i) {
+    const StageHistogram* s = StageHistogramAt(i);
+    AddHistogramNanos(s->name(), s->hist());
+  }
 }
 
 namespace {

@@ -36,6 +36,29 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
+// A named process-global latency histogram, the histogram sibling of
+// Counter: declare at namespace scope, record from any thread (relaxed
+// atomics inside LatencyHistogram), enumerated into every MetricsSnapshot.
+// Used for the per-request stage histograms (net.stage.*, sched.stage.* —
+// see obs/timeline.h).
+class StageHistogram {
+ public:
+  explicit StageHistogram(const char* name);
+  PDB_DISALLOW_COPY_AND_ASSIGN(StageHistogram);
+
+  void RecordNanos(uint64_t nanos) { hist_.RecordNanos(nanos); }
+  const LatencyHistogram& hist() const { return hist_; }
+  const char* name() const { return name_; }
+
+ private:
+  const char* name_;
+  LatencyHistogram hist_;
+};
+
+// Enumeration hooks (append-only registry, like counters).
+int NumStageHistograms();
+const StageHistogram* StageHistogramAt(int i);
+
 // Pull-style gauge: `fn` is sampled at snapshot time. Returns a registration
 // id to pass to UnregisterGauge before any captured state dies.
 int RegisterGauge(const std::string& name, std::function<double()> fn);
@@ -97,7 +120,9 @@ class MetricsSnapshot {
   void AddTxnType(const std::string& name, uint64_t committed, uint64_t aborted,
                   uint64_t not_found, double tps, const LatencyHistogram& lat);
 
-  // Pulls every registered Counter and gauge into this snapshot.
+  // Pulls every registered Counter, gauge, and StageHistogram into this
+  // snapshot. Stage histograms are included even when empty so consumers
+  // (CI, pdb_top) can rely on the keys existing.
   void CaptureRegistry();
 
   std::string ToJson() const;

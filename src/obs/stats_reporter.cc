@@ -15,9 +15,21 @@ void StatsReporter::Start() {
   if (thread_.joinable()) return;
   stop_.store(false, std::memory_order_release);
   thread_ = std::thread([this] {
+    // Absolute-deadline pacing: next = prev + period, not sleep-for-period.
+    // A slow SampleOnce (a gauge callback stalls on a lock, a snapshot
+    // copies a lot of state) then shortens the following sleep instead of
+    // stretching every subsequent sampling interval — N samples always
+    // cover ~N*period of wall clock. When sampling falls more than one full
+    // period behind, the deadline is re-based to now rather than firing a
+    // burst of back-to-back catch-up samples.
+    auto next = std::chrono::steady_clock::now();
+    const auto period = std::chrono::milliseconds(period_ms_);
     while (!stop_.load(std::memory_order_acquire)) {
       SampleOnce();
-      std::this_thread::sleep_for(std::chrono::milliseconds(period_ms_));
+      next += period;
+      auto now = std::chrono::steady_clock::now();
+      if (next < now - period) next = now;  // fell behind: skip, don't burst
+      std::this_thread::sleep_until(next);
     }
   });
 }

@@ -1,0 +1,55 @@
+#include "obs/timeline.h"
+
+#include "obs/metrics.h"
+
+namespace preemptdb::obs {
+
+namespace {
+
+thread_local TxnTimeline* tls_active_timeline = nullptr;
+
+// Stage histograms are process-global (like Counters): registered at static
+// init, recorded with one relaxed histogram increment per stage, pulled into
+// every MetricsSnapshot whether or not they saw traffic — the admin plane's
+// kMetrics payload always carries the *.stage.* keys.
+StageHistogram g_stage_admit("net.stage.admit");
+StageHistogram g_stage_queue_wait_hp("sched.stage.queue_wait_hp");
+StageHistogram g_stage_queue_wait_lp("sched.stage.queue_wait_lp");
+StageHistogram g_stage_run_hp("sched.stage.run_hp");
+StageHistogram g_stage_run_lp("sched.stage.run_lp");
+StageHistogram g_stage_reply("net.stage.reply");
+StageHistogram g_stage_total("net.stage.total");
+
+inline uint64_t Delta(uint64_t from, uint64_t to) {
+  return to > from ? to - from : 0;
+}
+
+}  // namespace
+
+TxnTimeline* SetActiveTimeline(TxnTimeline* tl) {
+  TxnTimeline* prev = tls_active_timeline;
+  tls_active_timeline = tl;
+  return prev;
+}
+
+TxnTimeline* ActiveTimeline() { return tls_active_timeline; }
+
+void RecordSchedStages(const TxnTimeline& tl) {
+  if (tl.first_run_ns == 0 || tl.done_ns == 0) return;
+  if (tl.high_priority != 0) {
+    g_stage_queue_wait_hp.RecordNanos(Delta(tl.enqueue_ns, tl.first_run_ns));
+    g_stage_run_hp.RecordNanos(Delta(tl.first_run_ns, tl.done_ns));
+  } else {
+    g_stage_queue_wait_lp.RecordNanos(Delta(tl.enqueue_ns, tl.first_run_ns));
+    g_stage_run_lp.RecordNanos(Delta(tl.first_run_ns, tl.done_ns));
+  }
+}
+
+void RecordNetStages(const TxnTimeline& tl) {
+  if (tl.first_run_ns == 0 || tl.reply_ns == 0) return;
+  g_stage_admit.RecordNanos(Delta(tl.arrival_ns, tl.enqueue_ns));
+  g_stage_reply.RecordNanos(Delta(tl.done_ns, tl.reply_ns));
+  g_stage_total.RecordNanos(Delta(tl.arrival_ns, tl.reply_ns));
+}
+
+}  // namespace preemptdb::obs

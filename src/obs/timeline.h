@@ -1,0 +1,81 @@
+// Per-request lifecycle timeline.
+//
+// A TxnTimeline is a compact, allocation-free record of where one request's
+// time went: stamped at every stage boundary as it moves from the network
+// edge (arrival) through admission, the submission queue, scheduler dispatch
+// and worker execution, to the reply write. Preemption is first-class: the
+// worker's preemptive context counts how many times the transaction was
+// preempted (or yielded) and stamps the last resume, so a tail-latency
+// outlier can be attributed to "paused under HP work" rather than "queued" —
+// the distinction the paper's whole argument rests on.
+//
+// Threading model: a timeline has exactly one writer per phase (the shard
+// thread before Submit, the scheduler at dispatch, the worker during the
+// run, the shard thread again at reply), with the preempt counters written
+// only by the preemptive context sharing the worker's thread — so plain
+// non-atomic fields are safe. The struct is owned by the net layer's
+// PendingOp (or a bench harness) and carried by pointer through
+// SubmitOptions -> DB::Closure -> sched::Request.
+//
+// Stage recording: completed timelines are folded into the process-global
+// stage histograms (obs/metrics.h StageHistogram). The four net stages
+// partition server_ns exactly:
+//
+//   net.stage.admit       arrival -> enqueue   (parse + admission + push)
+//   sched.stage.queue_wait_{hp,lp}
+//                         enqueue -> first_run (submission + worker queues)
+//   sched.stage.run_{hp,lp}
+//                         first_run -> done    (execution incl. preemptions)
+//   net.stage.reply       done -> reply        (completion ring + serialize)
+//   net.stage.total       arrival -> reply     (== wire server_ns)
+#ifndef PREEMPTDB_OBS_TIMELINE_H_
+#define PREEMPTDB_OBS_TIMELINE_H_
+
+#include <cstdint>
+
+namespace preemptdb::obs {
+
+struct TxnTimeline {
+  uint64_t arrival_ns = 0;      // frame parsed at the network edge
+  uint64_t admit_ns = 0;        // passed admission checks (pre-Submit)
+  uint64_t enqueue_ns = 0;      // accepted into the submission queue
+  uint64_t dispatch_ns = 0;     // scheduler popped it for placement
+  uint64_t first_run_ns = 0;    // worker started executing
+  uint64_t done_ns = 0;         // terminal Rc known (commit/abort/timeout)
+  uint64_t reply_ns = 0;        // response frame serialized
+  uint64_t last_resume_ns = 0;  // last return from a preemption, 0 if never
+  uint32_t preempts = 0;        // interrupt-driven preemptions absorbed
+  uint32_t yields = 0;          // cooperative yields taken (degraded/yield)
+  uint8_t high_priority = 0;    // class, for per-class stage histograms
+};
+
+// --- Active-timeline thread slot ---
+//
+// The preemptive context has no request argument — it interrupts whatever
+// the main context was running — so preempt/yield/resume attribution goes
+// through a thread-local "timeline of the transaction currently executing on
+// this thread". The worker sets it around the run; the DB facade clears it
+// *before* firing the completion callback (after which the timeline's owner
+// may free it at any moment); the preemptive context only reads it.
+
+// Installs `tl` (may be null) as the calling thread's active timeline and
+// returns the previous value, which the caller must restore — HP work run by
+// the preemptive context nests above a paused LP transaction's timeline.
+TxnTimeline* SetActiveTimeline(TxnTimeline* tl);
+// The calling thread's active timeline, or null.
+TxnTimeline* ActiveTimeline();
+
+// Folds a completed run into the sched-layer stage histograms
+// (sched.stage.queue_wait_*, sched.stage.run_*). Call with first_run_ns and
+// done_ns stamped; no-ops on a timeline that never ran.
+void RecordSchedStages(const TxnTimeline& tl);
+
+// Folds the network-edge stages (net.stage.admit / reply / total). Call with
+// reply_ns stamped; skips timelines that never ran (deadline sheds), so the
+// stage histograms partition exactly the requests counted in
+// net.stage.total.
+void RecordNetStages(const TxnTimeline& tl);
+
+}  // namespace preemptdb::obs
+
+#endif  // PREEMPTDB_OBS_TIMELINE_H_

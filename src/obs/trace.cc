@@ -4,9 +4,16 @@
 
 #include <mutex>
 
+#include "obs/metrics.h"
+
 namespace preemptdb::obs {
 
 namespace {
+
+// Overwrite losses across all rings. An obs::Counter so the value rides
+// along in every metrics snapshot; Counter::Add is one relaxed RMW, safe
+// from the signal-handler record path.
+Counter g_trace_dropped_events("trace.dropped_events");
 
 // Registry of all rings, append-only. Registration takes a mutex (never on
 // the record path); the record path reads only the thread-local pointer.
@@ -28,6 +35,8 @@ size_t RoundUpPow2(size_t v) {
 namespace internal {
 
 std::atomic<bool> g_trace_enabled{false};
+
+void NoteDroppedEvent() { g_trace_dropped_events.Add(); }
 
 void RecordSlow(EventType type, uint32_t a32, uint64_t a64) {
   TraceRing* ring = tls_ring;
@@ -90,6 +99,16 @@ uint64_t DroppedNoRing() {
   return g_dropped_no_ring.load(std::memory_order_relaxed);
 }
 
+uint64_t DroppedOverwrites() { return g_trace_dropped_events.Value(); }
+
+void MarkAllRingsConsumed() {
+  std::lock_guard<std::mutex> g(g_registry_mu);
+  int n = g_num_rings.load(std::memory_order_acquire);
+  for (int i = 0; i < n; ++i) {
+    if (g_rings[i] != nullptr) g_rings[i]->MarkConsumed();
+  }
+}
+
 void ResetForTest() {
   std::lock_guard<std::mutex> g(g_registry_mu);
   int n = g_num_rings.exchange(0, std::memory_order_acq_rel);
@@ -145,6 +164,14 @@ const char* EventName(EventType t) {
       return "NetSubmit";
     case EventType::kNetReply:
       return "NetReply";
+    case EventType::kTxnDispatch:
+      return "TxnDispatch";
+    case EventType::kTxnResume:
+      return "TxnResume";
+    case EventType::kSloBreach:
+      return "SloBreach";
+    case EventType::kSloRecover:
+      return "SloRecover";
     case EventType::kNumEventTypes:
       break;
   }
@@ -169,7 +196,12 @@ const char* EventCategory(EventType t) {
     case EventType::kHpExpired:
     case EventType::kWorkerDemoted:
     case EventType::kWorkerPromoted:
+    case EventType::kTxnDispatch:
+    case EventType::kTxnResume:
       return "sched";
+    case EventType::kSloBreach:
+    case EventType::kSloRecover:
+      return "slo";
     case EventType::kGcPass:
     case EventType::kLogFlush:
       return "engine";

@@ -45,6 +45,10 @@ enum class EventType : uint16_t {
   kNetRequest,         // frame parsed; a32 = opcode, a64 = request id
   kNetSubmit,          // admitted into DB::Submit; a32 = 1 when high priority
   kNetReply,           // response enqueued; a32 = WireStatus, a64 = server ns
+  kTxnDispatch,        // scheduler popped a submission; a32 = shard id
+  kTxnResume,          // paused txn resumed after preemption; a32 = preempts
+  kSloBreach,          // SLO watchdog; a32 = 1 for HP class, a64 = pXX ns
+  kSloRecover,         // class back under target; a32 = 1 for HP class
   kNumEventTypes,
 };
 
@@ -68,6 +72,13 @@ struct TraceEvent {
 inline constexpr int kMaxTracks = 256;
 inline constexpr size_t kDefaultRingCapacity = 1 << 15;  // events per thread
 
+namespace internal {
+// Counts one ring-wrap overwrite of a never-consumed event into the
+// process-global trace.dropped_events counter. Async-signal-safe (one
+// relaxed RMW).
+void NoteDroppedEvent();
+}  // namespace internal
+
 // Per-thread ring. The owning thread (including its signal handler) is the
 // only writer; the claim counter is an atomic RMW so a handler interrupting
 // Record() mid-write claims a different slot instead of tearing the same
@@ -80,6 +91,13 @@ class TraceRing {
 
   void Record(EventType type, uint32_t a32, uint64_t a64) {
     uint64_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+    // Overwrite loss is never silent: claiming slot `idx` evicts event
+    // `idx - capacity`, which was lost data iff no snapshot has consumed it
+    // yet. One relaxed load + compare on the (signal-safe) record path.
+    if (PDB_UNLIKELY(idx >=
+                     consumed_.load(std::memory_order_relaxed) + mask_ + 1)) {
+      internal::NoteDroppedEvent();
+    }
     TraceEvent& e = events_[idx & mask_];
     e.ts_ns = MonoNanos();
     e.a64 = a64;
@@ -99,10 +117,25 @@ class TraceRing {
   // Caller must ensure the writer has quiesced. Returns the number copied.
   size_t Snapshot(TraceEvent* out) const;
 
+  // Marks everything recorded so far as consumed: future wraps past this
+  // watermark no longer count as dropped. Called by exporters (the trace was
+  // read) — see MarkAllRingsConsumed().
+  void MarkConsumed() {
+    consumed_.store(next_.load(std::memory_order_acquire),
+                    std::memory_order_relaxed);
+  }
+  uint64_t consumed() const {
+    return consumed_.load(std::memory_order_relaxed);
+  }
+
  private:
   TraceEvent* events_;
   size_t mask_;
   std::atomic<uint64_t> next_{0};
+  // High-water mark of events read by a snapshot; wrapping past it loses
+  // data (trace.dropped_events), wrapping below it only recycles slots a
+  // consumer already saw.
+  std::atomic<uint64_t> consumed_{0};
   uint16_t track_;
   char name_[32];
 };
@@ -146,6 +179,15 @@ const TraceRing* Ring(int i);
 
 // Events recorded by threads that never registered a ring.
 uint64_t DroppedNoRing();
+
+// Ring-wrap losses: events overwritten before any snapshot consumed them
+// (the value of the trace.dropped_events counter).
+uint64_t DroppedOverwrites();
+
+// Marks every registered ring's current contents consumed. Exporters call
+// this after reading the rings so subsequent wraps of already-exported
+// events are not counted as losses.
+void MarkAllRingsConsumed();
 
 // Test hook: frees every ring and detaches all threads' pointers is
 // impossible portably, so this only resets the registry for freshly started

@@ -18,6 +18,9 @@ TraceExporter::TraceExporter() {
     size_t got = ring->Snapshot(scratch.data());
     events_.insert(events_.end(), scratch.begin(), scratch.begin() + got);
   }
+  // Everything copied above has been consumed: wrapping past it later is
+  // slot recycling, not data loss (trace.dropped_events stays quiet).
+  MarkAllRingsConsumed();
   // Stable sort keeps each ring's (already chronological) relative order for
   // equal timestamps, so per-track begin/end nesting survives the merge.
   std::stable_sort(events_.begin(), events_.end(),

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "engine/hooks.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "util/clock.h"
 
@@ -15,6 +16,11 @@ namespace preemptdb::sched {
 namespace {
 // The worker owning the current thread (for hook thunks).
 thread_local Worker* tls_worker = nullptr;
+// Set by YieldHook just before swapping so PreemptLoop can tell a voluntary
+// entry (yield) from an interrupt-driven one (preempt) when attributing the
+// pause to the interrupted transaction's timeline. Main-context write,
+// preempt-context read, same thread — no atomics needed.
+thread_local bool tls_entered_via_yield = false;
 }  // namespace
 
 Worker::Worker(int id, const SchedulerConfig& config, ExecuteFn execute,
@@ -96,8 +102,22 @@ void Worker::RunRequest(const Request& req, bool count_starvation) {
   // arg = submitting shard so sharded-front-end traces attribute each txn to
   // the event loop that admitted it (0 for single-shard / non-net work).
   obs::Trace(obs::EventType::kTxnStart, req.type, req.shard_id);
+  // Timeline bookkeeping happens strictly before execute_: once the
+  // executor fires the completion callback (inside execute_), the timeline's
+  // owner may free it, so nothing here may touch *req.timeline afterwards —
+  // only the thread-local pointer is restored. The previous active timeline
+  // is preserved because the preemptive context runs HP requests *above* a
+  // paused LP transaction whose timeline must come back into effect.
+  obs::TxnTimeline* prev_tl = nullptr;
+  if (req.timeline != nullptr) {
+    if (req.timeline->first_run_ns == 0) {
+      req.timeline->first_run_ns = MonoNanos();
+    }
+    prev_tl = obs::SetActiveTimeline(req.timeline);
+  }
   uint64_t c0 = count_starvation ? RdtscP() : 0;
   Rc rc = execute_(req, exec_ctx_, id_);
+  if (req.timeline != nullptr) obs::SetActiveTimeline(prev_tl);
   uint64_t done = MonoNanos();
   metrics_->Record(req.type, req.gen_ns, done, rc);
   if (IsOk(rc)) {
@@ -196,6 +216,20 @@ void Worker::PreemptLoop() {
   // drains the high-priority queue, then swaps back to the paused
   // transaction.
   while (true) {
+    // Attribute this activation to the transaction it paused (if any, and
+    // if it carries a timeline): entered via a yield point or via an
+    // interrupt. The paused transaction's timeline is the thread's active
+    // one here — the HP requests below nest their own above it and restore.
+    const bool via_yield = tls_entered_via_yield;
+    tls_entered_via_yield = false;
+    obs::TxnTimeline* paused_tl = obs::ActiveTimeline();
+    if (paused_tl != nullptr) {
+      if (via_yield) {
+        ++paused_tl->yields;
+      } else {
+        ++paused_tl->preempts;
+      }
+    }
     if (!stop_.load(std::memory_order_acquire)) {
       // Execute at most one batch per activation (paper §5: the interrupt
       // asks the worker "to execute the batch immediately"), bounded by the
@@ -213,6 +247,13 @@ void Worker::PreemptLoop() {
         hp_executed_preempt_.fetch_add(1, std::memory_order_relaxed);
       }
     }
+    if (paused_tl != nullptr && obs::ActiveTimeline() == paused_tl) {
+      // The pause is over: the paused transaction resumes right after the
+      // swap below. (The identity re-check is paranoia — RunRequest always
+      // restores — but a stale pointer here would be a write-after-free.)
+      paused_tl->last_resume_ns = MonoNanos();
+      obs::Trace(obs::EventType::kTxnResume, paused_tl->preempts);
+    }
     uintr::SwapToMain();
   }
 }
@@ -228,6 +269,7 @@ void Worker::YieldHook() {
   }
   if (hp_queue_.Empty()) return;
   obs::Trace(obs::EventType::kYieldHookFired);
+  tls_entered_via_yield = true;
   uintr::SwapToPreempt();
 }
 

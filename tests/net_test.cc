@@ -20,6 +20,7 @@
 #include "net/protocol.h"
 #include "net/server.h"
 #include "net/shard.h"
+#include "obs/json_parse.h"
 #include "util/clock.h"
 
 namespace preemptdb {
@@ -120,10 +121,14 @@ TEST(NetProtocolTest, DecodeRejectsCorruptHeaders) {
   EXPECT_FALSE(net::DecodeRequestHeader(
       reinterpret_cast<const uint8_t*>(bad_magic.data()), &d));
 
-  std::string bad_version = frame;
-  bad_version[4] = 99;
-  EXPECT_FALSE(net::DecodeRequestHeader(
-      reinterpret_cast<const uint8_t*>(bad_version.data()), &d));
+  // An unknown *request* version still decodes (the layout is version-
+  // stable); the server answers it with kBadRequest rather than poisoning
+  // the connection — see VersionNegotiation below.
+  std::string odd_version = frame;
+  odd_version[4] = 99;
+  EXPECT_TRUE(net::DecodeRequestHeader(
+      reinterpret_cast<const uint8_t*>(odd_version.data()), &d));
+  EXPECT_EQ(d.version, 99);
 
   // Claimed payload beyond kMaxPayload is rejected before any allocation.
   std::string bad_len = frame;
@@ -572,6 +577,337 @@ TEST_F(NetTest, HighPriorityOvertakesQueuedLowPriority) {
   ASSERT_GE(hp_position, 0);
   EXPECT_LT(hp_position, kLpBurst)
       << "the HP request must overtake at least one queued LP scan";
+}
+
+// --- Protocol v2: version negotiation, timeline echo, admin plane ---
+
+TEST(NetProtocolTest, TimelineWireTrailsThePayloadAndRoundTrips) {
+  net::TimelineWire t;
+  t.arrival_ns = 100;
+  t.admit_ns = 110;
+  t.enqueue_ns = 120;
+  t.dispatch_ns = 130;
+  t.first_run_ns = 140;
+  t.done_ns = 150;
+  t.reply_ns = 160;
+  t.last_resume_ns = 145;
+  t.preempts = 3;
+  t.yields = 2;
+  std::string payload = "body-bytes";
+  net::AppendTimelineWire(t, &payload);
+  ASSERT_EQ(payload.size(), 10 + net::kTimelineWireSize);
+  EXPECT_EQ(payload.compare(0, 10, "body-bytes"), 0)
+      << "the timeline is appended, never prepended";
+
+  net::TimelineWire d;
+  ASSERT_TRUE(net::DecodeTimelineWire(payload, &d));
+  EXPECT_EQ(d.arrival_ns, 100u);
+  EXPECT_EQ(d.enqueue_ns, 120u);
+  EXPECT_EQ(d.first_run_ns, 140u);
+  EXPECT_EQ(d.reply_ns, 160u);
+  EXPECT_EQ(d.last_resume_ns, 145u);
+  EXPECT_EQ(d.preempts, 3u);
+  EXPECT_EQ(d.yields, 2u);
+
+  std::string too_short(net::kTimelineWireSize - 1, 'x');
+  EXPECT_FALSE(net::DecodeTimelineWire(too_short, &d));
+}
+
+TEST(NetProtocolTest, EncodersPreserveSupportedVersionsAndClampOthers) {
+  // A caller-set v1 survives encoding (how old clients and these tests emit
+  // legacy frames); an out-of-range version is clamped to current.
+  net::RequestHeader h;
+  h.version = 1;
+  std::string frame;
+  net::EncodeRequest(h, {}, &frame);
+  net::RequestHeader d;
+  ASSERT_TRUE(net::DecodeRequestHeader(
+      reinterpret_cast<const uint8_t*>(frame.data()), &d));
+  EXPECT_EQ(d.version, 1);
+
+  h.version = 99;
+  frame.clear();
+  net::EncodeRequest(h, {}, &frame);
+  ASSERT_TRUE(net::DecodeRequestHeader(
+      reinterpret_cast<const uint8_t*>(frame.data()), &d));
+  EXPECT_EQ(d.version, net::kProtocolVersion);
+
+  // Response side: v1 round-trips, but a spliced unknown version fails the
+  // decode — the client must not interpret fields a future server might
+  // have re-defined.
+  net::ResponseHeader rh;
+  rh.version = 1;
+  frame.clear();
+  net::EncodeResponse(rh, {}, &frame);
+  net::ResponseHeader rd;
+  ASSERT_TRUE(net::DecodeResponseHeader(
+      reinterpret_cast<const uint8_t*>(frame.data()), &rd));
+  EXPECT_EQ(rd.version, 1);
+  frame[4] = 99;
+  EXPECT_FALSE(net::DecodeResponseHeader(
+      reinterpret_cast<const uint8_t*>(frame.data()), &rd));
+}
+
+TEST_F(NetTest, V1ClientRoundTripsAgainstV2Server) {
+  StartDefault();
+  net::Client c = Connect();
+  net::Client::Result res;
+  std::string err;
+
+  auto v1 = [](Op op) {
+    net::RequestHeader h;
+    h.version = 1;
+    h.opcode = static_cast<uint8_t>(op);
+    h.prio_class = static_cast<uint8_t>(WireClass::kHigh);
+    return h;
+  };
+
+  net::RequestHeader h = v1(Op::kPut);
+  h.params[0] = 11;
+  ASSERT_TRUE(c.Call(h, "legacy", &res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kOk);
+  EXPECT_EQ(res.version, 1) << "the response must echo the request's version";
+  EXPECT_FALSE(res.has_timeline) << "a v1 response never grows new bytes";
+
+  h = v1(Op::kGet);
+  h.params[0] = 11;
+  ASSERT_TRUE(c.Call(h, {}, &res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kOk);
+  EXPECT_EQ(res.payload, "legacy");
+  EXPECT_EQ(res.version, 1);
+
+  h = v1(Op::kScanSum);
+  h.params[0] = 1;
+  h.params[1] = 100;
+  ASSERT_TRUE(c.Call(h, {}, &res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kOk);
+  EXPECT_EQ(res.payload.size(), 16u);
+
+  h = v1(Op::kPing);
+  ASSERT_TRUE(c.Call(h, {}, &res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kOk);
+
+  EXPECT_EQ(server_->bad_requests(), 0u);
+}
+
+TEST_F(NetTest, UnsupportedVersionAnswersBadRequestNotAHang) {
+  StartDefault();
+  net::Client c = Connect();
+  net::RequestHeader h;
+  h.opcode = static_cast<uint8_t>(Op::kPing);
+  h.request_id = 424242;
+  std::string frame;
+  net::EncodeRequest(h, {}, &frame);
+  frame[4] = 99;  // splice an unknown version into an otherwise valid frame
+  ASSERT_EQ(::send(c.fd(), frame.data(), frame.size(), 0),
+            static_cast<ssize_t>(frame.size()));
+
+  net::Client::Result res;
+  std::string err;
+  ASSERT_TRUE(c.Recv(&res, &err)) << err;  // a reply — not a hang or a close
+  EXPECT_EQ(res.status, WireStatus::kBadRequest);
+  EXPECT_EQ(res.request_id, 424242u);
+  EXPECT_EQ(server_->bad_requests(), 1u);
+
+  // The 48-byte layout is version-stable, so framing is intact and the same
+  // connection keeps serving supported-version traffic.
+  ASSERT_TRUE(c.Ping(&res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kOk);
+}
+
+TEST_F(NetTest, TimelineEchoPartitionsServerTimeExactly) {
+  StartDefault();
+  net::Client c = Connect();
+  net::Client::Result res;
+  std::string err;
+  ASSERT_TRUE(c.Put(21, "tl", WireClass::kHigh, &res, &err)) << err;
+
+  net::RequestHeader h;
+  h.opcode = static_cast<uint8_t>(Op::kGet);
+  h.prio_class = static_cast<uint8_t>(WireClass::kHigh);
+  h.flags = net::kReqFlagWantTimeline;
+  h.params[0] = 21;
+  ASSERT_TRUE(c.Call(h, {}, &res, &err)) << err;
+  ASSERT_EQ(res.status, WireStatus::kOk);
+  EXPECT_EQ(res.payload, "tl")
+      << "the timeline must be stripped from the payload";
+  ASSERT_TRUE(res.has_timeline);
+
+  // Stage boundaries are stamped in lifecycle order from one clock.
+  const net::TimelineWire& t = res.timeline;
+  EXPECT_GT(t.arrival_ns, 0u);
+  EXPECT_LE(t.arrival_ns, t.admit_ns);
+  EXPECT_LE(t.admit_ns, t.enqueue_ns);
+  EXPECT_LE(t.enqueue_ns, t.dispatch_ns);
+  EXPECT_LE(t.dispatch_ns, t.first_run_ns);
+  EXPECT_LE(t.first_run_ns, t.done_ns);
+  EXPECT_LE(t.done_ns, t.reply_ns);
+
+  // The four stages partition the wire-reported server latency exactly:
+  // admit + queue_wait + run + reply telescopes to reply - arrival.
+  uint64_t admit = t.enqueue_ns - t.arrival_ns;
+  uint64_t queue_wait = t.first_run_ns - t.enqueue_ns;
+  uint64_t run = t.done_ns - t.first_run_ns;
+  uint64_t reply = t.reply_ns - t.done_ns;
+  EXPECT_EQ(admit + queue_wait + run + reply, res.server_ns);
+  EXPECT_EQ(t.reply_ns - t.arrival_ns, res.server_ns);
+}
+
+TEST_F(NetTest, TimelineSamplingGatesTheEchoDeterministically) {
+  net::Server::Options so;
+  so.timeline_sample_every = 2;
+  StartSingleWorker(so);
+  net::Client c = Connect();
+  net::Client::Result res;
+  std::string err;
+  ASSERT_TRUE(c.Put(1, "v", WireClass::kHigh, &res, &err)) << err;
+
+  // One shard, one connection: asking requests alternate strictly, starting
+  // with the first (sequence 0 % 2 == 0).
+  int with = 0;
+  for (int i = 0; i < 8; ++i) {
+    net::RequestHeader h;
+    h.opcode = static_cast<uint8_t>(Op::kGet);
+    h.prio_class = static_cast<uint8_t>(WireClass::kHigh);
+    h.flags = net::kReqFlagWantTimeline;
+    h.params[0] = 1;
+    ASSERT_TRUE(c.Call(h, {}, &res, &err)) << err;
+    EXPECT_EQ(res.has_timeline, i % 2 == 0) << "request " << i;
+    if (res.has_timeline) ++with;
+  }
+  EXPECT_EQ(with, 4);
+
+  // Requests that do not ask never pay the bytes and never consume a
+  // sampling slot.
+  net::RequestHeader h;
+  h.opcode = static_cast<uint8_t>(Op::kGet);
+  h.prio_class = static_cast<uint8_t>(WireClass::kHigh);
+  h.params[0] = 1;
+  ASSERT_TRUE(c.Call(h, {}, &res, &err)) << err;
+  EXPECT_FALSE(res.has_timeline);
+}
+
+TEST_F(NetTest, TimelineSampleZeroNeverEchoes) {
+  net::Server::Options so;
+  so.timeline_sample_every = 0;
+  StartSingleWorker(so);
+  net::Client c = Connect();
+  net::Client::Result res;
+  std::string err;
+  for (int i = 0; i < 4; ++i) {
+    net::RequestHeader h;
+    h.opcode = static_cast<uint8_t>(Op::kPut);
+    h.prio_class = static_cast<uint8_t>(WireClass::kHigh);
+    h.flags = net::kReqFlagWantTimeline;
+    h.params[0] = 1;
+    ASSERT_TRUE(c.Call(h, "v", &res, &err)) << err;
+    EXPECT_EQ(res.status, WireStatus::kOk);
+    EXPECT_FALSE(res.has_timeline);
+  }
+}
+
+TEST_F(NetTest, AdminPlaneServesParseableMetricsHealthAndTrace) {
+  StartDefault();
+  net::Client c = Connect();
+  net::Client::Result res;
+  std::string err;
+
+  // Pre-traffic: kMetrics must already carry every stage-histogram key — a
+  // scraper's schema cannot depend on whether traffic has arrived yet.
+  ASSERT_TRUE(c.Admin(Op::kMetrics, &res, &err)) << err;
+  ASSERT_EQ(res.status, WireStatus::kOk);
+  obs::JsonValue doc;
+  ASSERT_TRUE(obs::JsonParse(res.payload, &doc, &err)) << err;
+  const obs::JsonValue* hists = doc.Find("histograms_ns");
+  ASSERT_NE(hists, nullptr);
+  for (const char* key :
+       {"net.stage.admit", "sched.stage.queue_wait_hp",
+        "sched.stage.queue_wait_lp", "sched.stage.run_hp",
+        "sched.stage.run_lp", "net.stage.reply", "net.stage.total"}) {
+    EXPECT_NE(hists->Find(key), nullptr) << key;
+  }
+
+  // Drive traffic; the stage counts must move with it.
+  for (uint64_t k = 1; k <= 10; ++k) {
+    ASSERT_TRUE(c.Put(k, "v", WireClass::kHigh, &res, &err)) << err;
+    ASSERT_EQ(res.status, WireStatus::kOk);
+  }
+  ASSERT_TRUE(c.Admin(Op::kMetrics, &res, &err)) << err;
+  ASSERT_TRUE(obs::JsonParse(res.payload, &doc, &err)) << err;
+  const obs::JsonValue* total = doc.Path({"histograms_ns", "net.stage.total"});
+  ASSERT_NE(total, nullptr);
+  EXPECT_GE(total->NumberOr("count", 0), 10.0);
+
+  ASSERT_TRUE(c.Admin(Op::kHealth, &res, &err)) << err;
+  ASSERT_EQ(res.status, WireStatus::kOk);
+  obs::JsonValue health;
+  ASSERT_TRUE(obs::JsonParse(res.payload, &health, &err)) << err;
+  const obs::JsonValue* shards = health.Find("shards");
+  ASSERT_NE(shards, nullptr);
+  ASSERT_TRUE(shards->is_array());
+  EXPECT_EQ(shards->items.size(), server_->num_shards());
+  const obs::JsonValue* sched = health.Find("scheduler");
+  ASSERT_NE(sched, nullptr);
+  ASSERT_TRUE(sched->is_object());
+  const obs::JsonValue* workers = sched->Find("workers");
+  ASSERT_NE(workers, nullptr);
+  ASSERT_TRUE(workers->is_array());
+  EXPECT_EQ(workers->items.size(), 2u);  // StartDefault runs two workers
+
+  // kTraceSnapshot answers well-formed Chrome-trace JSON even with tracing
+  // disabled (an empty traceEvents array, not an error).
+  ASSERT_TRUE(c.Admin(Op::kTraceSnapshot, &res, &err)) << err;
+  ASSERT_EQ(res.status, WireStatus::kOk);
+  obs::JsonValue trace;
+  ASSERT_TRUE(obs::JsonParse(res.payload, &trace, &err)) << err;
+  EXPECT_NE(trace.Find("traceEvents"), nullptr);
+}
+
+TEST_F(NetTest, SloWatchdogSurfacesBreachOnHealthPlane) {
+  net::Server::Options so;
+  so.slo.hp_target_us = 1;  // 1 us p99: any real request breaches
+  so.slo.eval_period_ms = 5;
+  StartSingleWorker(so);
+  ASSERT_NE(server_->slo_watchdog(), nullptr);
+  net::Client c = Connect();
+  net::Client::Result res;
+  std::string err;
+  ASSERT_TRUE(c.Put(1, "v", WireClass::kHigh, &res, &err)) << err;
+  ASSERT_EQ(res.status, WireStatus::kOk);
+
+  ASSERT_TRUE(WaitUntil(
+      [&] { return server_->slo_watchdog()->hp_violations() > 0; }, 5000))
+      << "a 1 us target must be breached by any served request";
+  EXPECT_TRUE(server_->slo_watchdog()->hp_breached());
+
+  ASSERT_TRUE(c.Admin(Op::kHealth, &res, &err)) << err;
+  obs::JsonValue health;
+  ASSERT_TRUE(obs::JsonParse(res.payload, &health, &err)) << err;
+  const obs::JsonValue* slo = health.Find("slo");
+  ASSERT_NE(slo, nullptr) << "configured SLO must appear on the health plane";
+  EXPECT_GE(slo->NumberOr("hp_violations", 0), 1.0);
+  EXPECT_GT(slo->NumberOr("hp_measured_us", 0), 1.0);
+}
+
+TEST_F(NetTest, AdminPlaneStaysReservedUnderCustomHandlers) {
+  // A custom OpHandler owns the transaction opcode space, but the admin
+  // opcodes are served by the shard loop before dispatch — introspection
+  // cannot be shadowed away.
+  net::Server::Options so;
+  so.handler = [](engine::Engine&, const net::RequestHeader&,
+                  const std::string&, std::string* reply) {
+    reply->assign("custom");
+    return Rc::kOk;
+  };
+  StartSingleWorker(so);
+  net::Client c = Connect();
+  net::Client::Result res;
+  std::string err;
+  ASSERT_TRUE(c.Admin(Op::kMetrics, &res, &err)) << err;
+  ASSERT_EQ(res.status, WireStatus::kOk);
+  obs::JsonValue doc;
+  EXPECT_TRUE(obs::JsonParse(res.payload, &doc, &err)) << err;
+  EXPECT_NE(res.payload, "custom");
 }
 
 // --- Sharded front-end ---

@@ -5,13 +5,16 @@
 #include <signal.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/json.h"
+#include "obs/json_parse.h"
 #include "obs/metrics.h"
 #include "obs/stats_reporter.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 
@@ -148,6 +151,39 @@ TEST_F(ObsTest, ConcurrentRecordingAcrossThreads) {
   }
 }
 
+TEST_F(ObsTest, RingWrapOverUnconsumedEventsCountsDrops) {
+  ASSERT_GE(RegisterThisThread("drops", 8), 0);
+  SetTraceEnabled(true);
+  uint64_t before = DroppedOverwrites();
+
+  // Filling the ring exactly loses nothing; each wrap past the unconsumed
+  // watermark is one counted loss.
+  for (uint32_t i = 0; i < 8; ++i) Trace(EventType::kTxnStart, i);
+  EXPECT_EQ(DroppedOverwrites(), before);
+  for (uint32_t i = 0; i < 4; ++i) Trace(EventType::kTxnStart, i);
+  EXPECT_EQ(DroppedOverwrites(), before + 4);
+
+  // Consuming moves the watermark: recycling already-exported slots is not
+  // data loss...
+  MarkAllRingsConsumed();
+  for (uint32_t i = 0; i < 8; ++i) Trace(EventType::kTxnStart, i);
+  EXPECT_EQ(DroppedOverwrites(), before + 4);
+  // ...but the first wrap past it is again.
+  Trace(EventType::kTxnStart, 0);
+  EXPECT_EQ(DroppedOverwrites(), before + 5);
+}
+
+TEST_F(ObsTest, ExporterMarksRingsConsumed) {
+  ASSERT_GE(RegisterThisThread("consume", 8), 0);
+  SetTraceEnabled(true);
+  for (uint32_t i = 0; i < 8; ++i) Trace(EventType::kTxnStart, i);
+  uint64_t before = DroppedOverwrites();
+  { TraceExporter exp; }  // reading the rings consumes their contents
+  for (uint32_t i = 0; i < 8; ++i) Trace(EventType::kTxnStart, i);
+  EXPECT_EQ(DroppedOverwrites(), before)
+      << "overwriting exported events must not count as loss";
+}
+
 // --- Signal-handler-context recording ---
 
 std::atomic<int> g_handler_fires{0};
@@ -255,6 +291,120 @@ TEST_F(ObsTest, StatsReporterAggregatesGauges) {
   EXPECT_NE(json.find("\"obs_test.depth.min\":1"), std::string::npos);
   EXPECT_NE(json.find("\"obs_test.depth.max\":5"), std::string::npos);
   EXPECT_NE(json.find("\"obs_test.depth.mean\":3"), std::string::npos);
+}
+
+TEST_F(ObsTest, StatsReporterPacesOnAbsoluteDeadlines) {
+  // A gauge whose sampling costs most of a period: with absolute-deadline
+  // pacing N samples still cover ~N*period of wall clock, while the old
+  // sleep-for-period loop drifted to period + sample cost per iteration
+  // (~55% of the expected rate for these numbers). The bound sits between
+  // the two with margin for a loaded machine.
+  int gid = RegisterGauge("obs_test.slow_gauge", [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(8));
+    return 1.0;
+  });
+  StatsReporter rep(10);
+  auto t0 = std::chrono::steady_clock::now();
+  rep.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  rep.Stop();
+  auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  UnregisterGauge(gid);
+  double expected = static_cast<double>(elapsed_ms) / 10.0;
+  EXPECT_GE(rep.samples(), static_cast<uint64_t>(expected * 0.7))
+      << "sampling drifted: slow SampleOnce stretched the cadence";
+  EXPECT_LE(rep.samples(), static_cast<uint64_t>(expected * 1.5))
+      << "falling behind must re-base, not burst catch-up samples";
+}
+
+// --- Stage histograms + JSON read-back ---
+
+TEST_F(ObsTest, TimelineStagesFoldIntoRegistryHistograms) {
+  auto stage_count = [](const char* name) -> double {
+    MetricsSnapshot snap;
+    snap.CaptureRegistry();
+    JsonValue doc;
+    std::string err;
+    EXPECT_TRUE(JsonParse(snap.ToJson(), &doc, &err)) << err;
+    const JsonValue* h = doc.Path({"histograms_ns", name});
+    EXPECT_NE(h, nullptr) << name << " missing from the registry snapshot";
+    return h != nullptr ? h->NumberOr("count", -1) : -1;
+  };
+
+  // The stage keys exist in every snapshot, populated or not.
+  double run_hp = stage_count("sched.stage.run_hp");
+  double wait_hp = stage_count("sched.stage.queue_wait_hp");
+  double total = stage_count("net.stage.total");
+  ASSERT_GE(run_hp, 0);
+
+  TxnTimeline tl;
+  tl.arrival_ns = 100;
+  tl.admit_ns = 110;
+  tl.enqueue_ns = 120;
+  tl.dispatch_ns = 130;
+  tl.first_run_ns = 150;
+  tl.done_ns = 250;
+  tl.reply_ns = 260;
+  tl.high_priority = 1;
+  RecordSchedStages(tl);
+  RecordNetStages(tl);
+  EXPECT_EQ(stage_count("sched.stage.run_hp"), run_hp + 1);
+  EXPECT_EQ(stage_count("sched.stage.queue_wait_hp"), wait_hp + 1);
+  EXPECT_EQ(stage_count("net.stage.total"), total + 1);
+
+  // A timeline that never ran (deadline shed: first_run_ns == 0) must be
+  // excluded from every stage so the histograms keep partitioning exactly
+  // the requests counted in net.stage.total.
+  TxnTimeline shed;
+  shed.arrival_ns = 100;
+  shed.enqueue_ns = 120;
+  shed.done_ns = 130;
+  shed.reply_ns = 140;
+  shed.high_priority = 1;
+  RecordSchedStages(shed);
+  RecordNetStages(shed);
+  EXPECT_EQ(stage_count("sched.stage.run_hp"), run_hp + 1);
+  EXPECT_EQ(stage_count("net.stage.total"), total + 1);
+}
+
+TEST_F(ObsTest, JsonParseReadsBackWriterOutput) {
+  static Counter c("obs_test.parse_counter");
+  c.Add(5);
+  MetricsSnapshot snap;
+  snap.SetMeta("run", "parse");
+  snap.CaptureRegistry();
+  LatencyHistogram h;
+  h.RecordNanos(1000);
+  snap.AddHistogramNanos("obs_test.lat", h);
+
+  JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(JsonParse(snap.ToJson(), &doc, &err)) << err;
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* run = doc.Path({"meta", "run"});
+  ASSERT_NE(run, nullptr);
+  EXPECT_EQ(run->str, "parse");
+  const JsonValue* counters = doc.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GE(counters->NumberOr("obs_test.parse_counter", 0), 5.0);
+  const JsonValue* lat = doc.Path({"histograms_ns", "obs_test.lat"});
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->NumberOr("count", 0), 1.0);
+  // Log-bucketed: the percentile is the bucket midpoint, ~1.6% wide.
+  EXPECT_NEAR(lat->NumberOr("p50_ns", 0), 1000.0, 50.0);
+
+  // Escaped keys and values round-trip through writer + parser, not merely
+  // echo: the parser must decode what the writer encoded.
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("k\"ey").String("va\\l\nue\t");
+  w.EndObject();
+  ASSERT_TRUE(JsonParse(w.str(), &doc, &err)) << err;
+  const JsonValue* v = doc.Find("k\"ey");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->str, "va\\l\nue\t");
 }
 
 // --- Exporter ---

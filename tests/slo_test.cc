@@ -1,0 +1,226 @@
+// SLO watchdog tests: rolling-window percentile semantics driven entirely by
+// synthetic clocks — no sleeps, no real time. The contract under test
+// (obs/slo.h): each evaluation that finds the windowed percentile above
+// target counts exactly one violation, a spike stops counting precisely when
+// its samples age past the window boundary, a recovered feed goes quiet
+// without any reset, and an empty window never breaches.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "obs/slo.h"
+#include "obs/trace.h"
+
+namespace preemptdb::obs {
+namespace {
+
+constexpr uint64_t kMs = 1'000'000;  // ns per ms
+constexpr uint64_t kUs = 1'000;      // ns per us
+
+SloConfig HpOnlyConfig() {
+  SloConfig c;
+  c.hp_target_us = 100;
+  c.window_ms = 1000;
+  c.eval_period_ms = 10;
+  c.ring_capacity = 1024;
+  return c;
+}
+
+TEST(SloConfigTest, EnabledIffAnyTargetSet) {
+  SloConfig c;
+  EXPECT_FALSE(c.enabled());
+  c.lp_target_us = 5;
+  EXPECT_TRUE(c.enabled());
+  c = SloConfig{};
+  c.hp_target_us = 5;
+  EXPECT_TRUE(c.enabled());
+}
+
+TEST(SloTrackerTest, EmptyWindowNeverBreaches) {
+  SloTracker t(100 * kUs, 99.0, 1000 * kMs, 64);
+  SloTracker::Verdict v = t.Evaluate(5000 * kMs);
+  EXPECT_FALSE(v.breach);
+  EXPECT_EQ(v.samples, 0u);
+  EXPECT_EQ(v.measured_ns, 0u);
+}
+
+TEST(SloTrackerTest, PercentileOverWindowedSamples) {
+  SloTracker t(100 * kUs, 99.0, 1000 * kMs, 1024);
+  const uint64_t now = 10'000 * kMs;
+  // 49 fast samples and one huge outlier: p99 of 50 lands on the outlier.
+  for (int i = 0; i < 49; ++i) t.Record(10 * kUs, now);
+  t.Record(900 * kUs, now);
+  SloTracker::Verdict v = t.Evaluate(now);
+  EXPECT_EQ(v.samples, 50u);
+  EXPECT_TRUE(v.breach);
+  EXPECT_EQ(v.measured_ns, 900 * kUs);
+
+  // p50 of the same feed is comfortably under target.
+  SloTracker t50(100 * kUs, 50.0, 1000 * kMs, 1024);
+  for (int i = 0; i < 49; ++i) t50.Record(10 * kUs, now);
+  t50.Record(900 * kUs, now);
+  v = t50.Evaluate(now);
+  EXPECT_FALSE(v.breach);
+  EXPECT_EQ(v.measured_ns, 10 * kUs);
+}
+
+TEST(SloTrackerTest, SamplesAgeOutExactlyAtTheWindowBoundary) {
+  SloTracker t(100 * kUs, 99.0, 1000 * kMs, 1024);
+  const uint64_t at = 10'000 * kMs;
+  for (int i = 0; i < 50; ++i) t.Record(500 * kUs, at);
+
+  // One nanosecond before the boundary the spike still counts...
+  SloTracker::Verdict v = t.Evaluate(at + 1000 * kMs - 1);
+  EXPECT_TRUE(v.breach);
+  EXPECT_EQ(v.samples, 50u);
+
+  // ...and exactly at it — now - window == sample ts — it is gone.
+  v = t.Evaluate(at + 1000 * kMs);
+  EXPECT_FALSE(v.breach);
+  EXPECT_EQ(v.samples, 0u);
+}
+
+TEST(SloTrackerTest, RingOverwriteKeepsOnlyNewestSamples) {
+  SloTracker t(100 * kUs, 99.0, 1000 * kMs, 64);  // tiny ring
+  const uint64_t now = 10'000 * kMs;
+  // 64 slow samples fully overwritten by 64 fast ones: the verdict must be
+  // computed from the survivors only.
+  for (int i = 0; i < 64; ++i) t.Record(500 * kUs, now);
+  for (int i = 0; i < 64; ++i) t.Record(10 * kUs, now + kMs);
+  SloTracker::Verdict v = t.Evaluate(now + 2 * kMs);
+  EXPECT_EQ(v.samples, 64u);
+  EXPECT_FALSE(v.breach);
+}
+
+TEST(SloWatchdogTest, ViolationsAccumulatePerEvaluationWhileBreached) {
+  SloWatchdog wd(HpOnlyConfig());
+  const uint64_t t0 = 50'000 * kMs;
+  for (int i = 0; i < 20; ++i) wd.Record(true, 500 * kUs, t0);
+
+  // Five evaluations inside the window: five violations, breach latched.
+  for (int i = 1; i <= 5; ++i) {
+    wd.EvaluateOnce(t0 + static_cast<uint64_t>(i) * 10 * kMs);
+    EXPECT_EQ(wd.hp_violations(), static_cast<uint64_t>(i));
+    EXPECT_TRUE(wd.hp_breached());
+  }
+  EXPECT_EQ(wd.evaluations(), 5u);
+  EXPECT_EQ(wd.hp_measured_ns(), 500 * kUs);
+
+  // Evaluations after the samples age out stop incrementing — exactly.
+  wd.EvaluateOnce(t0 + 1000 * kMs);
+  EXPECT_EQ(wd.hp_violations(), 5u);
+  EXPECT_FALSE(wd.hp_breached());
+  wd.EvaluateOnce(t0 + 1010 * kMs);
+  EXPECT_EQ(wd.hp_violations(), 5u);
+}
+
+TEST(SloWatchdogTest, RecoveringFeedStopsIncrementingBeforeTheWindowEnds) {
+  SloWatchdog wd(HpOnlyConfig());
+  const uint64_t t0 = 50'000 * kMs;
+  // A short spike...
+  for (int i = 0; i < 5; ++i) wd.Record(true, 500 * kUs, t0);
+  wd.EvaluateOnce(t0 + 10 * kMs);
+  EXPECT_EQ(wd.hp_violations(), 1u);
+  EXPECT_TRUE(wd.hp_breached());
+
+  // ...drowned by fast traffic: p99 over the mixed window drops under
+  // target, so violations stop even though the slow samples are still
+  // inside the window.
+  for (int i = 0; i < 995; ++i) wd.Record(true, 10 * kUs, t0 + 20 * kMs);
+  wd.EvaluateOnce(t0 + 30 * kMs);
+  EXPECT_EQ(wd.hp_violations(), 1u);
+  EXPECT_FALSE(wd.hp_breached());
+  wd.EvaluateOnce(t0 + 40 * kMs);
+  EXPECT_EQ(wd.hp_violations(), 1u);
+}
+
+TEST(SloWatchdogTest, ClassesAreIndependent) {
+  SloConfig c;
+  c.hp_target_us = 100;
+  c.lp_target_us = 10'000;
+  SloWatchdog wd(c);
+  const uint64_t t0 = 50'000 * kMs;
+  // HP breaches, LP (with its looser target) does not.
+  for (int i = 0; i < 10; ++i) {
+    wd.Record(true, 500 * kUs, t0);
+    wd.Record(false, 500 * kUs, t0);
+  }
+  wd.EvaluateOnce(t0 + 10 * kMs);
+  EXPECT_EQ(wd.hp_violations(), 1u);
+  EXPECT_TRUE(wd.hp_breached());
+  EXPECT_EQ(wd.lp_violations(), 0u);
+  EXPECT_FALSE(wd.lp_breached());
+}
+
+TEST(SloWatchdogTest, DisabledClassIsNeverEvaluated) {
+  SloWatchdog wd(HpOnlyConfig());  // lp_target_us == 0
+  const uint64_t t0 = 50'000 * kMs;
+  for (int i = 0; i < 10; ++i) wd.Record(false, 5'000'000 * kUs, t0);
+  wd.EvaluateOnce(t0 + 10 * kMs);
+  EXPECT_EQ(wd.lp_violations(), 0u);
+  EXPECT_FALSE(wd.lp_breached());
+}
+
+TEST(SloWatchdogTest, BreachAndRecoverEmitTransitionTraceEvents) {
+  SetTraceEnabled(false);
+  ResetForTest();
+  ASSERT_GE(RegisterThisThread("slo-test", 64), 0);
+  SetTraceEnabled(true);
+
+  SloWatchdog wd(HpOnlyConfig());
+  const uint64_t t0 = 50'000 * kMs;
+  for (int i = 0; i < 10; ++i) wd.Record(true, 500 * kUs, t0);
+  // Three breached evaluations: one kSloBreach on the transition, not three.
+  wd.EvaluateOnce(t0 + 10 * kMs);
+  wd.EvaluateOnce(t0 + 20 * kMs);
+  wd.EvaluateOnce(t0 + 30 * kMs);
+  // Aged out: one kSloRecover on the way back.
+  wd.EvaluateOnce(t0 + 2000 * kMs);
+
+  const TraceRing* ring = Ring(CurrentTrack());
+  ASSERT_NE(ring, nullptr);
+  std::vector<TraceEvent> out(ring->capacity());
+  size_t n = ring->Snapshot(out.data());
+  int breaches = 0, recovers = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (out[i].type == static_cast<uint16_t>(EventType::kSloBreach)) {
+      ++breaches;
+      EXPECT_EQ(out[i].a32, 1u);  // HP class
+      EXPECT_EQ(out[i].a64, 500 * kUs);
+    }
+    if (out[i].type == static_cast<uint16_t>(EventType::kSloRecover)) {
+      ++recovers;
+    }
+  }
+  EXPECT_EQ(breaches, 1);
+  EXPECT_EQ(recovers, 1);
+  SetTraceEnabled(false);
+  ResetForTest();
+}
+
+TEST(SloWatchdogTest, StartIsANoOpWhenDisabledAndThreadEvaluatesWhenOn) {
+  // Disabled config: Start spawns nothing; EvaluateOnce still works.
+  SloConfig off;
+  SloWatchdog idle(off);
+  idle.Start();
+  idle.EvaluateOnce(1000 * kMs);
+  EXPECT_EQ(idle.evaluations(), 1u);
+  idle.Stop();
+
+  // Enabled config with a fast cadence: the real thread must evaluate on
+  // its own (wall clock — the one non-synthetic assertion in this file).
+  SloConfig on = HpOnlyConfig();
+  on.eval_period_ms = 1;
+  SloWatchdog wd(on);
+  wd.Start();
+  for (int i = 0; i < 500 && wd.evaluations() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  wd.Stop();
+  EXPECT_GT(wd.evaluations(), 0u);
+}
+
+}  // namespace
+}  // namespace preemptdb::obs
