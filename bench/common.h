@@ -336,7 +336,7 @@ inline sched::SchedulerConfig BaseConfig(sched::Policy policy, int workers) {
   cfg.hp_queue_capacity = 4;
   cfg.arrival_interval_us = 1000;
   cfg.yield_interval_records = 10000;
-  cfg.starvation_threshold = 100.0;
+  cfg.tunables.starvation_enabled = false;  // paper default: no L_max cap
   return cfg;
 }
 

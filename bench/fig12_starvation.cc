@@ -25,31 +25,40 @@ int main() {
   std::printf("%-16s %12s %14s %10s %12s\n", "variant", "neworder/s",
               "no-p99(ms)", "q2/s", "q2-p99(ms)");
 
-  auto overload = [&](sched::Policy policy, double threshold) {
+  auto overload = [&](sched::Policy policy, bool prevention,
+                      double threshold) {
     auto cfg = BaseConfig(policy, env.workers);
     cfg.hp_queue_capacity = 100;
-    cfg.hp_batch_size = static_cast<size_t>(env.workers) * 100;
+    cfg.tunables.hp_batch_size = static_cast<size_t>(env.workers) * 100;
     cfg.arrival_interval_us = 1000;
-    cfg.starvation_threshold = threshold;
+    cfg.tunables.starvation_enabled = prevention;
+    if (prevention) cfg.tunables.starvation_threshold = threshold;
     return RunMixed(bench, cfg, env.seconds);
   };
 
   {
-    RunResult r = overload(sched::Policy::kWait, 100.0);
+    RunResult r = overload(sched::Policy::kWait, false, 0.0);
     std::printf("%-16s %12.1f %14.2f %10.2f %12.2f\n", "Wait",
                 r.neworder.tps, r.neworder.p99_us / 1000.0, r.q2.tps,
                 r.q2.p99_us / 1000.0);
   }
-  for (double threshold : {0.0, 0.25, 0.5, 0.75, 1.0, 100.0}) {
-    RunResult r = overload(sched::Policy::kPreempt, threshold);
+  for (double threshold : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    RunResult r = overload(sched::Policy::kPreempt, true, threshold);
     char name[64];
     std::snprintf(name, sizeof(name), "PreemptDB(L=%g)", threshold);
     std::printf("%-16s %12.1f %14.2f %10.2f %12.2f\n", name, r.neworder.tps,
                 r.neworder.p99_us / 1000.0, r.q2.tps,
                 r.q2.p99_us / 1000.0);
   }
+  {
+    // Prevention disabled (the old ">= 100" sentinel, now an explicit state).
+    RunResult r = overload(sched::Policy::kPreempt, false, 0.0);
+    std::printf("%-16s %12.1f %14.2f %10.2f %12.2f\n", "PreemptDB(off)",
+                r.neworder.tps, r.neworder.p99_us / 1000.0, r.q2.tps,
+                r.q2.p99_us / 1000.0);
+  }
   std::printf(
       "# expectation (paper): Q2/s rises as L falls; NewOrder p99 rises as "
-      "L falls; L=100 ~ starved Q2\n");
+      "L falls; prevention off ~ starved Q2\n");
   return 0;
 }

@@ -20,6 +20,9 @@
 //   --slo-hp-us=T      HP p99 SLO target in us, 0 = off      (0)
 //   --slo-lp-us=T      LP p99 SLO target in us, 0 = off      (0)
 //   --slo-window-ms=W  SLO rolling window                    (1000)
+//   --ctl-hp-us=T      adaptive controller HP target, 0 = off (0)
+//   --ctl-lp-us=T      controller LP give-back target         (0)
+//   --ctl-period-ms=P  controller evaluation period           (100)
 //   --trace             enable event tracing (kTraceSnapshot needs this)
 #include <csignal>
 #include <cstdio>
@@ -78,6 +81,12 @@ int main(int argc, char** argv) {
   so.slo.lp_target_us = static_cast<uint64_t>(flags.GetInt("slo-lp-us", 0));
   so.slo.window_ms =
       static_cast<uint64_t>(flags.GetInt("slo-window-ms", 1000));
+  so.controller.hp_target_us =
+      static_cast<uint64_t>(flags.GetInt("ctl-hp-us", 0));
+  so.controller.lp_target_us =
+      static_cast<uint64_t>(flags.GetInt("ctl-lp-us", 0));
+  so.controller.period_ms =
+      static_cast<uint64_t>(flags.GetInt("ctl-period-ms", 100));
 
   net::Server server(db.get(), so);
   std::string err;

@@ -9,12 +9,16 @@
 //   ./bench/pdb_top --connect=127.0.0.1:7878
 //   ./bench/pdb_top --connect=127.0.0.1:7878 --iters=2 --interval-ms=500
 //   ./bench/pdb_top --connect=127.0.0.1:7878 --raw=metrics | python3 -m json.tool
+//   ./bench/pdb_top --connect=127.0.0.1:7878 --set=starvation_threshold=0.4
 //
 // Flags (bench::FlagSet):
 //   --connect=H:P      server address              (127.0.0.1:7878)
 //   --interval-ms=T    poll period                 (1000)
 //   --iters=N          polls before exiting, 0 = until error (0)
-//   --raw=metrics|health|trace   one-shot raw JSON dump
+//   --raw=metrics|health|trace|config   one-shot raw JSON dump
+//   --set=k=v[,k=v...] one-shot kSetConfig: apply a tunable-knob changeset
+//                      and print the resulting config JSON; exits 1 (reason
+//                      on stderr) if the server rejects it
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -72,6 +76,33 @@ void PrintStageRow(const obs::JsonValue& metrics, const char* label,
   std::printf("  %-26s %10.0f %10.1f %10.1f\n", label, count, p50, p99);
 }
 
+// "k=v,k=v" -> the kSetConfig JSON changeset. Values are passed through
+// verbatim (numbers stay numbers, true/false stay booleans); the server
+// validates types and ranges, so a bad value comes back as kBadRequest with
+// the reason, which is more informative than client-side guessing.
+std::string ChangeSetJson(const std::string& spec) {
+  std::string json = "{";
+  size_t pos = 0;
+  bool first = true;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string pair = spec.substr(pos, comma - pos);
+    size_t eq = pair.find('=');
+    PDB_CHECK_MSG(eq != std::string::npos && eq > 0,
+                  "--set wants key=value[,key=value...]");
+    if (!first) json += ',';
+    first = false;
+    json += '"';
+    json += pair.substr(0, eq);
+    json += "\":";
+    json += pair.substr(eq + 1);
+    pos = comma + 1;
+  }
+  json += '}';
+  return json;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -90,13 +121,34 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // One-shot set mode for scripts and operators: apply the changeset, print
+  // the server's post-apply config JSON (new version included), exit.
+  std::string set_spec = flags.Get("set");
+  if (!set_spec.empty()) {
+    std::string json = ChangeSetJson(set_spec);
+    net::Client::Result res;
+    if (!client.SetConfig(json, &res, &err)) {
+      std::fprintf(stderr, "set failed: %s\n", err.c_str());
+      return 1;
+    }
+    if (res.status != net::WireStatus::kOk) {
+      std::fprintf(stderr, "set rejected (%s): %s\n",
+                   net::WireStatusString(res.status), res.payload.c_str());
+      return 1;
+    }
+    std::printf("%s\n", res.payload.c_str());
+    return 0;
+  }
+
   // One-shot raw mode for scripts: body on stdout, nothing else.
   std::string raw_what = flags.Get("raw");
   if (!raw_what.empty()) {
     net::Op op = net::Op::kMetrics;
     if (raw_what == "health") op = net::Op::kHealth;
     else if (raw_what == "trace") op = net::Op::kTraceSnapshot;
-    else PDB_CHECK_MSG(raw_what == "metrics", "--raw wants metrics|health|trace");
+    else if (raw_what == "config") op = net::Op::kGetConfig;
+    else PDB_CHECK_MSG(raw_what == "metrics",
+                       "--raw wants metrics|health|trace|config");
     obs::JsonValue doc;
     std::string raw;
     if (!FetchJson(client, op, &doc, &raw, &err)) {
@@ -197,6 +249,33 @@ int main(int argc, char** argv) {
                       : "ok",
                   slo->NumberOr("lp_measured_us", 0),
                   slo->NumberOr("lp_violations", 0));
+    }
+
+    const obs::JsonValue* cfg = health.Find("config");
+    if (cfg != nullptr) {
+      const obs::JsonValue* t = cfg->Find("tunables");
+      const bool starv_on =
+          t != nullptr && t->Path({"starvation_enabled"}) != nullptr &&
+          t->Path({"starvation_enabled"})->boolean;
+      std::printf("ctl: v%.0f thr=%s batch=%.0f demote=%.0fms probe=%.0f",
+                  cfg->NumberOr("version", 0),
+                  starv_on
+                      ? std::to_string(
+                            t->NumberOr("starvation_threshold", 0))
+                            .substr(0, 4)
+                            .c_str()
+                      : "off",
+                  cfg->NumberOr("effective_hp_batch", 0),
+                  t != nullptr ? t->NumberOr("demote_latency_ns", 0) / 1e6 : 0,
+                  t != nullptr ? t->NumberOr("probe_interval_ticks", 0) : 0);
+      const obs::JsonValue* ctl = health.Find("ctl");
+      if (ctl != nullptr) {
+        const obs::JsonValue* act = ctl->Find("last_action");
+        std::printf("  [%s retunes=%.0f evals=%.0f]",
+                    act != nullptr ? act->str.c_str() : "-",
+                    ctl->NumberOr("retunes", 0), ctl->NumberOr("evals", 0));
+      }
+      std::printf("\n");
     }
     std::fflush(stdout);
 

@@ -45,7 +45,12 @@ void RunWithThreshold(double threshold) {
   options.scheduler.num_workers = 2;
   options.scheduler.hp_queue_capacity = 64;
   options.scheduler.arrival_interval_us = 200;
-  options.scheduler.starvation_threshold = threshold;
+  // threshold < 0 selects the explicit "prevention off" state (formerly the
+  // magic ">= 100" sentinel).
+  if (threshold >= 0) {
+    options.scheduler.tunables.starvation_enabled = true;
+    options.scheduler.tunables.starvation_threshold = threshold;
+  }
   auto db = DB::Open(options);
   auto* t = db->CreateTable("data");
   Load(*db, t);
@@ -90,8 +95,14 @@ void RunWithThreshold(double threshold) {
   }
   stop.store(true);
   db->Drain();
-  std::printf("L_max=%-6g  analytics scans: %4lu   point reads: %8lu\n",
-              threshold, static_cast<unsigned long>(scans_done.load()),
+  char label[16];
+  if (threshold >= 0) {
+    std::snprintf(label, sizeof(label), "%-6g", threshold);
+  } else {
+    std::snprintf(label, sizeof(label), "%-6s", "off");
+  }
+  std::printf("L_max=%s  analytics scans: %4lu   point reads: %8lu\n",
+              label, static_cast<unsigned long>(scans_done.load()),
               static_cast<unsigned long>(reads_done.load()));
 }
 
@@ -99,9 +110,9 @@ void RunWithThreshold(double threshold) {
 
 int main() {
   std::printf("# starvation threshold sweep under point-read overload\n");
-  RunWithThreshold(100.0);  // prevention off: analytics starve
-  RunWithThreshold(0.5);    // balanced
-  RunWithThreshold(0.0);    // preemption disabled: analytics max out
+  RunWithThreshold(-1.0);  // prevention off: analytics starve
+  RunWithThreshold(0.5);   // balanced
+  RunWithThreshold(0.0);   // preemption disabled: analytics max out
   std::printf(
       "# lower thresholds protect analytics throughput at the cost of "
       "point-read latency/volume\n");

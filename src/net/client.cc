@@ -179,6 +179,12 @@ bool Client::Admin(Op op, Result* out, std::string* err) {
   return Call(h, {}, out, err);
 }
 
+bool Client::SetConfig(std::string_view json, Result* out, std::string* err) {
+  RequestHeader h;
+  h.opcode = static_cast<uint8_t>(Op::kSetConfig);
+  return Call(h, json, out, err);
+}
+
 bool Client::Put(uint64_t key, std::string_view value, WireClass cls,
                  Result* out, std::string* err, uint32_t timeout_us) {
   RequestHeader h;

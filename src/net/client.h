@@ -95,8 +95,11 @@ class Client {
   // low priority class. timeout_us = 0 means no deadline.
   bool Ping(Result* out, std::string* err);
   // Admin plane: fetch one introspection document (kMetrics / kHealth /
-  // kTraceSnapshot); Result::payload is the JSON body.
+  // kTraceSnapshot / kGetConfig); Result::payload is the JSON body.
   bool Admin(Op op, Result* out, std::string* err);
+  // kSetConfig: `json` is the tunable-knob changeset. On kOk the payload is
+  // the new config document; on kBadRequest it is the rejection reason.
+  bool SetConfig(std::string_view json, Result* out, std::string* err);
   bool Put(uint64_t key, std::string_view value, WireClass cls, Result* out,
            std::string* err, uint32_t timeout_us = 0);
   bool Get(uint64_t key, WireClass cls, Result* out, std::string* err,

@@ -41,6 +41,8 @@ inline constexpr uint32_t kResponseMagic = 0x52424450;  // "PDBR"
 //     payload, signalled by kRespFlagTimeline.
 //   - admin opcodes kMetrics / kHealth / kTraceSnapshot (introspection
 //     plane; served off the txn hot path, even while draining).
+//   - admin opcodes kGetConfig / kSetConfig (runtime-tunable scheduler
+//     knobs; JSON bodies, validated server-side, versioned).
 inline constexpr uint8_t kProtocolVersion = 2;
 inline constexpr uint8_t kMinProtocolVersion = 1;
 
@@ -74,6 +76,15 @@ enum class Op : uint8_t {
   kTraceSnapshot = 18,  // payload = Chrome trace-event JSON of the trace
                         // rings (truncated to the payload cap; consumed
                         // events are not re-exported)
+  kGetConfig = 19,      // payload = JSON: structural config, tunable knob
+                        // values + config version, controller state
+  kSetConfig = 20,      // request payload = JSON changeset for the tunable
+                        // knobs ({"starvation_threshold":0.4,...}); applied
+                        // atomically and validated — any out-of-range or
+                        // unknown key rejects the whole set with
+                        // kBadRequest (error text in the response payload)
+                        // and leaves the version unchanged. On success the
+                        // response payload is the new config JSON.
 };
 
 // Priority class carried on the wire; admission maps it to sched::Priority.

@@ -174,9 +174,28 @@ bool Server::Start(std::string* err) {
     shard_gauges_.Add(p + "completions", gauge(&s->completions));
   }
 
+  // The controller's sensor is the SLO watchdog; an enabled controller with
+  // no explicit SLO targets mirrors its own targets in so the percentile
+  // trackers exist.
+  if (opts_.controller.enabled() && !opts_.slo.enabled()) {
+    opts_.slo.hp_target_us = opts_.controller.hp_target_us;
+    opts_.slo.lp_target_us = opts_.controller.lp_target_us;
+  }
   if (opts_.slo.enabled()) {
     slo_watchdog_ = std::make_unique<obs::SloWatchdog>(opts_.slo);
     slo_watchdog_->Start();
+  }
+  if (opts_.controller.enabled()) {
+    sched::ControllerSignals sig;
+    obs::SloWatchdog* sw = slo_watchdog_.get();
+    sig.hp_p99_ns = [sw] { return sw->hp_measured_ns(); };
+    sig.lp_p99_ns = [sw] { return sw->lp_measured_ns(); };
+    sig.lp_breached = [sw] { return sw->lp_breached(); };
+    sched::Scheduler* sch = &db_->scheduler();
+    sig.degraded_workers = [sch] { return sch->degraded_workers(); };
+    controller_ = std::make_unique<sched::Controller>(
+        opts_.controller, &db_->scheduler().tunables(), std::move(sig));
+    controller_->Start();
   }
 
   stopping_.store(false, std::memory_order_release);
@@ -211,6 +230,11 @@ void Server::Stop() {
   // post-Stop stats() reads keep working.
   shard_gauges_.Clear();
   for (auto& s : shards_) s->TearDown();
+  // Controller before watchdog: it reads the watchdog's percentiles.
+  if (controller_ != nullptr) {
+    controller_->Stop();
+    controller_.reset();
+  }
   if (slo_watchdog_ != nullptr) {
     slo_watchdog_->Stop();
     slo_watchdog_.reset();
@@ -293,8 +317,63 @@ std::string Server::BuildHealthJson() const {
     w.Key("evaluations").Uint(sw.evaluations());
     w.EndObject();
   }
+
+  // Tunable-config summary (full document on the kGetConfig plane).
+  w.Key("config");
+  sch.tunables().ToJson(w);
+  if (controller_ != nullptr) {
+    const sched::Controller& c = *controller_;
+    w.Key("ctl").BeginObject();
+    w.Key("evals").Uint(c.evals());
+    w.Key("retunes").Uint(c.retunes());
+    w.Key("holds").Uint(c.holds());
+    w.Key("last_action").String(c.last_action());
+    w.Key("last_retune_ns").Uint(c.last_retune_ns());
+    w.EndObject();
+  }
   w.EndObject();
   return w.str();
+}
+
+std::string Server::BuildConfigJson() const {
+  sched::Scheduler& sch = db_->scheduler();
+  const sched::SchedulerConfig& cfg = sch.config();
+  obs::JsonWriter w;
+  w.BeginObject();
+  // Structural (immutable) fields first: a consumer diffing two snapshots
+  // can tell a restart from a retune.
+  w.Key("structural").BeginObject();
+  w.Key("policy").String(sched::PolicyName(cfg.policy));
+  w.Key("num_workers").Int(cfg.num_workers);
+  w.Key("lp_queue_capacity").Uint(cfg.lp_queue_capacity);
+  w.Key("hp_queue_capacity").Uint(cfg.hp_queue_capacity);
+  w.Key("arrival_interval_us").Uint(cfg.arrival_interval_us);
+  w.Key("enable_degradation").Bool(cfg.enable_degradation);
+  w.EndObject();
+  w.Key("config");
+  sch.tunables().ToJson(w);
+  w.Key("controller").BeginObject();
+  w.Key("enabled").Bool(controller_ != nullptr);
+  if (controller_ != nullptr) {
+    const sched::Controller& c = *controller_;
+    w.Key("hp_target_us").Uint(c.config().hp_target_us);
+    w.Key("lp_target_us").Uint(c.config().lp_target_us);
+    w.Key("period_ms").Uint(c.config().period_ms);
+    w.Key("evals").Uint(c.evals());
+    w.Key("retunes").Uint(c.retunes());
+    w.Key("holds").Uint(c.holds());
+    w.Key("last_action").String(c.last_action());
+    w.Key("last_retune_ns").Uint(c.last_retune_ns());
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+bool Server::ApplyConfigJson(std::string_view json, std::string* err) {
+  sched::TunableConfig::ChangeSet cs;
+  if (!sched::TunableConfig::ChangeSetFromJson(json, &cs, err)) return false;
+  return db_->scheduler().tunables().Apply(cs, err);
 }
 
 std::string Server::BuildTraceJson(size_t max_bytes) const {

@@ -45,6 +45,7 @@
 #include "net/protocol.h"
 #include "obs/metrics.h"
 #include "obs/slo.h"
+#include "sched/controller.h"
 
 namespace preemptdb::net {
 
@@ -120,6 +121,11 @@ class Server {
     // SLO watchdog over wire-level server_ns per priority class; disabled
     // unless a target is set (see obs/slo.h).
     obs::SloConfig slo;
+    // Adaptive preemption controller (sched/controller.h); disabled unless
+    // controller.hp_target_us is set. The controller needs the SLO watchdog
+    // as its sensor: when enabled while `slo` has no targets, Start()
+    // mirrors the controller targets into `slo` so the watchdog exists.
+    sched::ControllerConfig controller;
   };
 
   static constexpr uint32_t kMaxShards = 64;
@@ -164,6 +170,8 @@ class Server {
 
   // The SLO watchdog, when Options::slo enabled a class (null otherwise).
   obs::SloWatchdog* slo_watchdog() { return slo_watchdog_.get(); }
+  // The adaptive controller, when Options::controller enabled it.
+  sched::Controller* controller() { return controller_.get(); }
 
   // --- Admin / introspection plane (also callable in-process) ---
   //
@@ -175,6 +183,13 @@ class Server {
   std::string BuildMetricsJson() const;
   std::string BuildHealthJson() const;
   std::string BuildTraceJson(size_t max_bytes) const;
+  // kGetConfig body: structural scheduler config + tunable knob values with
+  // their config version + controller state.
+  std::string BuildConfigJson() const;
+  // kSetConfig: parses a JSON changeset and applies it atomically to the
+  // scheduler's TunableConfig. False + *err (version unchanged) on unknown
+  // keys, type errors, or out-of-range values.
+  bool ApplyConfigJson(std::string_view json, std::string* err);
 
  private:
   friend class NetShard;
@@ -204,6 +219,7 @@ class Server {
   // Per-shard `net.shard<i>.*` gauges; cleared before the shards die.
   obs::GaugeGroup shard_gauges_;
   std::unique_ptr<obs::SloWatchdog> slo_watchdog_;
+  std::unique_ptr<sched::Controller> controller_;
 };
 
 }  // namespace preemptdb::net

@@ -372,7 +372,7 @@ bool NetShard::HandleRequest(const std::shared_ptr<Connection>& conn,
   // Introspection plane: served by this loop directly — no admission
   // control, no engine, and deliberately *before* the stopping check so a
   // draining (or wedged-draining) server can still be scraped.
-  if (HandleAdminRequest(conn, hdr)) return true;
+  if (HandleAdminRequest(conn, hdr, payload)) return true;
 
   const Server::Options& opts = server_->opts_;
   if (server_->stopping_.load(std::memory_order_acquire)) {
@@ -460,9 +460,11 @@ bool NetShard::HandleRequest(const std::shared_ptr<Connection>& conn,
 }
 
 bool NetShard::HandleAdminRequest(const std::shared_ptr<Connection>& conn,
-                                  const RequestHeader& hdr) {
+                                  const RequestHeader& hdr,
+                                  std::string_view payload) {
   const Op op = static_cast<Op>(hdr.opcode);
-  if (op != Op::kMetrics && op != Op::kHealth && op != Op::kTraceSnapshot) {
+  if (op != Op::kMetrics && op != Op::kHealth && op != Op::kTraceSnapshot &&
+      op != Op::kGetConfig && op != Op::kSetConfig) {
     return false;
   }
   std::string body;
@@ -476,6 +478,24 @@ bool NetShard::HandleAdminRequest(const std::shared_ptr<Connection>& conn,
     case Op::kTraceSnapshot:
       body = server_->BuildTraceJson(server_->opts_.max_payload);
       break;
+    case Op::kGetConfig:
+      body = server_->BuildConfigJson();
+      break;
+    case Op::kSetConfig: {
+      // Validated all-or-nothing apply on the scheduler's tunable registry.
+      // Rejections (unknown key, wrong type, out-of-range) answer
+      // kBadRequest with the error text as the payload and leave the config
+      // version untouched; success answers the post-apply config JSON so
+      // the caller sees the new version without a second round trip.
+      std::string err;
+      if (!server_->ApplyConfigJson(payload, &err)) {
+        stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+        ReplyNow(conn, hdr, WireStatus::kBadRequest, Rc::kError, err);
+        return true;
+      }
+      body = server_->BuildConfigJson();
+      break;
+    }
     default:
       break;
   }

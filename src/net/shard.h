@@ -195,11 +195,13 @@ class NetShard {
   void HandleConnReadable(const std::shared_ptr<Connection>& conn);
   bool HandleRequest(const std::shared_ptr<Connection>& conn,
                      const RequestHeader& hdr, std::string_view payload);
-  // Admin-plane opcodes (kMetrics/kHealth/kTraceSnapshot): served inline on
-  // the shard thread, never submitted to the engine, answered even while the
-  // server is draining. Returns false if `op` is not an admin opcode.
+  // Admin-plane opcodes (kMetrics/kHealth/kTraceSnapshot/kGetConfig/
+  // kSetConfig): served inline on the shard thread, never submitted to the
+  // engine, answered even while the server is draining. `payload` is the
+  // request body (kSetConfig's JSON changeset). Returns false if `op` is
+  // not an admin opcode.
   bool HandleAdminRequest(const std::shared_ptr<Connection>& conn,
-                          const RequestHeader& hdr);
+                          const RequestHeader& hdr, std::string_view payload);
   // Shard thread: serialize one completed op and queue its response frame.
   void ProcessCompletion(PendingOp* op);
   // Immediate reply from the shard thread (rejections + admin payloads);

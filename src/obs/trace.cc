@@ -172,6 +172,10 @@ const char* EventName(EventType t) {
       return "SloBreach";
     case EventType::kSloRecover:
       return "SloRecover";
+    case EventType::kConfigApplied:
+      return "ConfigApplied";
+    case EventType::kCtlRetune:
+      return "CtlRetune";
     case EventType::kNumEventTypes:
       break;
   }
@@ -202,6 +206,9 @@ const char* EventCategory(EventType t) {
     case EventType::kSloBreach:
     case EventType::kSloRecover:
       return "slo";
+    case EventType::kConfigApplied:
+    case EventType::kCtlRetune:
+      return "ctl";
     case EventType::kGcPass:
     case EventType::kLogFlush:
       return "engine";

@@ -49,6 +49,9 @@ enum class EventType : uint16_t {
   kTxnResume,          // paused txn resumed after preemption; a32 = preempts
   kSloBreach,          // SLO watchdog; a32 = 1 for HP class, a64 = pXX ns
   kSloRecover,         // class back under target; a32 = 1 for HP class
+  kConfigApplied,      // TunableConfig::Apply succeeded; a32 = new version
+  kCtlRetune,          // controller retuned one knob; a32 = knob id,
+                       // a64 = old value << 32 | new value (see controller.h)
   kNumEventTypes,
 };
 
@@ -57,7 +60,7 @@ inline constexpr uint16_t kNumEventTypes =
 
 const char* EventName(EventType t);
 // Subsystem tag used as the Chrome trace "cat" field: "uintr", "fiber",
-// "sched", or "engine".
+// "sched", "slo", "ctl", "engine", or "net".
 const char* EventCategory(EventType t);
 
 // 24-byte POD record; the ring is an array of these.

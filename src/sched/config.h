@@ -4,6 +4,7 @@
 
 #include <cstdint>
 
+#include "sched/tunable.h"
 #include "uintr/uintr.h"
 
 namespace preemptdb::sched {
@@ -33,6 +34,14 @@ inline const char* PolicyName(Policy p) {
   return "?";
 }
 
+// Structural (construction-time, immutable) scheduler configuration. The
+// runtime-tunable knobs — starvation prevention, HP batch size, degradation
+// pacing — live in `tunables` (sched/tunable.h): those seed a TunableConfig
+// registry the scheduler and workers read per-tick, mutable at runtime via
+// TunableConfig::Apply (used by the adaptive controller and the wire admin
+// plane). Everything else here is fixed for the scheduler's lifetime:
+// thread/queue shapes that cannot change under running workers, and
+// policy/experiment selectors.
 struct SchedulerConfig {
   Policy policy = Policy::kWait;
   int num_workers = 4;
@@ -42,15 +51,11 @@ struct SchedulerConfig {
   size_t lp_queue_capacity = 1;
   size_t hp_queue_capacity = 4;
   uint64_t arrival_interval_us = 1000;
-  // 0 = workers * hp_queue_capacity.
-  size_t hp_batch_size = 0;
 
   // Cooperative knobs.
   uint64_t yield_interval_records = 10000;
   uint64_t handcrafted_q2_blocks = 0;  // >0: handcrafted variant
 
-  // PreemptDB knobs.
-  double starvation_threshold = 100.0;  // L_max; >=100 disables
   uintr::PendingMode pending_mode = uintr::PendingMode::kDrop;
 
   // Graceful degradation (preempt -> yield). When the signal path of a
@@ -60,18 +65,15 @@ struct SchedulerConfig {
   // interrupts; the worker's engine-hook yield points drain the queue, so HP
   // latency degrades to Yield-mode instead of stalling). While demoted the
   // scheduler keeps probing with a single interrupt every
-  // `probe_interval_ticks` and promotes the worker back once a delivery is
-  // observed again.
+  // `tunables.probe_interval_ticks` and promotes the worker back once a
+  // delivery is observed again. This master switch is structural (it decides
+  // whether yield hooks are installed at worker start); the demotion
+  // thresholds and probe pacing are tunable at runtime.
   bool enable_degradation = true;
-  // Demote after this many consecutive failed sends; <= 0 disables
-  // failure-triggered demotion.
-  int demote_failure_threshold = 3;
-  // Demote when sends have gone unacknowledged (receiver's delivery counter
-  // unchanged) for longer than this budget; 0 disables latency-triggered
-  // demotion.
-  uint64_t demote_latency_ns = 50'000'000;  // 50 ms
-  // Scheduling ticks between recovery probes while demoted.
-  uint64_t probe_interval_ticks = 10;
+
+  // Seed values for the runtime-tunable knobs (starvation prevention,
+  // hp_batch_size, degradation thresholds). See sched/tunable.h.
+  TunableValues tunables;
 
   // Fig. 8 overhead mode: periodically interrupt workers although no
   // high-priority requests exist.
@@ -86,12 +88,6 @@ struct SchedulerConfig {
   // sampling thread; gauges stay registered and can still be read at
   // snapshot time.
   uint64_t stats_period_ms = 0;
-
-  size_t EffectiveHpBatch() const {
-    return hp_batch_size != 0
-               ? hp_batch_size
-               : static_cast<size_t>(num_workers) * hp_queue_capacity;
-  }
 };
 
 }  // namespace preemptdb::sched

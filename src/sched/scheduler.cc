@@ -22,13 +22,18 @@ obs::Counter g_promoted_counter("sched.worker_promoted");
 
 Scheduler::Scheduler(const SchedulerConfig& config, Workload workload)
     : config_(config),
+      tunables_(config.tunables,
+                static_cast<size_t>(config.num_workers > 0 ? config.num_workers
+                                                           : 1) *
+                    config.hp_queue_capacity),
       workload_(std::move(workload)),
       stats_reporter_(config.stats_period_ms) {
   PDB_CHECK(workload_.execute != nullptr);
   PDB_CHECK(config_.num_workers >= 1);
   for (int i = 0; i < config_.num_workers; ++i) {
-    workers_.push_back(std::make_unique<Worker>(
-        i, config_, workload_.execute, workload_.exec_ctx, &metrics_));
+    workers_.push_back(std::make_unique<Worker>(i, config_, &tunables_,
+                                                workload_.execute,
+                                                workload_.exec_ctx, &metrics_));
   }
   health_.resize(workers_.size());
 }
@@ -116,16 +121,22 @@ size_t Scheduler::PlaceHighPriorityBatch(std::vector<Request>& batch,
   size_t placed = 0;
   size_t next = 0;  // batch cursor
   const bool preempt = config_.policy == Policy::kPreempt;
+  // Tunables read once per placement call: one Apply() generation governs a
+  // whole batch, so a mid-batch retune cannot split it across two policies.
+  const bool starvation_on = tunables_.starvation_enabled();
+  const double starvation_threshold = tunables_.starvation_threshold();
   PruneExpired(batch, next, MonoNanos());
   while (next < batch.size()) {
     bool progress = false;
     for (size_t i = 0; i < workers_.size() && next < batch.size(); ++i) {
       Worker& w = *workers_[rr_next_];
       rr_next_ = (rr_next_ + 1) % workers_.size();
-      // >= so that threshold 0 disables preemptive HP execution entirely
-      // (paper §6.4: "prevents preemptive context to execute prioritized
-      // transactions").
-      if (w.StarvationLevel() >= config_.starvation_threshold) continue;
+      // >= so that an enabled threshold of 0 disables preemptive HP
+      // execution entirely (paper §6.4: "prevents preemptive context to
+      // execute prioritized transactions").
+      if (starvation_on && w.StarvationLevel() >= starvation_threshold) {
+        continue;
+      }
       // Fault injection: treat this worker's queue as full for the round,
       // exercising the shed/requeue path without needing real overload.
       if (PDB_UNLIKELY(fault::Enabled()) &&
@@ -178,6 +189,11 @@ void Scheduler::UpdateWorkerHealth() {
   if (!config_.enable_degradation || config_.policy != Policy::kPreempt) {
     return;
   }
+  // Live-read the degradation knobs: the adaptive controller retunes them
+  // while workers are demoted (faster probing, larger latency budget).
+  const int demote_failures = tunables_.demote_failure_threshold();
+  const uint64_t demote_latency_ns = tunables_.demote_latency_ns();
+  const uint64_t probe_ticks = tunables_.probe_interval_ticks();
   const uint64_t now = MonoNanos();
   for (size_t i = 0; i < workers_.size(); ++i) {
     Worker& w = *workers_[i];
@@ -193,10 +209,13 @@ void Scheduler::UpdateWorkerHealth() {
       h.first_unacked_ns = 0;
     }
     if (!w.degraded()) {
-      const bool failing =
-          h.consecutive_failures >= config_.demote_failure_threshold;
-      const bool stalled = h.unacked_sends > 0 && h.first_unacked_ns != 0 &&
-                           now - h.first_unacked_ns >= config_.demote_latency_ns;
+      // Both triggers honor their documented "0 disables" contract (the old
+      // code demoted instantly at threshold 0).
+      const bool failing = demote_failures > 0 &&
+                           h.consecutive_failures >= demote_failures;
+      const bool stalled = demote_latency_ns > 0 && h.unacked_sends > 0 &&
+                           h.first_unacked_ns != 0 &&
+                           now - h.first_unacked_ns >= demote_latency_ns;
       if (failing || stalled) {
         w.SetDegraded(true);
         demotions_.fetch_add(1, std::memory_order_relaxed);
@@ -217,7 +236,7 @@ void Scheduler::UpdateWorkerHealth() {
       h.consecutive_failures = 0;
       h.unacked_sends = 0;
       h.first_unacked_ns = 0;
-    } else if (++h.ticks_since_probe >= config_.probe_interval_ticks) {
+    } else if (++h.ticks_since_probe >= probe_ticks) {
       h.ticks_since_probe = 0;
       SendTracked(w);
     }
@@ -272,7 +291,7 @@ void Scheduler::SchedulingLoop() {
     // Admit a batch of high-priority transactions, all stamped with the same
     // generation timestamp (paper §6.1).
     if (workload_.gen_high) {
-      const size_t batch_size = config_.EffectiveHpBatch();
+      const size_t batch_size = tunables_.EffectiveHpBatch();
       std::vector<Request> batch;
       batch.reserve(batch_size);
       uint64_t gen = MonoNanos();

@@ -16,6 +16,7 @@
 #include "obs/stats_reporter.h"
 #include "sched/config.h"
 #include "sched/request.h"
+#include "sched/tunable.h"
 #include "sched/worker.h"
 #include "util/macros.h"
 
@@ -56,6 +57,17 @@ class Scheduler {
 
   Metrics& metrics() { return metrics_; }
   const SchedulerConfig& config() const { return config_; }
+  // Runtime-tunable knob registry, seeded from config().tunables. Mutations
+  // go through tunables().Apply() and take effect on the next scheduling
+  // tick / worker drain — no restart, no lock on the hot path.
+  TunableConfig& tunables() { return tunables_; }
+  const TunableConfig& tunables() const { return tunables_; }
+  // Number of workers currently demoted to cooperative-yield placement.
+  int degraded_workers() const {
+    int n = 0;
+    for (const auto& w : workers_) n += w->degraded() ? 1 : 0;
+    return n;
+  }
   Worker& worker(int i) { return *workers_[i]; }
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
@@ -114,6 +126,8 @@ class Scheduler {
   void UpdateWorkerHealth();
 
   SchedulerConfig config_;
+  // Declared before workers_: each Worker holds a pointer into it.
+  TunableConfig tunables_;
   Workload workload_;
   Metrics metrics_;
   std::vector<std::unique_ptr<Worker>> workers_;

@@ -1,0 +1,212 @@
+#include "sched/tunable.h"
+
+#include <cmath>
+
+#include "obs/json.h"
+#include "obs/json_parse.h"
+#include "obs/trace.h"
+
+namespace preemptdb::sched {
+
+namespace {
+
+// A JSON number destined for an integral knob must actually be integral and
+// representable — 0.5 probes or -1 batch entries are config errors, not
+// values to truncate quietly.
+bool ToIntegral(const obs::JsonValue& v, double max, uint64_t* out,
+                std::string* err, const char* key) {
+  if (!v.is_number()) {
+    if (err != nullptr) *err = std::string(key) + ": expected a number";
+    return false;
+  }
+  double d = v.number;
+  if (!std::isfinite(d) || d < 0 || d > max || d != std::floor(d)) {
+    if (err != nullptr) {
+      *err = std::string(key) + ": expected a non-negative integer";
+    }
+    return false;
+  }
+  *out = static_cast<uint64_t>(d);
+  return true;
+}
+
+void Fail(std::string* err, const char* msg) {
+  if (err != nullptr) *err = msg;
+}
+
+}  // namespace
+
+TunableConfig::TunableConfig(const TunableValues& seed, size_t auto_hp_batch)
+    : auto_hp_batch_(auto_hp_batch) {
+  std::string err;
+  bool ok = Validate(seed, &err);
+  PDB_CHECK(ok);
+  PDB_CHECK(auto_hp_batch_ > 0);
+  Store(seed);
+}
+
+bool TunableConfig::Validate(const TunableValues& v, std::string* err) {
+  if (!(v.starvation_threshold >= kStarvationThresholdMin &&
+        v.starvation_threshold <= kStarvationThresholdMax)) {
+    Fail(err, "starvation_threshold: out of range [0, 1]");
+    return false;
+  }
+  if (v.hp_batch_size > kHpBatchSizeMax) {
+    Fail(err, "hp_batch_size: out of range [0, 65536] (0 = auto)");
+    return false;
+  }
+  if (v.demote_failure_threshold < 0 ||
+      v.demote_failure_threshold > kDemoteFailureThresholdMax) {
+    Fail(err, "demote_failure_threshold: out of range [0, 1000]");
+    return false;
+  }
+  if (v.demote_latency_ns != 0 && (v.demote_latency_ns < kDemoteLatencyNsMin ||
+                                   v.demote_latency_ns > kDemoteLatencyNsMax)) {
+    Fail(err, "demote_latency_ns: 0 (disabled) or in [1e6, 6e10]");
+    return false;
+  }
+  if (v.probe_interval_ticks < kProbeIntervalTicksMin ||
+      v.probe_interval_ticks > kProbeIntervalTicksMax) {
+    Fail(err, "probe_interval_ticks: out of range [1, 1000000]");
+    return false;
+  }
+  return true;
+}
+
+void TunableConfig::Store(const TunableValues& v) {
+  starvation_enabled_.store(v.starvation_enabled, std::memory_order_relaxed);
+  starvation_threshold_.store(v.starvation_threshold,
+                              std::memory_order_relaxed);
+  hp_batch_size_.store(v.hp_batch_size, std::memory_order_relaxed);
+  demote_failure_threshold_.store(v.demote_failure_threshold,
+                                  std::memory_order_relaxed);
+  demote_latency_ns_.store(v.demote_latency_ns, std::memory_order_relaxed);
+  probe_interval_ticks_.store(v.probe_interval_ticks,
+                              std::memory_order_relaxed);
+}
+
+bool TunableConfig::Apply(const ChangeSet& cs, std::string* err) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (cs.empty()) return true;  // valid no-op; version untouched
+  TunableValues next;
+  next.starvation_enabled = cs.starvation_enabled.value_or(
+      starvation_enabled_.load(std::memory_order_relaxed));
+  next.starvation_threshold = cs.starvation_threshold.value_or(
+      starvation_threshold_.load(std::memory_order_relaxed));
+  next.hp_batch_size = cs.hp_batch_size.value_or(
+      hp_batch_size_.load(std::memory_order_relaxed));
+  next.demote_failure_threshold = cs.demote_failure_threshold.value_or(
+      demote_failure_threshold_.load(std::memory_order_relaxed));
+  next.demote_latency_ns = cs.demote_latency_ns.value_or(
+      demote_latency_ns_.load(std::memory_order_relaxed));
+  next.probe_interval_ticks = cs.probe_interval_ticks.value_or(
+      probe_interval_ticks_.load(std::memory_order_relaxed));
+  if (!Validate(next, err)) return false;
+  Store(next);
+  uint64_t v = version_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  obs::Trace(obs::EventType::kConfigApplied, static_cast<uint32_t>(v));
+  return true;
+}
+
+TunableValues TunableConfig::Snapshot() const {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  TunableValues v;
+  v.starvation_enabled = starvation_enabled_.load(std::memory_order_relaxed);
+  v.starvation_threshold =
+      starvation_threshold_.load(std::memory_order_relaxed);
+  v.hp_batch_size = hp_batch_size_.load(std::memory_order_relaxed);
+  v.demote_failure_threshold =
+      demote_failure_threshold_.load(std::memory_order_relaxed);
+  v.demote_latency_ns = demote_latency_ns_.load(std::memory_order_relaxed);
+  v.probe_interval_ticks =
+      probe_interval_ticks_.load(std::memory_order_relaxed);
+  return v;
+}
+
+void TunableConfig::ToJson(obs::JsonWriter& w) const {
+  // Snapshot under the writer lock so version and values are coherent.
+  uint64_t ver;
+  TunableValues v;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    ver = version_.load(std::memory_order_relaxed);
+    v.starvation_enabled = starvation_enabled_.load(std::memory_order_relaxed);
+    v.starvation_threshold =
+        starvation_threshold_.load(std::memory_order_relaxed);
+    v.hp_batch_size = hp_batch_size_.load(std::memory_order_relaxed);
+    v.demote_failure_threshold =
+        demote_failure_threshold_.load(std::memory_order_relaxed);
+    v.demote_latency_ns = demote_latency_ns_.load(std::memory_order_relaxed);
+    v.probe_interval_ticks =
+        probe_interval_ticks_.load(std::memory_order_relaxed);
+  }
+  w.BeginObject();
+  w.Key("version").Uint(ver);
+  w.Key("auto_hp_batch").Uint(auto_hp_batch_);
+  w.Key("effective_hp_batch")
+      .Uint(v.hp_batch_size != 0 ? v.hp_batch_size : auto_hp_batch_);
+  w.Key("tunables").BeginObject();
+  w.Key("starvation_enabled").Bool(v.starvation_enabled);
+  w.Key("starvation_threshold").Double(v.starvation_threshold);
+  w.Key("hp_batch_size").Uint(v.hp_batch_size);
+  w.Key("demote_failure_threshold")
+      .Int(static_cast<int64_t>(v.demote_failure_threshold));
+  w.Key("demote_latency_ns").Uint(v.demote_latency_ns);
+  w.Key("probe_interval_ticks").Uint(v.probe_interval_ticks);
+  w.EndObject();
+  w.EndObject();
+}
+
+bool TunableConfig::ChangeSetFromJson(std::string_view json, ChangeSet* out,
+                                      std::string* err) {
+  obs::JsonValue root;
+  if (!obs::JsonParse(json, &root, err)) return false;
+  if (!root.is_object()) {
+    Fail(err, "config changeset: expected a JSON object");
+    return false;
+  }
+  ChangeSet cs;
+  for (const auto& [key, val] : root.members) {
+    uint64_t u = 0;
+    if (key == "starvation_enabled") {
+      if (val.type != obs::JsonValue::Type::kBool) {
+        Fail(err, "starvation_enabled: expected a bool");
+        return false;
+      }
+      cs.starvation_enabled = val.boolean;
+    } else if (key == "starvation_threshold") {
+      if (!val.is_number() || !std::isfinite(val.number)) {
+        Fail(err, "starvation_threshold: expected a number");
+        return false;
+      }
+      cs.starvation_threshold = val.number;
+    } else if (key == "hp_batch_size") {
+      if (!ToIntegral(val, static_cast<double>(kHpBatchSizeMax) * 2, &u, err,
+                      "hp_batch_size")) {
+        return false;
+      }
+      cs.hp_batch_size = static_cast<size_t>(u);
+    } else if (key == "demote_failure_threshold") {
+      if (!ToIntegral(val, 1e9, &u, err, "demote_failure_threshold")) {
+        return false;
+      }
+      cs.demote_failure_threshold = static_cast<int>(u);
+    } else if (key == "demote_latency_ns") {
+      if (!ToIntegral(val, 1e18, &u, err, "demote_latency_ns")) return false;
+      cs.demote_latency_ns = u;
+    } else if (key == "probe_interval_ticks") {
+      if (!ToIntegral(val, 1e18, &u, err, "probe_interval_ticks")) {
+        return false;
+      }
+      cs.probe_interval_ticks = u;
+    } else {
+      Fail(err, "unknown config key");
+      if (err != nullptr) *err = "unknown config key: " + key;
+      return false;
+    }
+  }
+  *out = cs;
+  return true;
+}
+
+}  // namespace preemptdb::sched

@@ -23,10 +23,12 @@ thread_local Worker* tls_worker = nullptr;
 thread_local bool tls_entered_via_yield = false;
 }  // namespace
 
-Worker::Worker(int id, const SchedulerConfig& config, ExecuteFn execute,
+Worker::Worker(int id, const SchedulerConfig& config,
+               const TunableConfig* tunables, ExecuteFn execute,
                void* exec_ctx, Metrics* metrics)
     : id_(id),
       config_(config),
+      tunables_(tunables),
       execute_(execute),
       exec_ctx_(exec_ctx),
       metrics_(metrics),
@@ -140,7 +142,11 @@ double Worker::StarvationLevel() const {
 }
 
 bool Worker::StarvationExceeded() const {
-  return StarvationLevel() >= config_.starvation_threshold;
+  // Live read: a runtime retune of the starvation knobs applies to the very
+  // next drain-loop iteration. Disabled means the preemptive drain is
+  // bounded only by its batch budget.
+  if (!tunables_->starvation_enabled()) return false;
+  return StarvationLevel() >= tunables_->starvation_threshold();
 }
 
 void Worker::MainLoop() {

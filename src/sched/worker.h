@@ -12,6 +12,7 @@
 
 #include "sched/config.h"
 #include "sched/request.h"
+#include "sched/tunable.h"
 #include "sync/spsc_queue.h"
 #include "uintr/uintr.h"
 #include "util/macros.h"
@@ -20,8 +21,10 @@ namespace preemptdb::sched {
 
 class Worker {
  public:
-  Worker(int id, const SchedulerConfig& config, ExecuteFn execute,
-         void* exec_ctx, Metrics* metrics);
+  // `tunables` is the owning scheduler's runtime knob registry (outlives the
+  // worker); the worker reads the starvation knobs from it on every drain.
+  Worker(int id, const SchedulerConfig& config, const TunableConfig* tunables,
+         ExecuteFn execute, void* exec_ctx, Metrics* metrics);
   ~Worker();
   PDB_DISALLOW_COPY_AND_ASSIGN(Worker);
 
@@ -96,6 +99,7 @@ class Worker {
 
   const int id_;
   const SchedulerConfig& config_;
+  const TunableConfig* const tunables_;
   const ExecuteFn execute_;
   void* const exec_ctx_;
   Metrics* const metrics_;

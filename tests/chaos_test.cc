@@ -16,6 +16,7 @@
 #include "core/preemptdb.h"
 #include "fault/fault.h"
 #include "obs/metrics.h"
+#include "sched/controller.h"
 #include "util/clock.h"
 #include "util/random.h"
 #include "workload/tpcc.h"
@@ -127,8 +128,8 @@ TEST_F(ChaosTest, TotalSignalLossDegradesToYieldAndRecovers) {
   o.scheduler.num_workers = 1;
   o.scheduler.arrival_interval_us = 500;
   o.scheduler.yield_interval_records = 200;
-  o.scheduler.demote_failure_threshold = 3;
-  o.scheduler.probe_interval_ticks = 4;
+  o.scheduler.tunables.demote_failure_threshold = 3;
+  o.scheduler.tunables.probe_interval_ticks = 4;
   auto db = DB::Open(o);
   workload::TpccWorkload tpcc(&db->engine(), workload::TpccConfig::Small());
   tpcc.Load();
@@ -186,6 +187,103 @@ TEST_F(ChaosTest, TotalSignalLossDegradesToYieldAndRecovers) {
       WaitUntil([&] { return db->scheduler().promotions() > 0; }, 10000));
   EXPECT_GT(ObsCounterValue("sched.worker_promoted"), promoted_before);
   EXPECT_FALSE(db->scheduler().worker_degraded(0));
+
+  release.store(true);
+  blocker.join();
+  db->Drain();
+  EXPECT_GT(tpcc.CheckConsistency(), 0u);
+}
+
+TEST_F(ChaosTest, ControllerHoldsSteadyUnderSignalLoss) {
+  // The adaptive controller against a genuinely broken signal path: with
+  // every UIPI dropped the worker demotes, and the controller must (a)
+  // retune only the degradation knobs — probe faster, widen the demote
+  // budget — and (b) freeze the structural knobs, because latencies measured
+  // through a broken delivery path are noise, not a tuning signal. After the
+  // path heals, the degradation knobs must walk back to their seeds.
+  DB::Options o;
+  o.scheduler.policy = sched::Policy::kPreempt;
+  o.scheduler.num_workers = 1;
+  o.scheduler.arrival_interval_us = 500;
+  o.scheduler.yield_interval_records = 200;
+  o.scheduler.tunables.starvation_enabled = true;
+  o.scheduler.tunables.starvation_threshold = 0.5;
+  o.scheduler.tunables.demote_failure_threshold = 3;
+  o.scheduler.tunables.probe_interval_ticks = 4;
+  auto db = DB::Open(o);
+  workload::TpccWorkload tpcc(&db->engine(), workload::TpccConfig::Small());
+  tpcc.Load();
+
+  // Deterministic controller: driven by EvaluateOnce with the *real*
+  // degradation signal from the scheduler and a synthetic in-band HP tail,
+  // so only the degraded/recovering arms can ever act.
+  sched::ControllerConfig cc;
+  cc.hp_target_us = 1000;
+  cc.settle_evals = 1;
+  sched::ControllerSignals sig;
+  sig.hp_p99_ns = [] { return uint64_t{1'000'000}; };  // exactly on target
+  sig.degraded_workers = [&db] { return db->scheduler().degraded_workers(); };
+  sched::Controller ctl(cc, &db->scheduler().tunables(), std::move(sig));
+
+  const uint64_t seed_probe = db->scheduler().tunables().probe_interval_ticks();
+  const uint64_t seed_lat = db->scheduler().tunables().demote_latency_ns();
+
+  // Hold the only worker in LP execution, drop every interrupt, and push HP
+  // work until the scheduler demotes it.
+  std::atomic<bool> release{false};
+  std::atomic<bool> running{false};
+  FastRandom rng(17);
+  auto blocker = std::thread([&] {
+    db->SubmitAndWait(sched::Priority::kLow, [&](engine::Engine&) {
+      running.store(true);
+      sched::Request scan = tpcc.GenStandardMix(rng);
+      scan.type = workload::TpccWorkload::kStockLevel;
+      while (!release.load()) tpcc.Execute(scan, 0);
+      return Rc::kOk;
+    });
+  });
+  ASSERT_TRUE(WaitUntil([&] { return running.load(); }, 10000));
+  fault::Configure(fault::Point::kSigDrop, 1.0);
+  FastRandom hp_rng(19);
+  for (int i = 0; i < 12; ++i) {
+    sched::Request req = tpcc.GenHighPriority(hp_rng);
+    while (db->Submit(sched::Priority::kHigh, [&, req](engine::Engine&) {
+             tpcc.Execute(req, 0);
+             return Rc::kOk;
+           }) != SubmitResult::kAccepted) {
+      std::this_thread::sleep_for(100us);
+    }
+  }
+  ASSERT_TRUE(
+      WaitUntil([&] { return db->scheduler().degraded_workers() > 0; }, 10000));
+
+  // Degraded: the controller adapts the degradation knobs only.
+  uint64_t now = MonoNanos();
+  for (int i = 0; i < 6; ++i) ctl.EvaluateOnce(now += 1000);
+  sched::TunableConfig& tc = db->scheduler().tunables();
+  EXPECT_EQ(tc.probe_interval_ticks(), sched::kProbeIntervalTicksMin)
+      << "probe cadence must tighten toward fast re-promotion";
+  EXPECT_GT(tc.demote_latency_ns(), seed_lat)
+      << "demote budget must widen against flapping";
+  const uint64_t retunes_degraded = ctl.retunes();
+  EXPECT_GT(retunes_degraded, 0u);
+  // Structural knobs frozen — no thrash from latencies measured through a
+  // broken signal path.
+  EXPECT_TRUE(tc.starvation_enabled());
+  EXPECT_DOUBLE_EQ(tc.starvation_threshold(), 0.5);
+  EXPECT_EQ(tc.hp_batch_size(), 0u);
+
+  // Heal; the probe (now every tick bound) re-promotes, and the controller
+  // walks the degradation knobs back to their seeds.
+  fault::Reset();
+  ASSERT_TRUE(
+      WaitUntil([&] { return db->scheduler().degraded_workers() == 0; },
+                10000));
+  for (int i = 0; i < 20; ++i) ctl.EvaluateOnce(now += 1000);
+  EXPECT_EQ(tc.probe_interval_ticks(), seed_probe);
+  EXPECT_EQ(tc.demote_latency_ns(), seed_lat);
+  EXPECT_STREQ(ctl.last_action(), "hold");
+  EXPECT_DOUBLE_EQ(tc.starvation_threshold(), 0.5);  // never moved
 
   release.store(true);
   blocker.join();

@@ -1,0 +1,393 @@
+// Unit tests for the runtime-tunable config registry (sched/tunable.h) and
+// the adaptive preemption controller (sched/controller.h).
+//
+// The controller is driven deterministically: EvaluateOnce() with a
+// synthetic clock and closure-injected signals, no threads, no sleeps. The
+// policy assertions mirror the contract in controller.h — converge toward
+// the rails under sustained pressure, hold inside the hysteresis dead-band,
+// pace by the settle window, freeze structural knobs while degraded, and
+// walk the degradation knobs back to their seeds on recovery.
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/json_parse.h"
+#include "sched/controller.h"
+#include "sched/tunable.h"
+
+namespace preemptdb::sched {
+namespace {
+
+constexpr size_t kAutoBatch = 8;
+
+TunableValues DefaultSeed() {
+  TunableValues v;
+  v.starvation_enabled = true;
+  v.starvation_threshold = 0.5;
+  v.hp_batch_size = 0;  // auto
+  v.demote_failure_threshold = 3;
+  v.demote_latency_ns = 50'000'000;
+  v.probe_interval_ticks = 10;
+  return v;
+}
+
+// --- TunableConfig: registry semantics ---
+
+TEST(TunableConfig, SeedPublishesAtVersionOne) {
+  TunableConfig tc(DefaultSeed(), kAutoBatch);
+  EXPECT_EQ(tc.version(), 1u);
+  EXPECT_TRUE(tc.starvation_enabled());
+  EXPECT_DOUBLE_EQ(tc.starvation_threshold(), 0.5);
+  EXPECT_EQ(tc.hp_batch_size(), 0u);
+  EXPECT_EQ(tc.EffectiveHpBatch(), kAutoBatch);
+  TunableValues snap = tc.Snapshot();
+  EXPECT_EQ(snap.demote_latency_ns, 50'000'000u);
+  EXPECT_EQ(snap.probe_interval_ticks, 10u);
+}
+
+TEST(TunableConfig, ApplyPublishesAndBumpsVersion) {
+  TunableConfig tc(DefaultSeed(), kAutoBatch);
+  TunableConfig::ChangeSet cs;
+  cs.starvation_threshold = 0.8;
+  cs.hp_batch_size = 64;
+  std::string err;
+  ASSERT_TRUE(tc.Apply(cs, &err)) << err;
+  EXPECT_EQ(tc.version(), 2u);
+  EXPECT_DOUBLE_EQ(tc.starvation_threshold(), 0.8);
+  EXPECT_EQ(tc.EffectiveHpBatch(), 64u);
+  // Untouched fields keep their values.
+  EXPECT_TRUE(tc.starvation_enabled());
+  EXPECT_EQ(tc.probe_interval_ticks(), 10u);
+}
+
+TEST(TunableConfig, EmptyChangeSetIsValidNoOp) {
+  TunableConfig tc(DefaultSeed(), kAutoBatch);
+  EXPECT_TRUE(tc.Apply(TunableConfig::ChangeSet{}));
+  EXPECT_EQ(tc.version(), 1u);  // no bump for a no-op
+}
+
+TEST(TunableConfig, RejectionIsAllOrNothing) {
+  TunableConfig tc(DefaultSeed(), kAutoBatch);
+  TunableConfig::ChangeSet cs;
+  cs.hp_batch_size = 128;          // valid
+  cs.starvation_threshold = 1.5;   // out of range
+  std::string err;
+  EXPECT_FALSE(tc.Apply(cs, &err));
+  EXPECT_NE(err.find("starvation_threshold"), std::string::npos) << err;
+  // Nothing applied, version untouched.
+  EXPECT_EQ(tc.version(), 1u);
+  EXPECT_EQ(tc.hp_batch_size(), 0u);
+  EXPECT_DOUBLE_EQ(tc.starvation_threshold(), 0.5);
+}
+
+TEST(TunableConfig, GuardRails) {
+  TunableConfig tc(DefaultSeed(), kAutoBatch);
+  auto rejects = [&](TunableConfig::ChangeSet cs) {
+    std::string err;
+    bool ok = tc.Apply(cs, &err);
+    EXPECT_FALSE(ok) << "expected rejection, got version " << tc.version();
+    EXPECT_FALSE(err.empty());
+  };
+  TunableConfig::ChangeSet cs;
+  cs.starvation_threshold = -0.1;
+  rejects(cs);
+  cs = {};
+  cs.hp_batch_size = kHpBatchSizeMax + 1;
+  rejects(cs);
+  cs = {};
+  cs.demote_failure_threshold = -1;
+  rejects(cs);
+  cs = {};
+  cs.demote_failure_threshold = kDemoteFailureThresholdMax + 1;
+  rejects(cs);
+  cs = {};
+  cs.demote_latency_ns = kDemoteLatencyNsMin - 1;  // nonzero but below floor
+  rejects(cs);
+  cs = {};
+  cs.probe_interval_ticks = 0;
+  rejects(cs);
+  EXPECT_EQ(tc.version(), 1u);
+
+  // The documented boundary values are accepted.
+  cs = {};
+  cs.starvation_threshold = 0.0;  // enabled + 0.0: forbid preemptive HP
+  EXPECT_TRUE(tc.Apply(cs));
+  cs = {};
+  cs.starvation_threshold = 1.0;
+  EXPECT_TRUE(tc.Apply(cs));
+  cs = {};
+  cs.demote_latency_ns = 0;  // explicit "stall detection off"
+  EXPECT_TRUE(tc.Apply(cs));
+  EXPECT_EQ(tc.version(), 4u);
+}
+
+TEST(TunableConfig, JsonChangeSetRoundTrip) {
+  TunableConfig tc(DefaultSeed(), kAutoBatch);
+  TunableConfig::ChangeSet cs;
+  std::string err;
+  ASSERT_TRUE(TunableConfig::ChangeSetFromJson(
+      R"({"starvation_enabled":false,"starvation_threshold":0.25,
+          "hp_batch_size":32,"demote_failure_threshold":5,
+          "demote_latency_ns":2000000,"probe_interval_ticks":4})",
+      &cs, &err))
+      << err;
+  ASSERT_TRUE(tc.Apply(cs, &err)) << err;
+
+  obs::JsonWriter w;
+  tc.ToJson(w);
+  obs::JsonValue doc;
+  ASSERT_TRUE(obs::JsonParse(w.str(), &doc, &err)) << err;
+  EXPECT_EQ(doc.NumberOr("version", 0), 2);
+  EXPECT_EQ(doc.NumberOr("effective_hp_batch", 0), 32);
+  const obs::JsonValue* t = doc.Find("tunables");
+  ASSERT_NE(t, nullptr);
+  EXPECT_FALSE(t->Path({"starvation_enabled"})->boolean);
+  EXPECT_DOUBLE_EQ(t->NumberOr("starvation_threshold", 0), 0.25);
+  EXPECT_EQ(t->NumberOr("demote_failure_threshold", 0), 5);
+  EXPECT_EQ(t->NumberOr("demote_latency_ns", 0), 2000000);
+  EXPECT_EQ(t->NumberOr("probe_interval_ticks", 0), 4);
+}
+
+TEST(TunableConfig, JsonChangeSetIsStrict) {
+  TunableConfig::ChangeSet cs;
+  std::string err;
+  // Unknown keys fail loudly (a kSetConfig typo must not silently no-op).
+  EXPECT_FALSE(
+      TunableConfig::ChangeSetFromJson(R"({"starvation_treshold":0.4})", &cs,
+                                       &err));
+  EXPECT_NE(err.find("unknown config key"), std::string::npos) << err;
+  // Type errors.
+  EXPECT_FALSE(TunableConfig::ChangeSetFromJson(
+      R"({"starvation_enabled":1})", &cs, &err));
+  // Non-integral values for integral knobs.
+  EXPECT_FALSE(TunableConfig::ChangeSetFromJson(
+      R"({"probe_interval_ticks":0.5})", &cs, &err));
+  // Malformed JSON.
+  EXPECT_FALSE(TunableConfig::ChangeSetFromJson("{not json", &cs, &err));
+}
+
+TEST(TunableConfig, ConcurrentApplyCountsEverySuccess) {
+  TunableConfig tc(DefaultSeed(), kAutoBatch);
+  constexpr int kThreads = 4;
+  constexpr int kApplies = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tc, t] {
+      for (int i = 0; i < kApplies; ++i) {
+        TunableConfig::ChangeSet cs;
+        cs.starvation_threshold = 0.1 + 0.05 * ((t + i) % 10);
+        ASSERT_TRUE(tc.Apply(cs));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tc.version(), 1u + kThreads * kApplies);
+}
+
+// --- Controller: deterministic policy, synthetic signals ---
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  // settle_evals = 1: every evaluation may act, unless a test raises it.
+  ControllerConfig Config() {
+    ControllerConfig c;
+    c.hp_target_us = 1000;
+    c.lp_target_us = 10000;
+    c.hysteresis = 0.15;
+    c.threshold_step = 0.1;
+    c.threshold_min = 0.05;
+    c.threshold_max = 0.95;
+    c.hp_batch_max = 1024;
+    c.settle_evals = 1;
+    return c;
+  }
+
+  ControllerSignals Signals() {
+    ControllerSignals s;
+    s.hp_p99_ns = [this] { return hp_ns_; };
+    s.lp_p99_ns = [this] { return lp_ns_; };
+    s.lp_breached = [this] { return lp_breached_; };
+    s.degraded_workers = [this] { return degraded_; };
+    return s;
+  }
+
+  // Synthetic sensor state, mutated by each test between evaluations.
+  uint64_t hp_ns_ = 0;
+  uint64_t lp_ns_ = 0;
+  bool lp_breached_ = false;
+  int degraded_ = 0;
+  uint64_t now_ns_ = 1'000'000'000;
+};
+
+TEST_F(ControllerTest, HoldsWithoutData) {
+  TunableConfig tc(DefaultSeed(), kAutoBatch);
+  Controller ctl(Config(), &tc, Signals());
+  hp_ns_ = 0;  // no samples yet
+  for (int i = 0; i < 5; ++i) ctl.EvaluateOnce(now_ns_ += 1000);
+  EXPECT_EQ(ctl.evals(), 5u);
+  EXPECT_EQ(ctl.retunes(), 0u);
+  EXPECT_EQ(ctl.holds(), 5u);
+  EXPECT_STREQ(ctl.last_action(), "no_data");
+  EXPECT_EQ(tc.version(), 1u);
+}
+
+TEST_F(ControllerTest, HoldsInsideHysteresisBand) {
+  TunableConfig tc(DefaultSeed(), kAutoBatch);
+  Controller ctl(Config(), &tc, Signals());
+  // Target 1000us, band [850us, 1150us]: both edges-inward hold.
+  for (uint64_t us : {900u, 1000u, 1100u}) {
+    hp_ns_ = us * 1000;
+    ctl.EvaluateOnce(now_ns_ += 1000);
+  }
+  EXPECT_EQ(ctl.retunes(), 0u);
+  EXPECT_STREQ(ctl.last_action(), "hold");
+  EXPECT_EQ(tc.version(), 1u);
+}
+
+TEST_F(ControllerTest, HpOverTargetRaisesThresholdAndDoublesBatch) {
+  TunableConfig tc(DefaultSeed(), kAutoBatch);
+  Controller ctl(Config(), &tc, Signals());
+  hp_ns_ = 2'000'000;  // 2 ms >> 1.15 ms
+  ctl.EvaluateOnce(now_ns_);
+  EXPECT_EQ(ctl.retunes(), 1u);
+  EXPECT_STREQ(ctl.last_action(), "hp_over_target");
+  EXPECT_DOUBLE_EQ(tc.starvation_threshold(), 0.6);
+  EXPECT_EQ(tc.EffectiveHpBatch(), 2 * kAutoBatch);
+  EXPECT_EQ(ctl.last_retune_ns(), now_ns_);
+  EXPECT_EQ(tc.version(), 2u);
+}
+
+TEST_F(ControllerTest, ConvergesToRailsThenHolds) {
+  TunableConfig tc(DefaultSeed(), kAutoBatch);
+  ControllerConfig cfg = Config();
+  Controller ctl(cfg, &tc, Signals());
+  hp_ns_ = 5'000'000;  // sustained overload
+  for (int i = 0; i < 40; ++i) ctl.EvaluateOnce(now_ns_ += 1000);
+  // Both knobs pinned at the controller rails — never past them, and never
+  // at TunableConfig's wider Apply rails.
+  EXPECT_DOUBLE_EQ(tc.starvation_threshold(), cfg.threshold_max);
+  EXPECT_EQ(tc.EffectiveHpBatch(), cfg.hp_batch_max);
+  const uint64_t settled = ctl.retunes();
+  ctl.EvaluateOnce(now_ns_ += 1000);
+  ctl.EvaluateOnce(now_ns_ += 1000);
+  EXPECT_EQ(ctl.retunes(), settled);  // railed: holds, no further churn
+  EXPECT_STREQ(ctl.last_action(), "hp_over_target_railed");
+}
+
+TEST_F(ControllerTest, LpPressureGivesCapacityBack) {
+  TunableValues seed = DefaultSeed();
+  seed.hp_batch_size = 32;
+  TunableConfig tc(seed, kAutoBatch);
+  Controller ctl(Config(), &tc, Signals());
+  hp_ns_ = 500'000;  // comfortably under 0.85 ms
+  lp_breached_ = true;
+  ctl.EvaluateOnce(now_ns_);
+  EXPECT_STREQ(ctl.last_action(), "lp_over_target");
+  EXPECT_DOUBLE_EQ(tc.starvation_threshold(), 0.4);
+  EXPECT_EQ(tc.EffectiveHpBatch(), 16u);
+  // Walking all the way back lands on auto (published as 0).
+  for (int i = 0; i < 10; ++i) ctl.EvaluateOnce(now_ns_ += 1000);
+  EXPECT_EQ(tc.hp_batch_size(), 0u);
+  EXPECT_EQ(tc.EffectiveHpBatch(), kAutoBatch);
+  EXPECT_DOUBLE_EQ(tc.starvation_threshold(), Config().threshold_min);
+}
+
+TEST_F(ControllerTest, LpTargetAloneTriggersGiveBack) {
+  TunableConfig tc(DefaultSeed(), kAutoBatch);
+  Controller ctl(Config(), &tc, Signals());
+  hp_ns_ = 500'000;
+  lp_breached_ = false;
+  lp_ns_ = 20'000'000;  // 20 ms > lp_target 10 ms
+  ctl.EvaluateOnce(now_ns_);
+  EXPECT_STREQ(ctl.last_action(), "lp_over_target");
+  EXPECT_DOUBLE_EQ(tc.starvation_threshold(), 0.4);
+}
+
+TEST_F(ControllerTest, EnablingProtectionIsItsOwnTransition) {
+  TunableValues seed = DefaultSeed();
+  seed.starvation_enabled = false;
+  TunableConfig tc(seed, kAutoBatch);
+  ControllerConfig cfg = Config();
+  Controller ctl(cfg, &tc, Signals());
+  hp_ns_ = 500'000;
+  lp_breached_ = true;
+  ctl.EvaluateOnce(now_ns_);
+  // From disabled, give-back first *enables* at the laxest rail instead of
+  // stepping a threshold nobody was reading.
+  EXPECT_TRUE(tc.starvation_enabled());
+  EXPECT_DOUBLE_EQ(tc.starvation_threshold(), cfg.threshold_max);
+  EXPECT_EQ(ctl.retunes(), 1u);
+}
+
+TEST_F(ControllerTest, SettleWindowPacesRetunes) {
+  TunableConfig tc(DefaultSeed(), kAutoBatch);
+  ControllerConfig cfg = Config();
+  cfg.settle_evals = 3;
+  Controller ctl(cfg, &tc, Signals());
+  hp_ns_ = 2'000'000;
+  ctl.EvaluateOnce(now_ns_ += 1000);  // eval 1: settling
+  ctl.EvaluateOnce(now_ns_ += 1000);  // eval 2: settling
+  EXPECT_EQ(ctl.retunes(), 0u);
+  EXPECT_STREQ(ctl.last_action(), "settling");
+  ctl.EvaluateOnce(now_ns_ += 1000);  // eval 3: acts
+  EXPECT_EQ(ctl.retunes(), 1u);
+  ctl.EvaluateOnce(now_ns_ += 1000);
+  ctl.EvaluateOnce(now_ns_ += 1000);
+  EXPECT_EQ(ctl.retunes(), 1u);  // settling again
+  ctl.EvaluateOnce(now_ns_ += 1000);
+  EXPECT_EQ(ctl.retunes(), 2u);
+}
+
+TEST_F(ControllerTest, DegradationFreezesStructuralKnobs) {
+  TunableConfig tc(DefaultSeed(), kAutoBatch);
+  Controller ctl(Config(), &tc, Signals());
+  hp_ns_ = 5'000'000;  // would scream "raise the threshold"...
+  degraded_ = 2;       // ...but the delivery path is the real bottleneck
+  ctl.EvaluateOnce(now_ns_);
+  EXPECT_STREQ(ctl.last_action(), "degraded");
+  // Structural knobs frozen.
+  EXPECT_DOUBLE_EQ(tc.starvation_threshold(), 0.5);
+  EXPECT_EQ(tc.EffectiveHpBatch(), kAutoBatch);
+  // Degradation knobs retuned: probe faster, wider demote budget.
+  EXPECT_EQ(tc.probe_interval_ticks(), 5u);
+  EXPECT_EQ(tc.demote_latency_ns(), 100'000'000u);
+  // Sustained degradation converges to the degradation rails and holds.
+  for (int i = 0; i < 40; ++i) ctl.EvaluateOnce(now_ns_ += 1000);
+  EXPECT_EQ(tc.probe_interval_ticks(), kProbeIntervalTicksMin);
+  EXPECT_STREQ(ctl.last_action(), "degraded_hold");
+  EXPECT_DOUBLE_EQ(tc.starvation_threshold(), 0.5);  // still frozen
+}
+
+TEST_F(ControllerTest, RecoveryWalksDegradationKnobsBackToSeeds) {
+  TunableConfig tc(DefaultSeed(), kAutoBatch);
+  Controller ctl(Config(), &tc, Signals());
+  hp_ns_ = 1'000'000;  // in-band: only the recovery arm can act
+  degraded_ = 1;
+  for (int i = 0; i < 10; ++i) ctl.EvaluateOnce(now_ns_ += 1000);
+  ASSERT_LT(tc.probe_interval_ticks(), 10u);
+  ASSERT_GT(tc.demote_latency_ns(), 50'000'000u);
+  degraded_ = 0;
+  for (int i = 0; i < 40; ++i) ctl.EvaluateOnce(now_ns_ += 1000);
+  // Back to the construction-time seeds, exactly.
+  EXPECT_EQ(tc.probe_interval_ticks(), 10u);
+  EXPECT_EQ(tc.demote_latency_ns(), 50'000'000u);
+  EXPECT_STREQ(ctl.last_action(), "hold");
+}
+
+TEST_F(ControllerTest, DisabledControllerNeverStarts) {
+  TunableConfig tc(DefaultSeed(), kAutoBatch);
+  ControllerConfig cfg;  // hp_target_us = 0
+  EXPECT_FALSE(cfg.enabled());
+  Controller ctl(cfg, &tc, Signals());
+  ctl.Start();  // no-op
+  ctl.Stop();
+  EXPECT_EQ(ctl.evals(), 0u);
+}
+
+}  // namespace
+}  // namespace preemptdb::sched

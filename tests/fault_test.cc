@@ -430,8 +430,8 @@ TEST_F(FaultTest, SigDropDemotesThenRecoveryPromotes) {
   o.scheduler.policy = sched::Policy::kPreempt;
   o.scheduler.num_workers = 1;
   o.scheduler.arrival_interval_us = 500;
-  o.scheduler.demote_failure_threshold = 3;
-  o.scheduler.probe_interval_ticks = 4;
+  o.scheduler.tunables.demote_failure_threshold = 3;
+  o.scheduler.tunables.probe_interval_ticks = 4;
   auto db = DB::Open(o);
   // A long LP transaction keeps the worker inside a preemptible window so
   // HP work depends on interrupts (or, degraded, on yield hooks).

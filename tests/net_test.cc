@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -887,6 +888,151 @@ TEST_F(NetTest, SloWatchdogSurfacesBreachOnHealthPlane) {
   ASSERT_NE(slo, nullptr) << "configured SLO must appear on the health plane";
   EXPECT_GE(slo->NumberOr("hp_violations", 0), 1.0);
   EXPECT_GT(slo->NumberOr("hp_measured_us", 0), 1.0);
+}
+
+TEST_F(NetTest, ConfigPlaneRoundTripsAndBumpsVersion) {
+  StartDefault();
+  net::Client c = Connect();
+  net::Client::Result res;
+  std::string err;
+
+  // kGetConfig: structural + tunables + controller state, version 1.
+  ASSERT_TRUE(c.Admin(Op::kGetConfig, &res, &err)) << err;
+  ASSERT_EQ(res.status, WireStatus::kOk);
+  obs::JsonValue doc;
+  ASSERT_TRUE(obs::JsonParse(res.payload, &doc, &err)) << err;
+  EXPECT_EQ(doc.Path({"structural", "num_workers"})->number, 2);
+  EXPECT_EQ(doc.Path({"config", "version"})->number, 1);
+  const obs::JsonValue* tun = doc.Path({"config", "tunables"});
+  ASSERT_NE(tun, nullptr);
+  EXPECT_FALSE(tun->Path({"starvation_enabled"})->boolean);
+  EXPECT_FALSE(doc.Path({"controller", "enabled"})->boolean);
+
+  // kSetConfig applies without restart; the success payload is the new
+  // config document, so the version bump is visible in one round trip.
+  ASSERT_TRUE(c.SetConfig(
+      R"({"starvation_enabled":true,"starvation_threshold":0.4,
+          "hp_batch_size":64})",
+      &res, &err))
+      << err;
+  ASSERT_EQ(res.status, WireStatus::kOk) << res.payload;
+  ASSERT_TRUE(obs::JsonParse(res.payload, &doc, &err)) << err;
+  EXPECT_EQ(doc.Path({"config", "version"})->number, 2);
+  tun = doc.Path({"config", "tunables"});
+  ASSERT_NE(tun, nullptr);
+  EXPECT_TRUE(tun->Path({"starvation_enabled"})->boolean);
+  EXPECT_DOUBLE_EQ(tun->NumberOr("starvation_threshold", 0), 0.4);
+  EXPECT_EQ(doc.Path({"config", "effective_hp_batch"})->number, 64);
+
+  // The live scheduler sees the new values — no restart, no re-open.
+  sched::TunableConfig& tc = db_->scheduler().tunables();
+  EXPECT_EQ(tc.version(), 2u);
+  EXPECT_TRUE(tc.starvation_enabled());
+  EXPECT_DOUBLE_EQ(tc.starvation_threshold(), 0.4);
+  EXPECT_EQ(tc.EffectiveHpBatch(), 64u);
+
+  // And the health plane carries the same config section.
+  ASSERT_TRUE(c.Admin(Op::kHealth, &res, &err)) << err;
+  obs::JsonValue health;
+  ASSERT_TRUE(obs::JsonParse(res.payload, &health, &err)) << err;
+  EXPECT_EQ(health.Path({"config", "version"})->number, 2);
+}
+
+TEST_F(NetTest, SetConfigRejectsInvalidChangeSetsAtomically) {
+  StartDefault();
+  net::Client c = Connect();
+  net::Client::Result res;
+  std::string err;
+
+  auto rejected = [&](std::string_view body, const char* expect_in_err) {
+    ASSERT_TRUE(c.SetConfig(body, &res, &err)) << err;
+    EXPECT_EQ(res.status, WireStatus::kBadRequest);
+    EXPECT_NE(res.payload.find(expect_in_err), std::string::npos)
+        << "reason was: " << res.payload;
+  };
+  // Out of range (valid key, valid type).
+  rejected(R"({"starvation_threshold":1.5})", "starvation_threshold");
+  // A valid field alongside an invalid one must not be applied (atomic).
+  rejected(R"({"hp_batch_size":64,"starvation_threshold":-1})",
+           "starvation_threshold");
+  // Unknown key, wrong type, malformed JSON.
+  rejected(R"({"starvation_treshold":0.4})", "unknown config key");
+  rejected(R"({"starvation_enabled":1})", "expected a bool");
+  rejected("{not json", "");
+
+  // Nothing stuck: version still 1, values untouched, connection alive.
+  sched::TunableConfig& tc = db_->scheduler().tunables();
+  EXPECT_EQ(tc.version(), 1u);
+  EXPECT_EQ(tc.hp_batch_size(), 0u);
+  ASSERT_TRUE(c.Ping(&res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kOk);
+}
+
+TEST_F(NetTest, ConcurrentSetConfigSerializesEveryVersionBump) {
+  StartDefault();
+  constexpr int kThreads = 4;
+  constexpr int kSets = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      net::Client c = Connect();
+      for (int i = 0; i < kSets; ++i) {
+        char body[64];
+        std::snprintf(body, sizeof(body), "{\"hp_batch_size\":%d}",
+                      1 + (t * kSets + i) % 100);
+        net::Client::Result res;
+        std::string err;
+        ASSERT_TRUE(c.SetConfig(body, &res, &err)) << err;
+        ASSERT_EQ(res.status, WireStatus::kOk) << res.payload;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Every successful apply bumped the version exactly once.
+  EXPECT_EQ(db_->scheduler().tunables().version(),
+            1u + kThreads * kSets);
+}
+
+TEST_F(NetTest, AdaptiveControllerRetunesLiveServer) {
+  // A 1 us HP target is breached by any real request, so the controller's
+  // step-4 arm must fire: batch grows (and version bumps) with zero
+  // kSetConfig traffic. The controller also auto-provisions its SLO-watchdog
+  // sensor when Options::slo is unset.
+  net::Server::Options so;
+  so.controller.hp_target_us = 1;
+  so.controller.period_ms = 5;
+  so.controller.settle_evals = 1;
+  DB::Options dbo;
+  dbo.scheduler.policy = sched::Policy::kPreempt;
+  dbo.scheduler.num_workers = 2;
+  dbo.scheduler.arrival_interval_us = 500;
+  Start(dbo, so);
+  ASSERT_NE(server_->controller(), nullptr);
+  ASSERT_NE(server_->slo_watchdog(), nullptr) << "sensor must be mirrored in";
+
+  net::Client c = Connect();
+  net::Client::Result res;
+  std::string err;
+  const size_t batch_before = db_->scheduler().tunables().EffectiveHpBatch();
+  ASSERT_TRUE(WaitUntil(
+      [&] {
+        // Keep feeding samples; the rolling SLO window needs traffic.
+        if (!c.Put(1, "v", WireClass::kHigh, &res, &err)) return true;
+        return server_->controller()->retunes() > 0;
+      },
+      5000))
+      << "controller never retuned against an unmeetable target";
+  EXPECT_GT(server_->controller()->retunes(), 0u);
+  EXPECT_GT(db_->scheduler().tunables().version(), 1u);
+  EXPECT_GT(db_->scheduler().tunables().EffectiveHpBatch(), batch_before);
+  EXPECT_STREQ(server_->controller()->last_action(), "hp_over_target");
+
+  // The health plane surfaces the controller's state.
+  ASSERT_TRUE(c.Admin(Op::kHealth, &res, &err)) << err;
+  obs::JsonValue health;
+  ASSERT_TRUE(obs::JsonParse(res.payload, &health, &err)) << err;
+  ASSERT_NE(health.Find("ctl"), nullptr);
+  EXPECT_GE(health.Path({"ctl", "retunes"})->number, 1);
 }
 
 TEST_F(NetTest, AdminPlaneStaysReservedUnderCustomHandlers) {

@@ -149,7 +149,8 @@ TEST(Scheduler, StarvationThresholdZeroDisablesPreemptExecution) {
   SpinWorkload wl;
   wl.lp_us = 10000;
   auto cfg = BaseConfig(Policy::kPreempt);
-  cfg.starvation_threshold = 0.0;
+  cfg.tunables.starvation_enabled = true;
+  cfg.tunables.starvation_threshold = 0.0;
   Scheduler s(cfg, wl.Hooks());
   RunFor(s, 600ms);
   uint64_t via_preempt = 0;
@@ -173,12 +174,13 @@ TEST(Scheduler, StarvationPreventionLimitsHpShare) {
   wl.hp_us = 500;
   auto cfg_unlimited = BaseConfig(Policy::kPreempt);
   cfg_unlimited.hp_queue_capacity = 64;
-  cfg_unlimited.hp_batch_size = 256;
+  cfg_unlimited.tunables.hp_batch_size = 256;
   cfg_unlimited.arrival_interval_us = 1000;
-  cfg_unlimited.starvation_threshold = 100.0;
+  cfg_unlimited.tunables.starvation_enabled = false;  // no starvation cap
 
   auto cfg_limited = cfg_unlimited;
-  cfg_limited.starvation_threshold = 0.25;
+  cfg_limited.tunables.starvation_enabled = true;
+  cfg_limited.tunables.starvation_threshold = 0.25;
 
   SpinWorkload wl2;
   wl2.lp_us = 20000;
@@ -200,7 +202,7 @@ TEST(Scheduler, OverloadShedsExcessHpRequests) {
   wl.lp_us = 30000;
   wl.hp_us = 5000;  // HP work far exceeds capacity
   auto cfg = BaseConfig(Policy::kPreempt);
-  cfg.hp_batch_size = 512;
+  cfg.tunables.hp_batch_size = 512;
   cfg.arrival_interval_us = 1000;
   Scheduler s(cfg, wl.Hooks());
   RunFor(s, 800ms);
@@ -272,9 +274,10 @@ TEST(Scheduler, SaturatingHpStreamCannotStarveRegularPath) {
   wl.hp_us = 100;
   auto cfg = BaseConfig(Policy::kPreempt);
   cfg.hp_queue_capacity = 100;
-  cfg.hp_batch_size = 200;  // far beyond drain capacity
+  cfg.tunables.hp_batch_size = 200;  // far beyond drain capacity
   cfg.arrival_interval_us = 1000;
-  cfg.starvation_threshold = 0.5;
+  cfg.tunables.starvation_enabled = true;
+  cfg.tunables.starvation_threshold = 0.5;
   Scheduler s(cfg, wl.Hooks());
   RunFor(s, 1200ms);
   EXPECT_GT(s.metrics().type(0).committed.load(), 0u)
@@ -312,7 +315,7 @@ TEST(Scheduler, ShedCallbackReceivesUnplacedRequests) {
   wl.hp_us = 2000;
   std::atomic<uint64_t> shed{0};
   auto cfg = BaseConfig(Policy::kPreempt);
-  cfg.hp_batch_size = 256;
+  cfg.tunables.hp_batch_size = 256;
   cfg.arrival_interval_us = 1000;
   Scheduler::Workload hooks = wl.Hooks();
   hooks.on_shed = [&shed](const Request& r) {
