@@ -1,0 +1,304 @@
+// crash_harness: kill -9 a durable PreemptDB server at seeded crash points
+// and prove recovery keeps the durability contract.
+//
+// The harness forks. The child arms one fault::CrashSite (or nothing, in
+// --crash=random mode, where the parent delivers a SIGKILL at an arbitrary
+// moment), boots a file-backed DB (--log-dir semantics: recover + append)
+// with a fast fuzzy-checkpoint cadence, and serves a two-row "pair put" op:
+// every PUT of key k writes k and k + kPairOffset with the same value in
+// ONE transaction. The parent drives wire PUTs, recording exactly the keys
+// the server ACKED, until the child dies mid-write / mid-sync / mid-
+// checkpoint / mid-rename. It then recovers the directory in-process and
+// asserts the three contract clauses:
+//
+//   1. acked implies durable  — every acked key reads back with its value;
+//   2. atomicity              — for every key present after recovery, its
+//                               pair row exists with the identical value
+//                               (a torn transaction is never half-visible);
+//   3. honest truncation      — recovery.truncated_bytes equals the bytes
+//                               the redo file actually shrank by.
+//
+// Exit 0 = contract held; 1 = violation (details on stderr). Used by the
+// `recovery` CI job across all four crash sites plus the random mode.
+//
+// Flags (bench::FlagSet):
+//   --crash=S        midseg | presync | midckpt | midrename | random
+//   --dir=D          durability dir (default: fresh mkdtemp, removed on pass)
+//   --nth=N          arm the site's Nth hit (default per site)
+//   --puts=N         max PUT attempts before declaring "never crashed" (5000)
+//   --value-size=B   value payload bytes                              (64)
+//   --kill-after-ms=T  random mode: parent SIGKILL delay              (300)
+//   --ckpt-interval-ms=T  child checkpoint cadence                    (50)
+#include <signal.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/preemptdb.h"
+#include "fault/fault.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+
+using namespace preemptdb;
+using namespace preemptdb::bench;
+
+namespace {
+
+// Pair rows live far above any driven key; both rows of a PUT must be
+// visible together after recovery or the engine tore a transaction.
+constexpr uint64_t kPairOffset = 1ull << 40;
+
+uint64_t FileSize(const std::string& path) {
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<uint64_t>(st.st_size);
+}
+
+std::string ValueFor(uint64_t key, size_t size) {
+  std::string v = "val-" + std::to_string(key) + "-";
+  v.resize(size, 'x');
+  return v;
+}
+
+// --- child: durable server with the pair-put handler ---
+
+int RunChild(const std::string& dir, const std::string& crash, uint64_t nth,
+             uint64_t ckpt_interval_ms, int port_pipe_wfd) {
+  if (crash != "random") {
+    std::string spec = "crashpoint:" + crash + ":" + std::to_string(nth);
+    std::string err;
+    if (!fault::ConfigureFromSpec(spec, &err)) {
+      std::fprintf(stderr, "child: bad crash spec %s: %s\n", spec.c_str(),
+                   err.c_str());
+      return 2;
+    }
+  }
+
+  DB::Options dbo;
+  dbo.scheduler.num_workers = 2;
+  dbo.log_dir = dir;
+  dbo.checkpoint_interval_ms = ckpt_interval_ms;
+  auto db = DB::Open(dbo);
+  if (db->GetTable("netkv") == nullptr) db->CreateTable("netkv");
+
+  net::Server::Options so;
+  so.port = 0;
+  so.num_shards = 1;
+  so.handler = [](engine::Engine& eng, const net::RequestHeader& req,
+                  const std::string& payload, std::string* reply) -> Rc {
+    engine::Table* t = eng.GetTable("netkv");
+    auto* txn = eng.Begin();
+    Rc rc = Rc::kError;
+    switch (static_cast<net::Op>(req.opcode)) {
+      case net::Op::kPut: {
+        uint64_t k = req.params[0];
+        // Upsert both rows of the pair inside one transaction.
+        for (uint64_t key : {k, k + kPairOffset}) {
+          rc = txn->Insert(t, key, payload);
+          if (rc == Rc::kKeyExists) rc = txn->Update(t, key, payload);
+          if (!IsOk(rc)) break;
+        }
+        break;
+      }
+      case net::Op::kGet: {
+        Slice s;
+        rc = txn->Read(t, req.params[0], &s);
+        if (IsOk(rc)) reply->assign(s.data, s.size);
+        break;
+      }
+      default:
+        rc = Rc::kError;
+        break;
+    }
+    if (!IsOk(rc)) {
+      txn->Abort();
+      return rc;
+    }
+    return txn->Commit();
+  };
+
+  net::Server server(db.get(), so);
+  std::string err;
+  if (!server.Start(&err)) {
+    std::fprintf(stderr, "child: server start failed: %s\n", err.c_str());
+    return 2;
+  }
+  uint16_t port = server.port();
+  ssize_t n = ::write(port_pipe_wfd, &port, sizeof(port));
+  ::close(port_pipe_wfd);
+  if (n != sizeof(port)) return 2;
+
+  // Serve until the armed crash point (or the parent's SIGKILL) lands.
+  for (;;) std::this_thread::sleep_for(std::chrono::milliseconds(100));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags(argc, argv);
+  std::string crash = flags.Get("crash", "midseg");
+  uint64_t default_nth = 100;  // let real traffic land first
+  if (crash == "midckpt") default_nth = 3;
+  if (crash == "midrename") default_nth = 1;
+  uint64_t nth = static_cast<uint64_t>(flags.GetInt("nth", default_nth));
+  uint64_t max_puts = static_cast<uint64_t>(flags.GetInt("puts", 5000));
+  size_t value_size = static_cast<size_t>(flags.GetInt("value-size", 64));
+  int64_t kill_after_ms = flags.GetInt("kill-after-ms", 300);
+  uint64_t ckpt_ms =
+      static_cast<uint64_t>(flags.GetInt("ckpt-interval-ms", 50));
+
+  std::string dir = flags.Get("dir");
+  bool made_dir = false;
+  if (dir.empty()) {
+    char tmpl[] = "/tmp/pdb_crash_XXXXXX";
+    PDB_CHECK(::mkdtemp(tmpl) != nullptr);
+    dir = tmpl;
+    made_dir = true;
+  }
+
+  int port_pipe[2];
+  PDB_CHECK(::pipe(port_pipe) == 0);
+  pid_t child = ::fork();
+  PDB_CHECK(child >= 0);
+  if (child == 0) {
+    ::close(port_pipe[0]);
+    _exit(RunChild(dir, crash, nth, ckpt_ms, port_pipe[1]));
+  }
+  ::close(port_pipe[1]);
+  uint16_t port = 0;
+  if (::read(port_pipe[0], &port, sizeof(port)) != sizeof(port)) {
+    std::fprintf(stderr, "harness: child died before binding\n");
+    return 1;
+  }
+  ::close(port_pipe[0]);
+
+  // Random mode: the kill comes from outside at an arbitrary moment, the
+  // model of an operator's kill -9 or an OOM kill rather than a seeded site.
+  std::thread killer;
+  if (crash == "random") {
+    killer = std::thread([child, kill_after_ms] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(kill_after_ms));
+      ::kill(child, SIGKILL);
+    });
+  }
+
+  net::Client client;
+  std::string err;
+  if (!client.Connect("127.0.0.1", port, &err)) {
+    std::fprintf(stderr, "harness: connect failed: %s\n", err.c_str());
+    ::kill(child, SIGKILL);
+    if (killer.joinable()) killer.join();
+    return 1;
+  }
+
+  uint64_t acked = 0;      // contiguous prefix: keys 1..acked were ACKED
+  uint64_t attempted = 0;  // keys 1..attempted were sent (tail may be lost)
+  for (uint64_t k = 1; k <= max_puts; ++k) {
+    attempted = k;
+    net::Client::Result res;
+    std::string v = ValueFor(k, value_size);
+    if (!client.Put(k, v, net::WireClass::kHigh, &res, &err)) break;
+    if (res.status != net::WireStatus::kOk) break;
+    acked = k;
+  }
+
+  int status = 0;
+  PDB_CHECK(::waitpid(child, &status, 0) == child);
+  if (killer.joinable()) killer.join();
+  if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL) {
+    std::fprintf(stderr,
+                 "harness: child did not die by SIGKILL (status=%d, acked=%llu"
+                 ") — crash site never fired?\n",
+                 status, static_cast<unsigned long long>(acked));
+    return 1;
+  }
+
+  // --- recover in-process and check the contract ---
+  std::string redo = dir + "/redo.log";
+  uint64_t size_before = FileSize(redo);
+  engine::Engine eng;
+  engine::RecoveryStats rs;
+  if (!eng.EnableDurability(dir, &err, &rs)) {
+    std::fprintf(stderr, "harness: recovery failed: %s\n", err.c_str());
+    return 1;
+  }
+  uint64_t size_after = FileSize(redo);
+
+  int failures = 0;
+  engine::Table* t = eng.GetTable("netkv");
+  if (t == nullptr) {
+    if (acked > 0) {
+      std::fprintf(stderr, "harness: table lost (acked=%llu)\n",
+                   static_cast<unsigned long long>(acked));
+      ++failures;
+    }
+  } else {
+    auto* txn = eng.Begin();
+    // Clause 1: every acked key is present with its exact value, pair
+    // included (the ack came back only after the commit's group fdatasync).
+    for (uint64_t k = 1; k <= acked; ++k) {
+      std::string want = ValueFor(k, value_size);
+      for (uint64_t key : {k, k + kPairOffset}) {
+        Slice s;
+        if (!IsOk(txn->Read(t, key, &s)) ||
+            std::string_view(s.data, s.size) != want) {
+          std::fprintf(stderr, "harness: ACKED key %llu lost or wrong\n",
+                       static_cast<unsigned long long>(key));
+          ++failures;
+        }
+      }
+    }
+    // Clause 2: no torn transaction — any surviving key (acked or not) has
+    // its pair row with the identical value.
+    for (uint64_t k = 1; k <= attempted; ++k) {
+      Slice a, b;
+      bool has_a = IsOk(txn->Read(t, k, &a));
+      bool has_b = IsOk(txn->Read(t, k + kPairOffset, &b));
+      if (has_a != has_b ||
+          (has_a && std::string_view(a.data, a.size) !=
+                        std::string_view(b.data, b.size))) {
+        std::fprintf(stderr, "harness: key %llu pair torn (a=%d b=%d)\n",
+                     static_cast<unsigned long long>(k), has_a ? 1 : 0,
+                     has_b ? 1 : 0);
+        ++failures;
+      }
+    }
+    txn->Abort();
+  }
+  // Clause 3: the reported tear matches what was cut off the file.
+  if (rs.truncated_bytes != size_before - size_after) {
+    std::fprintf(stderr,
+                 "harness: truncated_bytes=%llu but file shrank %llu\n",
+                 static_cast<unsigned long long>(rs.truncated_bytes),
+                 static_cast<unsigned long long>(size_before - size_after));
+    ++failures;
+  }
+
+  std::printf(
+      "crash_harness %s: acked=%llu attempted=%llu ckpt_seq=%llu "
+      "redo_txns=%llu truncated=%llu discarded_partial=%llu -> %s\n",
+      crash.c_str(), static_cast<unsigned long long>(acked),
+      static_cast<unsigned long long>(attempted),
+      static_cast<unsigned long long>(rs.checkpoint_seq),
+      static_cast<unsigned long long>(rs.redo_txns_applied),
+      static_cast<unsigned long long>(rs.truncated_bytes),
+      static_cast<unsigned long long>(rs.discarded_partial_txns),
+      failures == 0 ? "PASS" : "FAIL");
+  if (failures == 0 && made_dir) {
+    std::string cmd = "rm -rf " + dir;
+    if (::system(cmd.c_str()) != 0) {
+      std::fprintf(stderr, "harness: cleanup of %s failed\n", dir.c_str());
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

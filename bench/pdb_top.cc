@@ -251,6 +251,23 @@ int main(int argc, char** argv) {
                   slo->NumberOr("lp_violations", 0));
     }
 
+    const obs::JsonValue* dur = health.Find("durability");
+    if (dur != nullptr && dur->Path({"enabled"}) != nullptr &&
+        dur->Path({"enabled"})->boolean) {
+      std::printf("dur: seq=%.0f ckpt=%.0f age=%.1fs segs=%.0f fsyncs=%.0f "
+                  "torn=%.0f%s\n",
+                  dur->NumberOr("last_durable_seq", 0),
+                  dur->NumberOr("last_ckpt_seq", 0),
+                  dur->NumberOr("ckpt_age_ms", 0) / 1000.0,
+                  dur->NumberOr("log_segments", 0),
+                  dur->NumberOr("log_fsyncs", 0),
+                  dur->NumberOr("log_torn_bytes", 0),
+                  dur->Path({"log_poisoned"}) != nullptr &&
+                          dur->Path({"log_poisoned"})->boolean
+                      ? "  LOG-POISONED"
+                      : "");
+    }
+
     const obs::JsonValue* cfg = health.Find("config");
     if (cfg != nullptr) {
       const obs::JsonValue* t = cfg->Find("tunables");

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <thread>
 
 #include "obs/metrics.h"
@@ -67,6 +68,21 @@ std::unique_ptr<DB> DB::Open(const Options& options) {
 }
 
 DB::DB(const Options& options) {
+  if (!options.log_dir.empty()) {
+    // Durability first: recovery must run against a fresh engine, before
+    // tables, GC, or the scheduler can touch it.
+    std::string err;
+    bool ok = engine_.EnableDurability(options.log_dir, &err,
+                                       &recovery_stats_);
+    if (!ok) {
+      ::fprintf(stderr, "preemptdb: EnableDurability(%s) failed: %s\n",
+                options.log_dir.c_str(), err.c_str());
+    }
+    PDB_CHECK_MSG(ok, "EnableDurability failed");
+    if (options.checkpoint_interval_ms > 0) {
+      engine_.StartCheckpointer(options.checkpoint_interval_ms);
+    }
+  }
   size_t cap = RoundUpPow2(options.submit_queue_capacity);
   lp_submissions_ = std::make_unique<MpmcQueue<Closure*>>(cap);
   hp_submissions_ = std::make_unique<MpmcQueue<Closure*>>(cap);

@@ -24,6 +24,7 @@
 #include <memory>
 #include <string>
 
+#include "engine/checkpoint.h"
 #include "engine/engine.h"
 #include "obs/timeline.h"
 #include "sched/scheduler.h"
@@ -107,6 +108,18 @@ class DB {
     // capacities make Submit() return kQueueFull under load — used by tests
     // to exercise the backpressure path deterministically.
     size_t submit_queue_capacity = 1 << 12;
+    // Durability directory. Non-empty makes the DB crash-durable: opening
+    // recovers whatever a previous incarnation left there (checkpoint +
+    // CRC-framed redo tail), then appends to <log_dir>/redo.log with group
+    // fdatasync at commit boundaries. Empty (default) keeps the engine
+    // memory-resident with simulated durability. Open() PDB_CHECK-fails if
+    // the directory is unusable or its contents are unrecoverable — a
+    // server must not silently run non-durable when asked to be durable.
+    std::string log_dir;
+    // Fuzzy-checkpoint period when log_dir is set; 0 disables periodic
+    // checkpoints (one can still be forced via
+    // engine().WriteCheckpointNow()).
+    uint64_t checkpoint_interval_ms = 0;
   };
 
   static std::unique_ptr<DB> Open(const Options& options);
@@ -115,6 +128,10 @@ class DB {
 
   // --- Engine-level access (caller's thread) ---
   engine::Engine& engine() { return engine_; }
+  // What recovery found when this DB opened (meaningful with log_dir set).
+  const engine::RecoveryStats& recovery_stats() const {
+    return recovery_stats_;
+  }
   engine::Table* CreateTable(const std::string& name) {
     return engine_.CreateTable(name);
   }
@@ -172,6 +189,7 @@ class DB {
                   uint64_t jitter_base, uint64_t deadline_ns);
 
   engine::Engine engine_;
+  engine::RecoveryStats recovery_stats_;
   std::unique_ptr<sched::Scheduler> scheduler_;
   std::unique_ptr<MpmcQueue<Closure*>> lp_submissions_;
   std::unique_ptr<MpmcQueue<Closure*>> hp_submissions_;

@@ -1,6 +1,7 @@
 #include "engine/engine.h"
 
 #include "cls/context_local.h"
+#include "engine/checkpoint.h"
 #include "engine/hooks.h"
 #include "uintr/uintr.h"
 
@@ -31,7 +32,10 @@ Engine::Engine()
     : instance_id_(g_engine_instances.fetch_add(1,
                                                 std::memory_order_relaxed)) {}
 
-Engine::~Engine() { StopBackgroundGc(); }
+Engine::~Engine() {
+  StopCheckpointer();
+  StopBackgroundGc();
+}
 
 uint64_t Engine::MinActiveBegin() const {
   // Latch sections are non-preemptible: a preempting transaction on the
@@ -71,12 +75,49 @@ void Engine::StopBackgroundGc() {
 }
 
 Table* Engine::CreateTable(const std::string& name) {
+  uint32_t id;
+  Table* t;
+  {
+    uintr::NonPreemptibleRegion npr;
+    SpinLatchGuard g(ddl_latch_);
+    PDB_CHECK_MSG(GetTableLocked(name) == nullptr, "table already exists");
+    id = static_cast<uint32_t>(tables_.size());
+    tables_.push_back(std::make_unique<Table>(name, id, this));
+    t = tables_.back().get();
+  }
+  // Outside the latch: the DDL redo write may block on fdatasync.
+  LogTableCreate(id, name);
+  return t;
+}
+
+size_t Engine::TableCount() const {
   uintr::NonPreemptibleRegion npr;
   SpinLatchGuard g(ddl_latch_);
-  PDB_CHECK_MSG(GetTableLocked(name) == nullptr, "table already exists");
-  auto id = static_cast<uint32_t>(tables_.size());
-  tables_.push_back(std::make_unique<Table>(name, id));
-  return tables_.back().get();
+  return tables_.size();
+}
+
+Table* Engine::TableAt(size_t id) const {
+  uintr::NonPreemptibleRegion npr;
+  SpinLatchGuard g(ddl_latch_);
+  return id < tables_.size() ? tables_[id].get() : nullptr;
+}
+
+void Engine::LogTableCreate(uint32_t id, const std::string& name) {
+  LogRecordHeader hdr{};
+  hdr.table_id = id;
+  hdr.size = static_cast<uint32_t>(name.size());
+  hdr.kind = static_cast<uint8_t>(LogRecordKind::kTableCreate);
+  LogDdlRecord(hdr, name.data());
+}
+
+void Engine::LogSecondaryCreate(uint32_t table_id, uint16_t ordinal,
+                                const std::string& name) {
+  LogRecordHeader hdr{};
+  hdr.table_id = table_id;
+  hdr.size = static_cast<uint32_t>(name.size());
+  hdr.kind = static_cast<uint8_t>(LogRecordKind::kSecondaryCreate);
+  hdr.sec_ordinal = ordinal;
+  LogDdlRecord(hdr, name.data());
 }
 
 Table* Engine::GetTable(const std::string& name) const {

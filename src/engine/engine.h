@@ -19,6 +19,9 @@
 
 namespace preemptdb::engine {
 
+class Checkpointer;
+struct RecoveryStats;
+
 class Engine {
  public:
   Engine();
@@ -28,6 +31,11 @@ class Engine {
   // DDL (not transactional; call before concurrent use).
   Table* CreateTable(const std::string& name);
   Table* GetTable(const std::string& name) const;
+
+  // Table ids are dense (assigned in creation order) — recovery and the
+  // checkpointer iterate by id.
+  size_t TableCount() const;
+  Table* TableAt(size_t id) const;
 
   // Begins a transaction in the calling transaction context. Each context
   // (not merely each thread) owns an independent Transaction object through
@@ -43,6 +51,37 @@ class Engine {
 
   LogManager& log_manager() { return log_manager_; }
   GarbageCollector& gc() { return gc_; }
+
+  // --- Durability (implemented in checkpoint.cc) ---
+
+  // Makes this engine crash-durable against `dir`: recovers whatever a
+  // previous incarnation left there (checkpoint + redo tail, tolerating torn
+  // frames and unfinished checkpoints), then opens `dir`/redo.log for
+  // appending. Must run before any tables or transactions exist — the engine
+  // is rebuilt from disk. Returns false (filling *err) on unrecoverable
+  // state: an unreadable directory or a corrupt manifest. `stats` (optional)
+  // reports what recovery found and repaired.
+  bool EnableDurability(const std::string& dir, std::string* err = nullptr,
+                        RecoveryStats* stats = nullptr);
+  bool durable() const { return !log_dir_.empty(); }
+  const std::string& log_dir() const { return log_dir_; }
+
+  // Background fuzzy checkpointer (requires EnableDurability). Idempotent.
+  void StartCheckpointer(uint64_t interval_ms);
+  void StopCheckpointer();
+  Checkpointer* checkpointer() const { return checkpointer_.get(); }
+  // One-shot checkpoint, foreground (tests, admin plane). Returns false on
+  // write failure; the previous checkpoint stays in force.
+  bool WriteCheckpointNow();
+
+  // True while Recover() is rebuilding state from disk; suppresses redo
+  // logging of replayed effects (DDL re-creation would otherwise re-log).
+  bool recovering() const { return recovering_; }
+
+  // DDL redo hooks (no-ops while not file-backed or recovering).
+  void LogTableCreate(uint32_t id, const std::string& name);
+  void LogSecondaryCreate(uint32_t table_id, uint16_t ordinal,
+                          const std::string& name);
 
   // --- Version garbage collection ---
 
@@ -71,7 +110,20 @@ class Engine {
   std::atomic<uint64_t> aborts{0};
 
  private:
+  friend class Checkpointer;
+
   Table* GetTableLocked(const std::string& name) const;
+
+  // Recovery body (checkpoint.cc): loads the last complete checkpoint and
+  // replays the redo tail from `dir`. Called by EnableDurability with
+  // recovering_ set.
+  bool Recover(const std::string& dir, std::string* err, RecoveryStats* stats);
+
+  // Emits a single-record seq-0 DDL segment (checkpoint.cc).
+  void LogDdlRecord(const LogRecordHeader& hdr, const void* payload);
+
+  // Restores the timestamp counter after replay (recovery only).
+  void RestoreTs(uint64_t ts) { ts_.store(ts, std::memory_order_release); }
 
   std::atomic<uint64_t> ts_{0};
   std::vector<std::unique_ptr<Table>> tables_;
@@ -82,6 +134,9 @@ class Engine {
   std::vector<ActiveSlot> active_slots_;
   std::thread gc_thread_;
   std::atomic<bool> gc_stop_{false};
+  std::string log_dir_;
+  bool recovering_ = false;
+  std::unique_ptr<Checkpointer> checkpointer_;
   const uint64_t instance_id_;
 };
 

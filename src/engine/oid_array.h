@@ -63,6 +63,22 @@ class OidArray {
     return next_.load(std::memory_order_relaxed);
   }
 
+  // Recovery-time reservation: materializes every chunk covering oids
+  // [0, watermark) and advances the allocation cursor to at least
+  // `watermark`, so replayed oids can be installed via Head() directly and
+  // post-recovery Allocate() never re-hands-out a recovered oid.
+  void ReserveUpTo(Oid watermark) {
+    if (watermark == 0) return;
+    for (size_t idx = 0; idx <= ((watermark - 1) >> kChunkBits); ++idx) {
+      EnsureChunk(idx);
+    }
+    Oid cur = next_.load(std::memory_order_relaxed);
+    while (cur < watermark &&
+           !next_.compare_exchange_weak(cur, watermark,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
  private:
   using Chunk = std::array<std::atomic<Version*>, kChunkSize>;
 

@@ -1,13 +1,20 @@
 #include "engine/table.h"
 
+#include "engine/engine.h"
+
 namespace preemptdb::engine {
 
-Table::Table(std::string name, uint32_t id) : name_(std::move(name)), id_(id) {}
+Table::Table(std::string name, uint32_t id, Engine* engine)
+    : name_(std::move(name)), id_(id), engine_(engine) {}
 
 index::BTree* Table::CreateSecondaryIndex(const std::string& name) {
   PDB_CHECK_MSG(GetSecondaryIndex(name) == nullptr,
                 "secondary index already exists");
   secondary_.emplace_back(name, std::make_unique<index::BTree>());
+  if (engine_ != nullptr) {
+    engine_->LogSecondaryCreate(
+        id_, static_cast<uint16_t>(secondary_.size() - 1), name);
+  }
   return secondary_.back().second.get();
 }
 
@@ -16,6 +23,13 @@ index::BTree* Table::GetSecondaryIndex(const std::string& name) const {
     if (n == name) return idx.get();
   }
   return nullptr;
+}
+
+int Table::OrdinalOf(const index::BTree* sec) const {
+  for (size_t i = 0; i < secondary_.size(); ++i) {
+    if (secondary_[i].second.get() == sec) return static_cast<int>(i);
+  }
+  return -1;
 }
 
 }  // namespace preemptdb::engine

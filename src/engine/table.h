@@ -15,9 +15,13 @@
 
 namespace preemptdb::engine {
 
+class Engine;
+
 class Table {
  public:
-  Table(std::string name, uint32_t id);
+  // `engine` backlinks to the owner for DDL redo logging; standalone tables
+  // (unit tests) pass nullptr and simply skip it.
+  Table(std::string name, uint32_t id, Engine* engine = nullptr);
   PDB_DISALLOW_COPY_AND_ASSIGN(Table);
 
   const std::string& name() const { return name_; }
@@ -31,15 +35,27 @@ class Table {
   std::atomic<Version*>& Head(Oid oid) { return oids_.Head(oid); }
 
   // Secondary indexes are created before concurrent use (DDL is not
-  // transactional) and map encoded secondary keys to OIDs.
+  // transactional) and map encoded secondary keys to OIDs. Creation order
+  // defines each index's ordinal — the identity redo records carry, so it
+  // must be reproduced exactly at recovery.
   index::BTree* CreateSecondaryIndex(const std::string& name);
   index::BTree* GetSecondaryIndex(const std::string& name) const;
+  size_t SecondaryCount() const { return secondary_.size(); }
+  index::BTree* SecondaryAt(size_t ordinal) const {
+    return secondary_[ordinal].second.get();
+  }
+  const std::string& SecondaryNameAt(size_t ordinal) const {
+    return secondary_[ordinal].first;
+  }
+  // Ordinal of `sec` within this table, or -1 when it is not ours.
+  int OrdinalOf(const index::BTree* sec) const;
 
   uint64_t RowCountApprox() const { return primary_.Size(); }
 
  private:
   const std::string name_;
   const uint32_t id_;
+  Engine* const engine_;
   OidArray oids_;
   index::BTree primary_;
   std::vector<std::pair<std::string, std::unique_ptr<index::BTree>>>

@@ -29,6 +29,7 @@ void Transaction::Reset(Engine* engine, IsolationLevel iso) {
   begin_ts_ = engine->ReadTs();
   commit_ts_.store(0, std::memory_order_release);
   write_set_.clear();
+  sec_log_.clear();
   read_set_.clear();
   if (write_set_.capacity() == 0) write_set_.reserve(64);
   if (read_set_.capacity() == 0) read_set_.reserve(256);
@@ -129,8 +130,8 @@ Rc Transaction::ReadBySecondary(Table* table, const index::BTree* sec,
   return ReadOid(table, oid, out);
 }
 
-Rc Transaction::InstallWrite(Table* table, Oid oid, std::string_view payload,
-                             bool deleted) {
+Rc Transaction::InstallWrite(Table* table, Oid oid, uint64_t key,
+                             std::string_view payload, bool deleted) {
   // The install sequence (inspect head, allocate, CAS) must not be paused
   // half-way: the preemptive context could otherwise observe and conflict
   // with a torn write-set of its own worker.
@@ -157,7 +158,7 @@ Rc Transaction::InstallWrite(Table* table, Oid oid, std::string_view payload,
     Version::Free(v);
     return Rc::kAbortWriteConflict;
   }
-  write_set_.push_back(WriteEntry{table, oid, v});
+  write_set_.push_back(WriteEntry{table, oid, key, v});
   return Rc::kOk;
 }
 
@@ -176,16 +177,17 @@ Rc Transaction::InsertWithSecondaries(Table* table, index::Key key,
     // and live; a tombstoned or fully-aborted chain can be overwritten.
     Version* vis = FindVisible(table, existing_oid);
     if (vis != nullptr && !vis->deleted) return Rc::kKeyExists;
-    Rc rc = InstallWrite(table, existing_oid, payload, /*deleted=*/false);
+    Rc rc = InstallWrite(table, existing_oid, key, payload, /*deleted=*/false);
     if (!IsOk(rc)) return rc;
     // Secondary entries may or may not already exist; upsert them.
     for (int i = 0; i < nsecs; ++i) {
       secs[i].index->Upsert(secs[i].key, existing_oid);
+      TrackSecondary(table, secs[i].index, secs[i].key, existing_oid);
     }
     return Rc::kOk;
   }
   Oid oid = table->oids().Allocate();
-  Rc install_rc = InstallWrite(table, oid, payload, /*deleted=*/false);
+  Rc install_rc = InstallWrite(table, oid, key, payload, /*deleted=*/false);
   PDB_CHECK(IsOk(install_rc));  // fresh OID: no competition possible
   if (!table->primary().Insert(key, oid)) {
     // Lost an insert race on the key. Undo our version (unlink first, then
@@ -200,8 +202,17 @@ Rc Transaction::InsertWithSecondaries(Table* table, index::Key key,
   }
   for (int i = 0; i < nsecs; ++i) {
     secs[i].index->Upsert(secs[i].key, oid);
+    TrackSecondary(table, secs[i].index, secs[i].key, oid);
   }
   return Rc::kOk;
+}
+
+void Transaction::TrackSecondary(Table* table, const index::BTree* sec,
+                                 index::Key key, Oid oid) {
+  int ord = table->OrdinalOf(sec);
+  if (ord < 0) return;  // caller-owned index (tests): nothing to replay into
+  sec_log_.push_back(SecondaryLogEntry{table->id(),
+                                       static_cast<uint16_t>(ord), key, oid});
 }
 
 Rc Transaction::Update(Table* table, index::Key key, std::string_view payload) {
@@ -211,7 +222,7 @@ Rc Transaction::Update(Table* table, index::Key key, std::string_view payload) {
   if (!table->primary().Lookup(key, &oid)) return Rc::kNotFound;
   Version* vis = FindVisible(table, oid);
   if (vis == nullptr || vis->deleted) return Rc::kNotFound;
-  return InstallWrite(table, oid, payload, /*deleted=*/false);
+  return InstallWrite(table, oid, key, payload, /*deleted=*/false);
 }
 
 Rc Transaction::Delete(Table* table, index::Key key) {
@@ -221,7 +232,7 @@ Rc Transaction::Delete(Table* table, index::Key key) {
   if (!table->primary().Lookup(key, &oid)) return Rc::kNotFound;
   Version* vis = FindVisible(table, oid);
   if (vis == nullptr || vis->deleted) return Rc::kNotFound;
-  return InstallWrite(table, oid, std::string_view(), /*deleted=*/true);
+  return InstallWrite(table, oid, key, std::string_view(), /*deleted=*/true);
 }
 
 Rc Transaction::Scan(Table* table, index::Key lo, index::Key hi,
@@ -344,14 +355,25 @@ Rc Transaction::Commit() {
   // version committed, so a failed log write can still abort cleanly (no
   // reader has observed the commit yet — the sentinel is still pending).
   LogBuffer& log = tls_log_buffer.Get();
+  LogManager& lm = engine_->log_manager();
+  log.StartTxn(cts);
   Rc log_rc = Rc::kOk;
   for (const WriteEntry& w : write_set_) {
-    log_rc = log.Append(&engine_->log_manager(), w.table->id(), w.oid,
-                        w.version->Data(), w.version->size,
-                        w.version->deleted);
+    log_rc = log.Append(&lm, w.table->id(), w.oid, w.key, w.version->Data(),
+                        w.version->size, w.version->deleted);
     if (PDB_UNLIKELY(!IsOk(log_rc))) break;
   }
-  if (IsOk(log_rc)) log_rc = log.Seal(&engine_->log_manager());
+  for (const SecondaryLogEntry& s : sec_log_) {
+    if (PDB_UNLIKELY(!IsOk(log_rc))) break;
+    LogRecordHeader hdr{};
+    hdr.table_id = s.table_id;
+    hdr.oid = s.oid;
+    hdr.key = s.key;
+    hdr.kind = static_cast<uint8_t>(LogRecordKind::kSecondaryUpsert);
+    hdr.sec_ordinal = s.ordinal;
+    log_rc = log.AppendRecord(&lm, hdr, nullptr);
+  }
+  if (IsOk(log_rc)) log_rc = log.Seal(&lm, /*txn_end=*/true);
   if (PDB_UNLIKELY(!IsOk(log_rc))) {
     commit_ts_.store(0, std::memory_order_release);
     AbortLocked();

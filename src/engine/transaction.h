@@ -119,7 +119,16 @@ class Transaction {
   struct WriteEntry {
     Table* table;
     Oid oid;
+    uint64_t key;  // primary key, carried into the redo record
     Version* version;
+  };
+  // Secondary-index insertions made by this transaction; replayed into the
+  // redo stream at commit so recovery can rebuild the secondary mappings.
+  struct SecondaryLogEntry {
+    uint32_t table_id;
+    uint16_t ordinal;
+    uint64_t key;
+    Oid oid;
   };
   struct ReadEntry {
     Table* table;
@@ -134,10 +143,14 @@ class Transaction {
   Version* FindVisible(Table* table, Oid oid);
 
   // Installs an in-flight version at the head of `oid`'s chain.
-  Rc InstallWrite(Table* table, Oid oid, std::string_view payload,
-                  bool deleted);
+  Rc InstallWrite(Table* table, Oid oid, uint64_t key,
+                  std::string_view payload, bool deleted);
 
   void TrackRead(Table* table, Oid oid, Version* v);
+  // Records a secondary upsert for redo (no-op for indexes the table does
+  // not own).
+  void TrackSecondary(Table* table, const index::BTree* sec, index::Key key,
+                      Oid oid);
   bool ValidateReads(uint64_t commit_ts) const;
   // Abort body; caller holds a non-preemptible region.
   void AbortLocked();
@@ -151,6 +164,7 @@ class Transaction {
   uint64_t begin_ts_ = 0;
   std::atomic<uint64_t> commit_ts_{0};
   std::vector<WriteEntry> write_set_;
+  std::vector<SecondaryLogEntry> sec_log_;
   std::vector<ReadEntry> read_set_;
   // GC visibility: shared with the engine's registry so neither side can
   // dangle; holds begin_ts while active, 0 otherwise.

@@ -1,5 +1,8 @@
 #include "fault/fault.h"
 
+#include <signal.h>
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstdlib>
 
@@ -30,8 +33,35 @@ obs::Counter g_fire_counters[kNumPoints] = {
     obs::Counter("fault.logwrite"),     obs::Counter("fault.queuefull"),
     obs::Counter("fault.allocfail"),    obs::Counter("fault.acceptfail"),
     obs::Counter("fault.partialread"),  obs::Counter("fault.partialwrite"),
-    obs::Counter("fault.connreset"),
+    obs::Counter("fault.connreset"),    obs::Counter("fault.ckptwrite"),
 };
+
+// Crash-site registry: nth == 0 means disarmed; `hits` counts reaches since
+// arming. No obs counters — the process is dead the instant one fires.
+struct CrashState {
+  std::atomic<uint64_t> nth{0};
+  std::atomic<uint64_t> hits{0};
+};
+CrashState g_crash[kNumCrashSites];
+
+void RecomputeCrashEnabled() {
+  bool any = false;
+  for (auto& c : g_crash) {
+    if (c.nth.load(std::memory_order_relaxed) > 0) any = true;
+  }
+  internal::g_crash_enabled.store(any, std::memory_order_relaxed);
+}
+
+bool ParseCrashSiteName(const std::string& s, CrashSite* out) {
+  for (int i = 0; i < kNumCrashSites; ++i) {
+    auto site = static_cast<CrashSite>(i);
+    if (s == CrashSiteName(site)) {
+      *out = site;
+      return true;
+    }
+  }
+  return false;
+}
 
 uint64_t SplitMix(uint64_t z) {
   z += 0x9e3779b97f4a7c15ull;
@@ -48,11 +78,12 @@ void RecomputeEnabled() {
   internal::g_enabled.store(any, std::memory_order_relaxed);
 }
 
-bool ParseErrnoName(const std::string& s, uint64_t* out) {
+bool ParseErrnoName(const std::string& s, uint64_t* out, bool allow_extra) {
   if (s == "eio") *out = EIO;
   else if (s == "enospc") *out = ENOSPC;
-  else if (s == "eintr") *out = EINTR;
   else if (s == "short") *out = 0;  // short write, no errno
+  else if (allow_extra && s == "eintr") *out = EINTR;
+  else if (allow_extra && s == "torn") *out = kTornWriteParam;
   else return false;
   return true;
 }
@@ -81,6 +112,7 @@ bool ParseProbability(const std::string& s, double* out) {
 namespace internal {
 
 std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_crash_enabled{false};
 
 bool ShouldFireSlow(Point p) {
   PointState& s = g_points[static_cast<int>(p)];
@@ -118,10 +150,59 @@ const char* PointName(Point p) {
       return "partialwrite";
     case Point::kNetReset:
       return "connreset";
+    case Point::kCkptWrite:
+      return "ckptwrite";
     case Point::kNumPoints:
       break;
   }
   return "?";
+}
+
+const char* CrashSiteName(CrashSite s) {
+  switch (s) {
+    case CrashSite::kMidSegment:
+      return "midseg";
+    case CrashSite::kPreSync:
+      return "presync";
+    case CrashSite::kMidCheckpoint:
+      return "midckpt";
+    case CrashSite::kMidRename:
+      return "midrename";
+    case CrashSite::kNumSites:
+      break;
+  }
+  return "?";
+}
+
+void ArmCrash(CrashSite site, uint64_t nth) {
+  PDB_CHECK(site < CrashSite::kNumSites);
+  CrashState& c = g_crash[static_cast<int>(site)];
+  c.hits.store(0, std::memory_order_relaxed);
+  c.nth.store(nth, std::memory_order_relaxed);
+  RecomputeCrashEnabled();
+}
+
+bool CrashArmed(CrashSite site) {
+  if (!internal::g_crash_enabled.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  return g_crash[static_cast<int>(site)].nth.load(
+             std::memory_order_relaxed) > 0;
+}
+
+bool CrashNow(CrashSite site) {
+  CrashState& c = g_crash[static_cast<int>(site)];
+  uint64_t nth = c.nth.load(std::memory_order_relaxed);
+  if (nth == 0) return false;
+  return c.hits.fetch_add(1, std::memory_order_relaxed) + 1 == nth;
+}
+
+void Die() {
+  // kill -9 semantics, delivered from the inside: no atexit handlers, no
+  // stream flushes, no destructors. The unreachable _exit covers the
+  // (impossible) case of SIGKILL being blocked.
+  ::kill(::getpid(), SIGKILL);
+  ::_exit(137);
 }
 
 void Configure(Point p, double probability, uint64_t param) {
@@ -147,7 +228,12 @@ void Reset() {
     s.fires.store(0, std::memory_order_relaxed);
     s.evals.store(0, std::memory_order_relaxed);
   }
+  for (auto& c : g_crash) {
+    c.nth.store(0, std::memory_order_relaxed);
+    c.hits.store(0, std::memory_order_relaxed);
+  }
   RecomputeEnabled();
+  RecomputeCrashEnabled();
 }
 
 void SetSeed(uint64_t seed) {
@@ -167,7 +253,12 @@ bool ConfigureFromSpec(const std::string& spec, std::string* err) {
   };
   Parsed parsed[kNumPoints];
   int num_parsed = 0;
-  bool seen[kNumPoints] = {};
+  struct ParsedCrash {
+    CrashSite site;
+    uint64_t nth;
+  };
+  ParsedCrash crashes[kNumCrashSites];
+  int num_crashes = 0;
 
   auto fail = [err](const std::string& msg) {
     if (err != nullptr) *err = msg;
@@ -212,13 +303,37 @@ bool ConfigureFromSpec(const std::string& spec, std::string* err) {
       }
     } else if (f[0] == "logwrite") {
       p.point = Point::kLogWrite;
-      if (nf < 2 || !ParseErrnoName(f[1], &p.param)) {
-        return fail("logwrite needs eio|enospc|eintr|short in '" + clause +
-                    "'");
+      if (nf < 2 || !ParseErrnoName(f[1], &p.param, /*allow_extra=*/true)) {
+        return fail("logwrite needs eio|enospc|eintr|short|torn in '" +
+                    clause + "'");
       }
       if (nf == 3 && !ParseProbability(f[2], &p.probability)) {
         return fail("bad probability in '" + clause + "'");
       }
+    } else if (f[0] == "ckptwrite") {
+      p.point = Point::kCkptWrite;
+      if (nf < 2 || !ParseErrnoName(f[1], &p.param, /*allow_extra=*/false)) {
+        return fail("ckptwrite needs eio|enospc|short in '" + clause + "'");
+      }
+      if (nf == 3 && !ParseProbability(f[2], &p.probability)) {
+        return fail("bad probability in '" + clause + "'");
+      }
+    } else if (f[0] == "crashpoint") {
+      ParsedCrash pc{CrashSite::kNumSites, 1};
+      if (nf < 2 || !ParseCrashSiteName(f[1], &pc.site)) {
+        return fail("crashpoint needs midseg|presync|midckpt|midrename in '" +
+                    clause + "'");
+      }
+      if (nf == 3) {
+        char* end = nullptr;
+        pc.nth = std::strtoull(f[2].c_str(), &end, 10);
+        if (end == f[2].c_str() || *end != '\0' || pc.nth == 0) {
+          return fail("bad crash count in '" + clause + "' (want N >= 1)");
+        }
+      }
+      PDB_CHECK(num_crashes < kNumCrashSites);
+      crashes[num_crashes++] = pc;
+      continue;
     } else {
       return fail("unknown fault point '" + f[0] + "'");
     }
@@ -229,6 +344,9 @@ bool ConfigureFromSpec(const std::string& spec, std::string* err) {
   // Commit only after the whole spec parsed (all-or-nothing).
   for (int i = 0; i < num_parsed; ++i) {
     Configure(parsed[i].point, parsed[i].probability, parsed[i].param);
+  }
+  for (int i = 0; i < num_crashes; ++i) {
+    ArmCrash(crashes[i].site, crashes[i].nth);
   }
   return true;
 }

@@ -17,12 +17,24 @@
 //   sigdrop[:P]          drop SendUipi deliveries with probability P (def 1)
 //   sigdelay:<N>us[:P]   delay SendUipi by N microseconds
 //   logwrite:<E>[:P]     fail log writes; E = eio | enospc | eintr | short
+//                        | torn (half the attempt lands, then persistent EIO
+//                        — leaves a torn frame for recovery to truncate)
+//   ckptwrite:<E>[:P]    fail checkpoint-file writes; E = eio|enospc|short
 //   queuefull[:P]        treat a worker HP queue as full at placement
 //   allocfail[:P]        make the guarded allocator fail
 //   acceptfail[:P]       net server drops freshly accepted connections
 //   partialread[:P]      net server socket reads truncate to 1 byte
 //   partialwrite[:P]     net server socket writes truncate to 1 byte
 //   connreset[:P]        net server hard-closes a conn before its response
+//   crashpoint:<name>[:N]  SIGKILL the process the Nth time (default 1st)
+//                        the named crash site is reached; names: midseg
+//                        (partial redo frame on disk), presync (frame
+//                        appended, fdatasync skipped), midckpt (partial
+//                        ckpt.tmp), midrename (ckpt.tmp durable, rename
+//                        pending). Count-based, not probabilistic: the kill
+//                        lands at a deterministic call index, which is what
+//                        makes a crash-recovery failure mechanically
+//                        reproducible (the rr argument, PAPERS.md).
 //
 // Every point also owns an obs::Counter ("fault.<name>") so injected faults
 // show up in metrics snapshots next to the counters they perturb.
@@ -49,8 +61,15 @@ enum class Point : uint8_t {
   kNetReset,         // net::Server: hard-close a connection before its
                      // response flushes (peer-reset simulation; the accepted
                      // submission still completes DB-side)
+  kCkptWrite,        // engine::Checkpointer: fail checkpoint-file writes
   kNumPoints,
 };
+
+// Sentinel for the logwrite/ckptwrite `param` meaning "write half the
+// attempt for real, then fail persistently" — a torn frame, the on-disk
+// shape a power cut mid-write leaves behind. Distinct from `short` (which
+// truncates but lets the retry loop finish) and from plain errno values.
+inline constexpr uint64_t kTornWriteParam = 0xFFFFull;
 
 inline constexpr int kNumPoints = static_cast<int>(Point::kNumPoints);
 
@@ -103,6 +122,57 @@ uint64_t Param(Point p);
 // Times `p` fired / was evaluated since the last Reset or SetSeed.
 uint64_t FireCount(Point p);
 uint64_t EvalCount(Point p);
+
+// --- Crash points (kill -9 at a named code site) ---
+//
+// Unlike probabilistic points, a crash site fires exactly once, on the Nth
+// time execution reaches it, then SIGKILLs the process — no atexit, no
+// flushes, exactly the death `kill -9` delivers. The recovery harness arms
+// one site per run and asserts the restarted process recovers consistently.
+enum class CrashSite : uint8_t {
+  kMidSegment = 0,  // LogManager::Sink: half a frame written, then die
+  kPreSync,         // LogManager::Sink: frame appended, die before fdatasync
+  kMidCheckpoint,   // Checkpointer: die mid ckpt.tmp body
+  kMidRename,       // Checkpointer: ckpt.tmp fsynced, die before rename
+  kNumSites,
+};
+
+inline constexpr int kNumCrashSites = static_cast<int>(CrashSite::kNumSites);
+
+const char* CrashSiteName(CrashSite s);
+
+// Arms `site` to kill the process on its `nth` hit (1-based). nth = 0
+// disarms. Reset() disarms all sites and clears hit counts.
+void ArmCrash(CrashSite site, uint64_t nth = 1);
+
+// True when `site` is armed (hit count not yet exhausted). Sites needing a
+// custom pre-death action (midseg's partial write) check this first.
+bool CrashArmed(CrashSite site);
+
+// Counts one hit of `site`; returns true when this hit is the armed Nth —
+// the caller performs its pre-death action (if any) and must then call
+// Die(). Plain sites use CrashPoint() below instead.
+bool CrashNow(CrashSite site);
+
+// raise(SIGKILL); annotated noreturn. Public so harness code can share the
+// exact death the registry uses.
+[[noreturn]] void Die();
+
+namespace internal {
+// True when any crash site is armed (separate from g_enabled: crash sites
+// are count-based and live outside the probabilistic point table).
+extern std::atomic<bool> g_crash_enabled;
+}  // namespace internal
+
+// CrashNow + Die in one call — for sites with no pre-death action. Disabled
+// cost: one relaxed load and a predicted branch, same as ShouldFire.
+inline void CrashPoint(CrashSite site) {
+  if (PDB_LIKELY(
+          !internal::g_crash_enabled.load(std::memory_order_relaxed))) {
+    return;
+  }
+  if (CrashNow(site)) Die();
+}
 
 }  // namespace preemptdb::fault
 

@@ -318,6 +318,31 @@ std::string Server::BuildHealthJson() const {
     w.EndObject();
   }
 
+  // Durability plane: what an operator needs to answer "how much could a
+  // crash right now lose?" — the durable commit frontier and checkpoint age.
+  engine::Engine& eng = db_->engine();
+  w.Key("durability").BeginObject();
+  w.Key("enabled").Bool(eng.durable());
+  if (eng.durable()) {
+    const engine::LogManager& lm = eng.log_manager();
+    w.Key("last_durable_seq").Uint(lm.durable_seq());
+    w.Key("log_appended_bytes").Uint(lm.appended_bytes());
+    w.Key("log_segments").Uint(lm.segments());
+    w.Key("log_fsyncs").Uint(lm.fsyncs());
+    w.Key("log_torn_bytes").Uint(lm.torn_bytes());
+    w.Key("log_poisoned").Bool(lm.poisoned());
+    const engine::Checkpointer* ck = eng.checkpointer();
+    w.Key("last_ckpt_seq").Uint(ck->last_seq());
+    w.Key("last_ckpt_ts").Uint(ck->last_ts());
+    uint64_t age = ck->AgeMs();
+    // UINT64_MAX = none completed this process; report -1-as-absent style 0
+    // flag instead of a nonsense number.
+    w.Key("ckpt_age_ms").Uint(age == UINT64_MAX ? 0 : age);
+    w.Key("ckpt_completed").Uint(ck->completed());
+    w.Key("ckpt_failures").Uint(ck->failures());
+  }
+  w.EndObject();
+
   // Tunable-config summary (full document on the kGetConfig plane).
   w.Key("config");
   sch.tunables().ToJson(w);

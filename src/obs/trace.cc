@@ -176,6 +176,12 @@ const char* EventName(EventType t) {
       return "ConfigApplied";
     case EventType::kCtlRetune:
       return "CtlRetune";
+    case EventType::kCkptBegin:
+      return "CkptBegin";
+    case EventType::kCkptEnd:
+      return "CkptEnd";
+    case EventType::kRecoveryDone:
+      return "RecoveryDone";
     case EventType::kNumEventTypes:
       break;
   }
@@ -211,6 +217,9 @@ const char* EventCategory(EventType t) {
       return "ctl";
     case EventType::kGcPass:
     case EventType::kLogFlush:
+    case EventType::kCkptBegin:
+    case EventType::kCkptEnd:
+    case EventType::kRecoveryDone:
       return "engine";
     case EventType::kNetAccept:
     case EventType::kNetRequest:

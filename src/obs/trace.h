@@ -52,6 +52,9 @@ enum class EventType : uint16_t {
   kConfigApplied,      // TunableConfig::Apply succeeded; a32 = new version
   kCtlRetune,          // controller retuned one knob; a32 = knob id,
                        // a64 = old value << 32 | new value (see controller.h)
+  kCkptBegin,          // fuzzy checkpoint started; a64 = sequence number
+  kCkptEnd,            // checkpoint durable; a64 = rows captured
+  kRecoveryDone,       // crash recovery finished; a64 = redo txns applied
   kNumEventTypes,
 };
 

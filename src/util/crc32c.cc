@@ -1,0 +1,65 @@
+#include "util/crc32c.h"
+
+namespace preemptdb::util {
+
+namespace {
+
+// Slice-by-8 tables, built once at first use. Table 0 is the classic
+// byte-at-a-time table for the reflected polynomial; tables 1..7 fold eight
+// input bytes per iteration.
+struct Tables {
+  uint32_t t[8][256];
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0x82f63b78u ^ (c >> 1)) : (c >> 1);
+      }
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = t[0][i];
+      for (int j = 1; j < 8; ++j) {
+        c = t[0][c & 0xff] ^ (c >> 8);
+        t[j][i] = c;
+      }
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32c(uint32_t crc, const void* data, size_t n) {
+  const Tables& tb = GetTables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = ~crc;
+  // Align to 8 bytes.
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    c = tb.t[0][(c ^ *p++) & 0xff] ^ (c >> 8);
+    --n;
+  }
+  while (n >= 8) {
+    uint64_t chunk;
+    __builtin_memcpy(&chunk, p, 8);
+    c ^= static_cast<uint32_t>(chunk);
+    uint32_t hi = static_cast<uint32_t>(chunk >> 32);
+    c = tb.t[7][c & 0xff] ^ tb.t[6][(c >> 8) & 0xff] ^
+        tb.t[5][(c >> 16) & 0xff] ^ tb.t[4][(c >> 24) & 0xff] ^
+        tb.t[3][hi & 0xff] ^ tb.t[2][(hi >> 8) & 0xff] ^
+        tb.t[1][(hi >> 16) & 0xff] ^ tb.t[0][(hi >> 24) & 0xff];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    c = tb.t[0][(c ^ *p++) & 0xff] ^ (c >> 8);
+    --n;
+  }
+  return ~c;
+}
+
+}  // namespace preemptdb::util

@@ -1,0 +1,33 @@
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+// checksum framing every durable artifact in this repo: redo-log segment
+// frames, checkpoint files, and the manifest. Software slice-by-8 table
+// implementation, dependency-free and portable; the durability path is
+// dominated by write()/fdatasync, not checksumming.
+#ifndef PREEMPTDB_UTIL_CRC32C_H_
+#define PREEMPTDB_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace preemptdb::util {
+
+// Extends `crc` (a running CRC-32C) over `data[0, n)`. Start a fresh
+// checksum with crc = 0. The result is already finalized (pre/post
+// conditioning handled internally), so intermediate values chain:
+//   Crc32c(Crc32c(0, a, na), b, nb) == Crc32c(0, concat(a,b), na+nb)
+uint32_t Crc32c(uint32_t crc, const void* data, size_t n);
+
+// Masked form for values stored inside the data they protect (checkpoint
+// trailer): a CRC of bytes that include an unmasked CRC of themselves is
+// degenerate; the rotation+offset mask (same scheme as LevelDB) avoids it.
+inline uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace preemptdb::util
+
+#endif  // PREEMPTDB_UTIL_CRC32C_H_

@@ -166,7 +166,7 @@ TEST_F(FaultTest, FileBackedLogWritesBytes) {
   ASSERT_TRUE(lm.OpenFile(path, &err)) << err;
   engine::LogBuffer buf;
   std::string payload(100, 'x');
-  EXPECT_EQ(buf.Append(&lm, 1, 7, payload.data(), 100, false), Rc::kOk);
+  EXPECT_EQ(buf.Append(&lm, 1, 7, 7, payload.data(), 100, false), Rc::kOk);
   EXPECT_EQ(buf.Seal(&lm), Rc::kOk);
   EXPECT_GT(lm.total_bytes(), 100u);
   EXPECT_EQ(lm.io_errors(), 0u);
@@ -181,7 +181,7 @@ TEST_F(FaultTest, InjectedEioSurfacesAsIoError) {
   fault::Configure(fault::Point::kLogWrite, 1.0, EIO);
   engine::LogBuffer buf;
   std::string payload(64, 'y');
-  EXPECT_EQ(buf.Append(&lm, 1, 1, payload.data(), 64, false), Rc::kOk);
+  EXPECT_EQ(buf.Append(&lm, 1, 1, 1, payload.data(), 64, false), Rc::kOk);
   EXPECT_EQ(buf.Seal(&lm), Rc::kIoError);
   fault::Reset();
   EXPECT_EQ(lm.io_errors(), 1u);
@@ -190,7 +190,7 @@ TEST_F(FaultTest, InjectedEioSurfacesAsIoError) {
   // The buffer emptied despite the failure: the next seal is clean, not a
   // splice of two transactions' records.
   EXPECT_EQ(buf.pos(), 0u);
-  EXPECT_EQ(buf.Append(&lm, 1, 2, payload.data(), 64, false), Rc::kOk);
+  EXPECT_EQ(buf.Append(&lm, 1, 2, 2, payload.data(), 64, false), Rc::kOk);
   EXPECT_EQ(buf.Seal(&lm), Rc::kOk);
   lm.CloseFile();
   std::remove(path.c_str());
@@ -203,11 +203,14 @@ TEST_F(FaultTest, InjectedShortWritesStillPersistEverything) {
   fault::Configure(fault::Point::kLogWrite, 1.0, 0);  // param 0 = short write
   engine::LogBuffer buf;
   std::string payload(500, 'z');
-  EXPECT_EQ(buf.Append(&lm, 1, 3, payload.data(), 500, false), Rc::kOk);
+  EXPECT_EQ(buf.Append(&lm, 1, 3, 3, payload.data(), 500, false), Rc::kOk);
   Rc rc = buf.Seal(&lm);
   fault::Reset();
   EXPECT_EQ(rc, Rc::kOk);
-  uint64_t expect = lm.total_bytes();
+  // On-disk size = payload plus the CRC frame header around each segment.
+  uint64_t expect = lm.appended_bytes();
+  EXPECT_EQ(expect,
+            lm.total_bytes() + lm.segments() * sizeof(engine::SegmentHeader));
   lm.CloseFile();
   // Every byte reached the file despite each attempt being truncated.
   FILE* f = std::fopen(path.c_str(), "rb");

@@ -1,22 +1,58 @@
 // Redo-log buffer tests, including the per-context (CLS) isolation the
-// paper's §4.3 motivates with log buffers.
+// paper's §4.3 motivates with log buffers, plus the file-backed Sink
+// write-retry path (EINTR/EAGAIN, short writes) under fault injection.
 #include <gtest/gtest.h>
+
+#include <errno.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <string>
 #include <thread>
 
 #include "engine/engine.h"
 #include "engine/log.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
 #include "uintr/uintr.h"
 
 namespace preemptdb::engine {
 namespace {
 
+uint64_t CounterValue(const char* name) {
+  for (int i = 0; i < obs::NumCounters(); ++i) {
+    const obs::Counter* c = obs::CounterAt(i);
+    if (::strcmp(c->name(), name) == 0) return c->Value();
+  }
+  return 0;
+}
+
+uint64_t FileSize(const std::string& path) {
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<uint64_t>(st.st_size);
+}
+
+// A scratch file under TMPDIR, removed on destruction.
+struct TempFile {
+  TempFile() {
+    char tmpl[] = "/tmp/pdb_log_test_XXXXXX";
+    int fd = ::mkstemp(tmpl);
+    PDB_CHECK(fd >= 0);
+    ::close(fd);
+    path = tmpl;
+  }
+  ~TempFile() { ::unlink(path.c_str()); }
+  std::string path;
+};
+
 TEST(LogBuffer, AppendAccumulates) {
   LogManager lm;
   LogBuffer buf;
   const char payload[] = "0123456789";
-  buf.Append(&lm, 1, 42, payload, 10, false);
+  buf.Append(&lm, 1, 42, 42, payload, 10, false);
   EXPECT_EQ(buf.records(), 1u);
   EXPECT_EQ(buf.pos(), sizeof(LogRecordHeader) + 10);
   EXPECT_EQ(lm.total_bytes(), 0u) << "nothing sealed yet";
@@ -25,8 +61,8 @@ TEST(LogBuffer, AppendAccumulates) {
 TEST(LogBuffer, SealFlushesToManager) {
   LogManager lm;
   LogBuffer buf;
-  buf.Append(&lm, 1, 1, "abc", 3, false);
-  buf.Append(&lm, 1, 2, "defg", 4, true);
+  buf.Append(&lm, 1, 1, 1, "abc", 3, false);
+  buf.Append(&lm, 1, 2, 2, "defg", 4, true);
   size_t bytes = buf.pos();
   buf.Seal(&lm);
   EXPECT_EQ(lm.total_bytes(), bytes);
@@ -46,8 +82,8 @@ TEST(LogBuffer, AutoSealsWhenFull) {
   LogManager lm;
   LogBuffer buf;
   std::string payload(4000, 'x');
-  for (int i = 0; i < 40; ++i) {
-    buf.Append(&lm, 1, i, payload.data(),
+  for (uint64_t i = 0; i < 40; ++i) {
+    buf.Append(&lm, 1, i, i, payload.data(),
                static_cast<uint32_t>(payload.size()), false);
   }
   EXPECT_GT(lm.flushes(), 0u) << "filling the buffer must trigger seals";
@@ -131,6 +167,118 @@ TEST(LogIntegration, ContextsLogIndependently) {
   worker.join();
   EXPECT_EQ(engine.log_manager().total_records(), 100u);
   EXPECT_EQ(engine.commits.load(), 100u);
+}
+
+// --- File-backed Sink retry path (fault-injected) ---
+
+class SinkRetryTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::Reset(); }
+};
+
+TEST_F(SinkRetryTest, TransientEintrRetriesUntilSuccess) {
+  // Every write attempt fires EINTR with p = 0.5; each retry redraws, so the
+  // frame always lands within the 64-retry budget (failure would need 64
+  // consecutive fires). Sink must succeed and the full frame must be on
+  // disk.
+  TempFile f;
+  LogManager lm;
+  ASSERT_TRUE(lm.OpenFile(f.path, nullptr, /*truncate=*/true));
+  fault::SetSeed(7);
+  fault::Configure(fault::Point::kLogWrite, 0.5, EINTR);
+  LogBuffer buf;
+  buf.StartTxn(1);
+  std::string payload(1000, 'r');
+  ASSERT_EQ(buf.Append(&lm, 1, 1, 1, payload.data(),
+                       static_cast<uint32_t>(payload.size()), false),
+            Rc::kOk);
+  ASSERT_EQ(buf.Seal(&lm), Rc::kOk);
+  fault::Reset();
+  EXPECT_EQ(lm.io_errors(), 0u);
+  EXPECT_EQ(lm.lost_bytes(), 0u);
+  EXPECT_EQ(FileSize(f.path), lm.appended_bytes());
+  EXPECT_GT(lm.appended_bytes(), payload.size());
+}
+
+TEST_F(SinkRetryTest, EintrExhaustsRetryBudget) {
+  // p = 1.0: every attempt fires EINTR, nothing is ever written, and after
+  // the 64-retry cap Sink fails with kIoError. No partial frame means no
+  // torn bytes and no repair truncate.
+  TempFile f;
+  LogManager lm;
+  ASSERT_TRUE(lm.OpenFile(f.path, nullptr, /*truncate=*/true));
+  fault::Configure(fault::Point::kLogWrite, 1.0, EINTR);
+  LogBuffer buf;
+  buf.StartTxn(1);
+  std::string payload(100, 'e');
+  ASSERT_EQ(buf.Append(&lm, 1, 1, 1, payload.data(),
+                       static_cast<uint32_t>(payload.size()), false),
+            Rc::kOk);
+  size_t sealed = buf.pos();
+  EXPECT_EQ(buf.Seal(&lm), Rc::kIoError);
+  fault::Reset();
+  EXPECT_EQ(lm.io_errors(), 1u);
+  EXPECT_EQ(lm.last_errno(), EINTR);
+  EXPECT_EQ(lm.lost_bytes(), sealed);
+  EXPECT_EQ(lm.torn_bytes(), 0u);
+  EXPECT_EQ(FileSize(f.path), 0u);
+  EXPECT_FALSE(lm.poisoned()) << "a cleanly-failed frame does not poison";
+}
+
+TEST_F(SinkRetryTest, ShortWritesAreRetriedAndCounted) {
+  // param = 0 halves each fired attempt; the loop must stitch the pieces
+  // together, count every short completion in log.short_writes, and still
+  // produce one intact frame.
+  TempFile f;
+  LogManager lm;
+  ASSERT_TRUE(lm.OpenFile(f.path, nullptr, /*truncate=*/true));
+  uint64_t shorts_before = CounterValue("log.short_writes");
+  fault::SetSeed(11);
+  fault::Configure(fault::Point::kLogWrite, 1.0, 0);
+  LogBuffer buf;
+  buf.StartTxn(1);
+  std::string payload(2000, 's');
+  ASSERT_EQ(buf.Append(&lm, 1, 9, 9, payload.data(),
+                       static_cast<uint32_t>(payload.size()), false),
+            Rc::kOk);
+  ASSERT_EQ(buf.Seal(&lm), Rc::kOk);
+  fault::Reset();
+  EXPECT_EQ(lm.io_errors(), 0u);
+  EXPECT_EQ(FileSize(f.path), lm.appended_bytes());
+  uint64_t shorts = CounterValue("log.short_writes") - shorts_before;
+  // frame > 2000 bytes halved repeatedly: at least 10 short completions
+  // before the 1-byte tail goes through whole.
+  EXPECT_GE(shorts, 10u);
+  EXPECT_EQ(lm.segments(), 1u);
+}
+
+TEST_F(SinkRetryTest, OpenFileAppendsByDefault) {
+  // Reopening a log must not truncate it (the pre-durability OpenFile used
+  // O_TRUNC, silently discarding the previous incarnation's redo).
+  TempFile f;
+  {
+    LogManager lm;
+    ASSERT_TRUE(lm.OpenFile(f.path, nullptr, /*truncate=*/true));
+    LogBuffer buf;
+    buf.StartTxn(1);
+    buf.Append(&lm, 1, 1, 1, "abc", 3, false);
+    ASSERT_EQ(buf.Seal(&lm), Rc::kOk);
+    lm.CloseFile();
+  }
+  uint64_t first = FileSize(f.path);
+  ASSERT_GT(first, 0u);
+  {
+    LogManager lm;
+    ASSERT_TRUE(lm.OpenFile(f.path));  // append mode
+    EXPECT_EQ(lm.appended_bytes(), first)
+        << "existing bytes must be accounted, not discarded";
+    LogBuffer buf;
+    buf.StartTxn(2);
+    buf.Append(&lm, 1, 2, 2, "def", 3, false);
+    ASSERT_EQ(buf.Seal(&lm), Rc::kOk);
+    lm.CloseFile();
+  }
+  EXPECT_GT(FileSize(f.path), first) << "second frame appended, not replaced";
 }
 
 }  // namespace

@@ -1,0 +1,488 @@
+// Crash-durability tests: CRC-framed redo replay, fuzzy checkpoints, torn
+// tails, partial transactions, and the kill -9 / recover cycle. Everything
+// here runs against a throwaway directory; each test opens a fresh Engine
+// with EnableDurability (which recovers whatever the previous incarnation
+// left) and asserts what survived.
+#include <gtest/gtest.h>
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/checkpoint.h"
+#include "engine/engine.h"
+#include "engine/log.h"
+#include "fault/fault.h"
+
+namespace preemptdb::engine {
+namespace {
+
+// A throwaway durability directory, recursively removed on destruction.
+struct TempDir {
+  TempDir() {
+    char tmpl[] = "/tmp/pdb_recovery_XXXXXX";
+    PDB_CHECK(::mkdtemp(tmpl) != nullptr);
+    path = tmpl;
+  }
+  ~TempDir() {
+    std::string cmd = "rm -rf " + path;
+    int rc = ::system(cmd.c_str());
+    (void)rc;
+  }
+  std::string redo() const { return path + "/redo.log"; }
+  std::string path;
+};
+
+uint64_t FileSize(const std::string& path) {
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<uint64_t>(st.st_size);
+}
+
+void CommitKv(Engine& eng, Table* t, uint64_t key, const std::string& value) {
+  auto* txn = eng.Begin();
+  Rc rc = txn->Insert(t, key, value);
+  if (rc == Rc::kKeyExists) rc = txn->Update(t, key, value);
+  ASSERT_EQ(rc, Rc::kOk);
+  ASSERT_EQ(txn->Commit(), Rc::kOk);
+}
+
+void ExpectKv(Engine& eng, Table* t, uint64_t key, const std::string& value) {
+  auto* txn = eng.Begin();
+  Slice s;
+  ASSERT_EQ(txn->Read(t, key, &s), Rc::kOk) << "key " << key;
+  EXPECT_EQ(std::string(s.data, s.size), value) << "key " << key;
+  txn->Abort();
+}
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::Reset(); }
+};
+
+TEST_F(RecoveryTest, RedoOnlyRoundTrip) {
+  TempDir dir;
+  {
+    Engine eng;
+    ASSERT_TRUE(eng.EnableDurability(dir.path));
+    Table* t = eng.CreateTable("kv");
+    for (uint64_t k = 1; k <= 20; ++k) {
+      CommitKv(eng, t, k, "v" + std::to_string(k));
+    }
+    // Overwrites and deletes must replay in order too.
+    CommitKv(eng, t, 3, "rewritten");
+    auto* txn = eng.Begin();
+    ASSERT_EQ(txn->Delete(t, 7), Rc::kOk);
+    ASSERT_EQ(txn->Commit(), Rc::kOk);
+  }
+  Engine eng;
+  RecoveryStats rs;
+  std::string err;
+  ASSERT_TRUE(eng.EnableDurability(dir.path, &err, &rs)) << err;
+  EXPECT_EQ(rs.checkpoint_seq, 0u) << "no checkpoint was written";
+  EXPECT_EQ(rs.redo_txns_applied, 22u);
+  EXPECT_EQ(rs.truncated_bytes, 0u);
+  Table* t = eng.GetTable("kv");
+  ASSERT_NE(t, nullptr);
+  ExpectKv(eng, t, 1, "v1");
+  ExpectKv(eng, t, 3, "rewritten");
+  ExpectKv(eng, t, 20, "v20");
+  auto* txn = eng.Begin();
+  Slice s;
+  EXPECT_EQ(txn->Read(t, 7, &s), Rc::kNotFound) << "tombstone must replay";
+  txn->Abort();
+  // The recovered engine keeps working: new commits land after the replayed
+  // timestamp (no ts collision with recovered versions).
+  CommitKv(eng, t, 100, "after");
+  ExpectKv(eng, t, 100, "after");
+}
+
+TEST_F(RecoveryTest, TornTailIsTruncatedExactly) {
+  TempDir dir;
+  {
+    Engine eng;
+    ASSERT_TRUE(eng.EnableDurability(dir.path));
+    Table* t = eng.CreateTable("kv");
+    for (uint64_t k = 1; k <= 5; ++k) CommitKv(eng, t, k, "keep");
+  }
+  // Hand-tear the tail: a valid-looking magic with a length that runs past
+  // EOF, as a crashed mid-frame write leaves behind.
+  uint64_t clean = FileSize(dir.redo());
+  {
+    int fd = ::open(dir.redo().c_str(), O_WRONLY | O_APPEND);
+    ASSERT_GE(fd, 0);
+    SegmentHeader torn{kSegmentMagic, 4096, 99, 0, 0xdeadbeef};
+    ASSERT_EQ(::write(fd, &torn, sizeof(torn)),
+              static_cast<ssize_t>(sizeof(torn)));
+    ::close(fd);
+  }
+  Engine eng;
+  RecoveryStats rs;
+  ASSERT_TRUE(eng.EnableDurability(dir.path, nullptr, &rs));
+  EXPECT_EQ(rs.truncated_bytes, sizeof(SegmentHeader));
+  EXPECT_EQ(FileSize(dir.redo()), clean) << "tail cut back to the last "
+                                            "complete frame";
+  Table* t = eng.GetTable("kv");
+  ASSERT_NE(t, nullptr);
+  for (uint64_t k = 1; k <= 5; ++k) ExpectKv(eng, t, k, "keep");
+}
+
+TEST_F(RecoveryTest, CorruptedFrameTruncatesFromThere) {
+  TempDir dir;
+  {
+    Engine eng;
+    ASSERT_TRUE(eng.EnableDurability(dir.path));
+    Table* t = eng.CreateTable("kv");
+    for (uint64_t k = 1; k <= 10; ++k) CommitKv(eng, t, k, "x");
+  }
+  // Flip one payload byte in the middle of the file: that frame and
+  // everything after it must be discarded, everything before it kept.
+  uint64_t size = FileSize(dir.redo());
+  {
+    int fd = ::open(dir.redo().c_str(), O_WRONLY);
+    ASSERT_GE(fd, 0);
+    char junk = 0x5a;
+    ASSERT_EQ(::pwrite(fd, &junk, 1, static_cast<off_t>(size / 2)), 1);
+    ::close(fd);
+  }
+  Engine eng;
+  RecoveryStats rs;
+  ASSERT_TRUE(eng.EnableDurability(dir.path, nullptr, &rs));
+  EXPECT_GT(rs.truncated_bytes, 0u);
+  EXPECT_LT(FileSize(dir.redo()), size);
+  EXPECT_EQ(FileSize(dir.redo()), size - rs.truncated_bytes);
+  Table* t = eng.GetTable("kv");
+  ASSERT_NE(t, nullptr);
+  // The prefix survives; count what's there (some tail keys are gone).
+  auto* txn = eng.Begin();
+  Slice s;
+  ASSERT_EQ(txn->Read(t, 1, &s), Rc::kOk);
+  txn->Abort();
+}
+
+TEST_F(RecoveryTest, UnendedTransactionIsDiscarded) {
+  TempDir dir;
+  {
+    Engine eng;
+    ASSERT_TRUE(eng.EnableDurability(dir.path));
+    Table* t = eng.CreateTable("kv");
+    CommitKv(eng, t, 1, "committed");
+    // Append a record group that never got its txn-end marker — the shape a
+    // crash between an auto-seal and the final Seal leaves behind.
+    LogBuffer buf;
+    buf.StartTxn(1u << 20);
+    ASSERT_EQ(buf.Append(&eng.log_manager(), t->id(), 999, 999, "ghost", 5,
+                         false),
+              Rc::kOk);
+    ASSERT_EQ(buf.Seal(&eng.log_manager(), /*txn_end=*/false), Rc::kOk);
+  }
+  Engine eng;
+  RecoveryStats rs;
+  ASSERT_TRUE(eng.EnableDurability(dir.path, nullptr, &rs));
+  EXPECT_EQ(rs.discarded_partial_txns, 1u);
+  Table* t = eng.GetTable("kv");
+  ASSERT_NE(t, nullptr);
+  ExpectKv(eng, t, 1, "committed");
+  auto* txn = eng.Begin();
+  Slice s;
+  EXPECT_EQ(txn->Read(t, 999, &s), Rc::kNotFound)
+      << "a transaction without its end marker must not become visible";
+  txn->Abort();
+}
+
+TEST_F(RecoveryTest, CheckpointRoundTrip) {
+  TempDir dir;
+  {
+    Engine eng;
+    ASSERT_TRUE(eng.EnableDurability(dir.path));
+    Table* t = eng.CreateTable("kv");
+    for (uint64_t k = 1; k <= 50; ++k) {
+      CommitKv(eng, t, k, "pre-ckpt-" + std::to_string(k));
+    }
+    ASSERT_TRUE(eng.WriteCheckpointNow());
+    for (uint64_t k = 51; k <= 60; ++k) {
+      CommitKv(eng, t, k, "post-ckpt-" + std::to_string(k));
+    }
+  }
+  Engine eng;
+  RecoveryStats rs;
+  ASSERT_TRUE(eng.EnableDurability(dir.path, nullptr, &rs));
+  EXPECT_EQ(rs.checkpoint_seq, 1u);
+  EXPECT_GE(rs.checkpoint_rows, 50u);
+  // Only the tail after the checkpoint's redo offset replays.
+  EXPECT_EQ(rs.redo_txns_applied, 10u);
+  Table* t = eng.GetTable("kv");
+  ASSERT_NE(t, nullptr);
+  ExpectKv(eng, t, 1, "pre-ckpt-1");
+  ExpectKv(eng, t, 50, "pre-ckpt-50");
+  ExpectKv(eng, t, 60, "post-ckpt-60");
+}
+
+TEST_F(RecoveryTest, CheckpointReclaimsTombstones) {
+  TempDir dir;
+  {
+    Engine eng;
+    ASSERT_TRUE(eng.EnableDurability(dir.path));
+    Table* t = eng.CreateTable("kv");
+    for (uint64_t k = 1; k <= 10; ++k) CommitKv(eng, t, k, "v");
+    for (uint64_t k = 1; k <= 5; ++k) {
+      auto* txn = eng.Begin();
+      ASSERT_EQ(txn->Delete(t, k), Rc::kOk);
+      ASSERT_EQ(txn->Commit(), Rc::kOk);
+    }
+    ASSERT_TRUE(eng.WriteCheckpointNow());
+  }
+  Engine eng;
+  RecoveryStats rs;
+  ASSERT_TRUE(eng.EnableDurability(dir.path, nullptr, &rs));
+  EXPECT_EQ(rs.checkpoint_rows, 5u) << "deleted rows are not checkpointed";
+  Table* t = eng.GetTable("kv");
+  ASSERT_NE(t, nullptr);
+  auto* txn = eng.Begin();
+  Slice s;
+  EXPECT_EQ(txn->Read(t, 1, &s), Rc::kNotFound);
+  EXPECT_EQ(txn->Read(t, 6, &s), Rc::kOk);
+  txn->Abort();
+}
+
+TEST_F(RecoveryTest, SecondaryIndexesRecoverFromCheckpointAndRedo) {
+  TempDir dir;
+  {
+    Engine eng;
+    ASSERT_TRUE(eng.EnableDurability(dir.path));
+    Table* t = eng.CreateTable("orders");
+    index::BTree* by_cust = t->CreateSecondaryIndex("by_customer");
+    auto put = [&](uint64_t key, uint64_t cust, const std::string& v) {
+      auto* txn = eng.Begin();
+      Transaction::SecondaryEntry se{by_cust, cust};
+      ASSERT_EQ(txn->InsertWithSecondaries(t, key, v, &se, 1), Rc::kOk);
+      ASSERT_EQ(txn->Commit(), Rc::kOk);
+    };
+    put(1, 501, "ckpt-row");
+    ASSERT_TRUE(eng.WriteCheckpointNow());
+    put(2, 502, "redo-row");  // secondary entry travels via the redo log
+  }
+  Engine eng;
+  RecoveryStats rs;
+  ASSERT_TRUE(eng.EnableDurability(dir.path, nullptr, &rs));
+  Table* t = eng.GetTable("orders");
+  ASSERT_NE(t, nullptr);
+  ASSERT_EQ(t->SecondaryCount(), 1);
+  const index::BTree* by_cust = t->SecondaryAt(0);
+  ASSERT_NE(by_cust, nullptr);
+  auto* txn = eng.Begin();
+  Slice s;
+  ASSERT_EQ(txn->ReadBySecondary(t, by_cust, 501, &s), Rc::kOk);
+  EXPECT_EQ(std::string(s.data, s.size), "ckpt-row");
+  ASSERT_EQ(txn->ReadBySecondary(t, by_cust, 502, &s), Rc::kOk);
+  EXPECT_EQ(std::string(s.data, s.size), "redo-row");
+  txn->Abort();
+}
+
+TEST_F(RecoveryTest, CorruptManifestRefusesToOpen) {
+  TempDir dir;
+  {
+    Engine eng;
+    ASSERT_TRUE(eng.EnableDurability(dir.path));
+    Table* t = eng.CreateTable("kv");
+    CommitKv(eng, t, 1, "v");
+    ASSERT_TRUE(eng.WriteCheckpointNow());
+  }
+  {
+    // Corrupt the manifest body; its CRC seal must catch it and recovery
+    // must refuse rather than guess at a checkpoint.
+    std::string mpath = dir.path + "/MANIFEST";
+    int fd = ::open(mpath.c_str(), O_WRONLY);
+    ASSERT_GE(fd, 0);
+    char junk = '9';
+    ASSERT_EQ(::pwrite(fd, &junk, 1, 10), 1);
+    ::close(fd);
+  }
+  Engine eng;
+  std::string err;
+  EXPECT_FALSE(eng.EnableDurability(dir.path, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST_F(RecoveryTest, CheckpointWriteFaultLeavesPreviousCheckpointUsable) {
+  TempDir dir;
+  {
+    Engine eng;
+    ASSERT_TRUE(eng.EnableDurability(dir.path));
+    Table* t = eng.CreateTable("kv");
+    CommitKv(eng, t, 1, "v1");
+    ASSERT_TRUE(eng.WriteCheckpointNow());
+    CommitKv(eng, t, 2, "v2");
+    // Every checkpoint write fails with ENOSPC: the attempt must fail,
+    // count a failure, and leave checkpoint 1 + manifest intact.
+    fault::Configure(fault::Point::kCkptWrite, 1.0, ENOSPC);
+    EXPECT_FALSE(eng.WriteCheckpointNow());
+    fault::Reset();
+    ASSERT_NE(eng.checkpointer(), nullptr);
+    EXPECT_EQ(eng.checkpointer()->failures(), 1u);
+    EXPECT_EQ(eng.checkpointer()->last_seq(), 1u);
+  }
+  Engine eng;
+  RecoveryStats rs;
+  ASSERT_TRUE(eng.EnableDurability(dir.path, nullptr, &rs));
+  EXPECT_EQ(rs.checkpoint_seq, 1u) << "the failed attempt must not surface";
+  Table* t = eng.GetTable("kv");
+  ASSERT_NE(t, nullptr);
+  ExpectKv(eng, t, 1, "v1");
+  ExpectKv(eng, t, 2, "v2");
+}
+
+TEST_F(RecoveryTest, FuzzyCheckpointUnderConcurrentCommits) {
+  // The checkpointer runs while writer threads keep committing; nothing may
+  // deadlock, and a recovery afterwards must see every committed key.
+  TempDir dir;
+  constexpr int kThreads = 3;
+  constexpr uint64_t kPerThread = 300;
+  {
+    Engine eng;
+    ASSERT_TRUE(eng.EnableDurability(dir.path));
+    Table* t = eng.CreateTable("kv");
+    eng.StartCheckpointer(5);
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kThreads; ++w) {
+      writers.emplace_back([&eng, t, w] {
+        for (uint64_t i = 0; i < kPerThread; ++i) {
+          uint64_t key = static_cast<uint64_t>(w) * kPerThread + i + 1;
+          auto* txn = eng.Begin();
+          if (IsOk(txn->Insert(t, key, "w" + std::to_string(key)))) {
+            txn->Commit();
+          } else {
+            txn->Abort();
+          }
+        }
+      });
+    }
+    for (auto& th : writers) th.join();
+    ASSERT_TRUE(eng.WriteCheckpointNow());
+    eng.StopCheckpointer();
+    EXPECT_GT(eng.checkpointer()->completed(), 0u);
+  }
+  Engine eng;
+  RecoveryStats rs;
+  std::string err;
+  ASSERT_TRUE(eng.EnableDurability(dir.path, &err, &rs)) << err;
+  EXPECT_GT(rs.checkpoint_seq, 0u);
+  Table* t = eng.GetTable("kv");
+  ASSERT_NE(t, nullptr);
+  for (uint64_t key = 1; key <= kThreads * kPerThread; ++key) {
+    ExpectKv(eng, t, key, "w" + std::to_string(key));
+  }
+}
+
+TEST_F(RecoveryTest, KillNineAtMidSegmentRecovers) {
+  // Real kill -9: the child commits durably and then dies from the armed
+  // crash site mid-frame. The parent recovers and checks that (a) every
+  // commit the child reported before the kill survived, and (b) the torn
+  // frame was truncated, not parsed.
+  TempDir dir;
+  int pipefd[2];
+  ASSERT_EQ(::pipe(pipefd), 0);
+  pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    ::close(pipefd[0]);
+    fault::ArmCrash(fault::CrashSite::kMidSegment, 20);
+    Engine eng;
+    if (!eng.EnableDurability(dir.path)) _exit(2);
+    Table* t = eng.CreateTable("kv");
+    for (uint64_t k = 1;; ++k) {
+      auto* txn = eng.Begin();
+      if (!IsOk(txn->Insert(t, k, "c" + std::to_string(k)))) _exit(2);
+      if (!IsOk(txn->Commit())) _exit(2);
+      // Report each durable commit to the parent *after* it was acked.
+      if (::write(pipefd[1], &k, sizeof(k)) != sizeof(k)) _exit(2);
+    }
+  }
+  ::close(pipefd[1]);
+  uint64_t last_acked = 0, k = 0;
+  while (::read(pipefd[0], &k, sizeof(k)) == sizeof(k)) last_acked = k;
+  ::close(pipefd[0]);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+  ASSERT_GT(last_acked, 0u);
+
+  Engine eng;
+  RecoveryStats rs;
+  std::string err;
+  ASSERT_TRUE(eng.EnableDurability(dir.path, &err, &rs)) << err;
+  EXPECT_GT(rs.truncated_bytes, 0u) << "the armed site writes half a frame";
+  Table* t = eng.GetTable("kv");
+  ASSERT_NE(t, nullptr);
+  for (uint64_t key = 1; key <= last_acked; ++key) {
+    ExpectKv(eng, t, key, "c" + std::to_string(key));
+  }
+}
+
+TEST_F(RecoveryTest, TornWriteInjectionMatchesTruncationAccounting) {
+  // logwrite:torn lands half a frame then fails persistently; the writer's
+  // own repair truncates it back. torn_bytes counts the repaired tear and
+  // stays distinct from lost_bytes (the whole payload that never made it).
+  TempDir dir;
+  Engine eng;
+  ASSERT_TRUE(eng.EnableDurability(dir.path));
+  Table* t = eng.CreateTable("kv");
+  CommitKv(eng, t, 1, "before");
+  uint64_t clean = FileSize(dir.redo());
+  fault::Configure(fault::Point::kLogWrite, 1.0, fault::kTornWriteParam);
+  auto* txn = eng.Begin();
+  ASSERT_EQ(txn->Insert(t, 2, std::string(200, 't')), Rc::kOk);
+  EXPECT_EQ(txn->Commit(), Rc::kIoError);
+  fault::Reset();
+  const LogManager& lm = eng.log_manager();
+  EXPECT_GT(lm.torn_bytes(), 0u);
+  EXPECT_GT(lm.lost_bytes(), lm.torn_bytes() / 2)
+      << "lost counts the payload, torn counts the on-disk tear";
+  EXPECT_EQ(FileSize(dir.redo()), clean)
+      << "the torn frame was repaired in place";
+  EXPECT_FALSE(lm.poisoned());
+  // The log keeps accepting clean commits after the repair.
+  CommitKv(eng, t, 3, "after");
+  ExpectKv(eng, t, 3, "after");
+}
+
+TEST_F(RecoveryTest, RestartAppendsInsteadOfTruncating) {
+  // Regression guard for the OpenFile O_TRUNC bug: a second incarnation
+  // must append to the survivor's redo, not wipe it.
+  TempDir dir;
+  {
+    Engine eng;
+    ASSERT_TRUE(eng.EnableDurability(dir.path));
+    CommitKv(eng, eng.CreateTable("kv"), 1, "first-life");
+  }
+  uint64_t first = FileSize(dir.redo());
+  ASSERT_GT(first, 0u);
+  {
+    Engine eng;
+    ASSERT_TRUE(eng.EnableDurability(dir.path));
+    Table* t = eng.GetTable("kv");
+    ASSERT_NE(t, nullptr);
+    CommitKv(eng, t, 2, "second-life");
+  }
+  EXPECT_GT(FileSize(dir.redo()), first);
+  Engine eng;
+  ASSERT_TRUE(eng.EnableDurability(dir.path));
+  Table* t = eng.GetTable("kv");
+  ASSERT_NE(t, nullptr);
+  ExpectKv(eng, t, 1, "first-life");
+  ExpectKv(eng, t, 2, "second-life");
+}
+
+}  // namespace
+}  // namespace preemptdb::engine
