@@ -21,13 +21,24 @@
 // Exit 0 = contract held; 1 = violation (details on stderr). Used by the
 // `recovery` CI job across all four crash sites plus the random mode.
 //
+// A sixth mode exercises replication instead of local recovery:
+//
+//   --crash=repl  boots a primary child (enable_repl) plus an in-process
+//   follower (repl::Replicator + engine), SIGKILLs the primary mid-ship,
+//   and asserts (a) the follower's log is a clean whole-frame prefix (the
+//   apply path lands only validated frames); (b) after the follower's log
+//   is artificially torn mid-frame, re-bootstrap truncates it to exactly
+//   the clean prefix — the same cut local recovery would make; (c) against
+//   the restarted primary the follower reconverges with every ACKED write
+//   present (zero acked-write loss across a kill -9 of the primary).
+//
 // Flags (bench::FlagSet):
-//   --crash=S        midseg | presync | midckpt | midrename | random
+//   --crash=S        midseg | presync | midckpt | midrename | random | repl
 //   --dir=D          durability dir (default: fresh mkdtemp, removed on pass)
 //   --nth=N          arm the site's Nth hit (default per site)
 //   --puts=N         max PUT attempts before declaring "never crashed" (5000)
 //   --value-size=B   value payload bytes                              (64)
-//   --kill-after-ms=T  random mode: parent SIGKILL delay              (300)
+//   --kill-after-ms=T  random/repl mode: parent SIGKILL delay         (300)
 //   --ckpt-interval-ms=T  child checkpoint cadence                    (50)
 #include <signal.h>
 #include <stdlib.h>
@@ -44,10 +55,13 @@
 
 #include "bench/common.h"
 #include "core/preemptdb.h"
+#include "engine/checkpoint.h"
 #include "fault/fault.h"
 #include "net/client.h"
 #include "net/protocol.h"
 #include "net/server.h"
+#include "repl/applier.h"
+#include "repl/replicator.h"
 
 using namespace preemptdb;
 using namespace preemptdb::bench;
@@ -74,7 +88,8 @@ std::string ValueFor(uint64_t key, size_t size) {
 
 int RunChild(const std::string& dir, const std::string& crash, uint64_t nth,
              uint64_t ckpt_interval_ms, int port_pipe_wfd) {
-  if (crash != "random") {
+  // random and repl modes die by the parent's SIGKILL, not a seeded site.
+  if (crash != "random" && crash != "repl") {
     std::string spec = "crashpoint:" + crash + ":" + std::to_string(nth);
     std::string err;
     if (!fault::ConfigureFromSpec(spec, &err)) {
@@ -94,6 +109,7 @@ int RunChild(const std::string& dir, const std::string& crash, uint64_t nth,
   net::Server::Options so;
   so.port = 0;
   so.num_shards = 1;
+  so.enable_repl = (crash == "repl");
   so.handler = [](engine::Engine& eng, const net::RequestHeader& req,
                   const std::string& payload, std::string* reply) -> Rc {
     engine::Table* t = eng.GetTable("netkv");
@@ -142,11 +158,241 @@ int RunChild(const std::string& dir, const std::string& crash, uint64_t nth,
   for (;;) std::this_thread::sleep_for(std::chrono::milliseconds(100));
 }
 
+// Forks a replication primary on `dir` and reads back its ephemeral port.
+// Returns -1 (with stderr noise) if the child dies before binding.
+pid_t SpawnPrimary(const std::string& dir, uint64_t ckpt_ms, uint16_t* port) {
+  int port_pipe[2];
+  PDB_CHECK(::pipe(port_pipe) == 0);
+  pid_t child = ::fork();
+  PDB_CHECK(child >= 0);
+  if (child == 0) {
+    ::close(port_pipe[0]);
+    _exit(RunChild(dir, "repl", 0, ckpt_ms, port_pipe[1]));
+  }
+  ::close(port_pipe[1]);
+  *port = 0;
+  ssize_t n = ::read(port_pipe[0], port, sizeof(*port));
+  ::close(port_pipe[0]);
+  if (n != sizeof(*port)) {
+    std::fprintf(stderr, "harness: primary died before binding\n");
+    ::waitpid(child, nullptr, 0);
+    return -1;
+  }
+  return child;
+}
+
+// --- repl mode: SIGKILL the primary mid-ship, audit the follower ---
+
+int RunReplMode(FlagSet& flags) {
+  uint64_t max_puts = static_cast<uint64_t>(flags.GetInt("puts", 5000));
+  size_t value_size = static_cast<size_t>(flags.GetInt("value-size", 64));
+  int64_t kill_after_ms = flags.GetInt("kill-after-ms", 300);
+  uint64_t ckpt_ms =
+      static_cast<uint64_t>(flags.GetInt("ckpt-interval-ms", 50));
+
+  char tmpl_p[] = "/tmp/pdb_crash_pri_XXXXXX";
+  char tmpl_f[] = "/tmp/pdb_crash_fol_XXXXXX";
+  PDB_CHECK(::mkdtemp(tmpl_p) != nullptr);
+  PDB_CHECK(::mkdtemp(tmpl_f) != nullptr);
+  std::string pdir = tmpl_p;
+  std::string fdir = tmpl_f;
+
+  uint16_t port = 0;
+  pid_t child = SpawnPrimary(pdir, ckpt_ms, &port);
+  if (child < 0) return 1;
+
+  // The follower runs in-process: bootstrap the directory off the primary,
+  // recover it into an engine, then stream-and-apply while we drive PUTs.
+  std::string err;
+  repl::Replicator::Options ro;
+  ro.port = port;
+  ro.dir = fdir;
+  auto rep = std::make_unique<repl::Replicator>(ro);
+  if (!rep->Bootstrap(&err)) {
+    std::fprintf(stderr, "harness: follower bootstrap failed: %s\n",
+                 err.c_str());
+    ::kill(child, SIGKILL);
+    ::waitpid(child, nullptr, 0);
+    return 1;
+  }
+  auto feng = std::make_unique<engine::Engine>();
+  if (!feng->EnableDurability(fdir, &err)) {
+    std::fprintf(stderr, "harness: follower recovery failed: %s\n",
+                 err.c_str());
+    ::kill(child, SIGKILL);
+    ::waitpid(child, nullptr, 0);
+    return 1;
+  }
+  rep->Start(feng.get());
+
+  std::thread killer([child, kill_after_ms] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(kill_after_ms));
+    ::kill(child, SIGKILL);
+  });
+
+  net::Client client;
+  uint64_t acked = 0;
+  if (!client.Connect("127.0.0.1", port, &err)) {
+    std::fprintf(stderr, "harness: connect failed: %s\n", err.c_str());
+    ::kill(child, SIGKILL);
+    killer.join();
+    ::waitpid(child, nullptr, 0);
+    return 1;
+  }
+  for (uint64_t k = 1; k <= max_puts; ++k) {
+    net::Client::Result res;
+    std::string v = ValueFor(k, value_size);
+    if (!client.Put(k, v, net::WireClass::kHigh, &res, &err)) break;
+    if (res.status != net::WireStatus::kOk) break;
+    acked = k;
+  }
+
+  int status = 0;
+  PDB_CHECK(::waitpid(child, &status, 0) == child);
+  killer.join();
+  if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL) {
+    std::fprintf(stderr, "harness: primary did not die by SIGKILL\n");
+    return 1;
+  }
+
+  // Let the apply thread land whatever the wire already delivered (it is
+  // now spinning on reconnects — the primary is gone), then freeze it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  rep->Stop();
+  rep.reset();
+  feng.reset();
+
+  int failures = 0;
+
+  // Clause A: the follower's log is a clean whole-frame prefix. The apply
+  // path validates every chunk before AppendRaw, so a primary killed mid-
+  // send must never leave a torn frame on the follower's disk.
+  std::string flog = fdir + "/redo.log";
+  uint64_t base = 0, ck_seq = 0, ck_ts = 0;
+  std::string ck_file, merr;
+  if (!engine::LoadCheckpointManifest(fdir, &ck_seq, &ck_ts, &base, &ck_file,
+                                      &merr)) {
+    base = 0;  // no local checkpoint: frames start at offset 0
+  }
+  uint64_t fsize = FileSize(flog);
+  uint64_t clean = repl::ScanValidLogEnd(flog, base);
+  if (clean != fsize) {
+    std::fprintf(stderr,
+                 "harness: follower log torn: size=%llu clean_prefix=%llu\n",
+                 static_cast<unsigned long long>(fsize),
+                 static_cast<unsigned long long>(clean));
+    ++failures;
+  }
+
+  // Clause B: tear the follower's log mid-frame by hand, restart the
+  // primary, and re-bootstrap — the torn tail must be cut at exactly the
+  // clean prefix, the same discipline local recovery applies.
+  {
+    FILE* f = std::fopen(flog.c_str(), "ab");
+    PDB_CHECK(f != nullptr);
+    const char garbage[13] = "torn-garbage";
+    PDB_CHECK(std::fwrite(garbage, 1, sizeof(garbage), f) == sizeof(garbage));
+    PDB_CHECK(std::fclose(f) == 0);
+  }
+  child = SpawnPrimary(pdir, ckpt_ms, &port);
+  if (child < 0) return 1;
+  ro.port = port;
+  rep = std::make_unique<repl::Replicator>(ro);
+  if (!rep->Bootstrap(&err)) {
+    std::fprintf(stderr, "harness: re-bootstrap failed: %s\n", err.c_str());
+    ::kill(child, SIGKILL);
+    ::waitpid(child, nullptr, 0);
+    return 1;
+  }
+  // clean == 0 means the primary died before shipping anything; the second
+  // bootstrap may then legitimately come back as a sparse checkpoint image
+  // rather than a byte-exact truncation, so only assert when frames landed.
+  uint64_t after_boot = FileSize(flog);
+  if (clean > 0 && after_boot != clean) {
+    std::fprintf(stderr,
+                 "harness: torn tail not truncated to clean prefix: "
+                 "size=%llu want=%llu\n",
+                 static_cast<unsigned long long>(after_boot),
+                 static_cast<unsigned long long>(clean));
+    ++failures;
+  }
+
+  // Clause C: reconvergence with zero acked-write loss. The restarted
+  // primary recovered every acked transaction (that is the local-recovery
+  // contract the other five modes prove); the follower must stream the
+  // remainder and serve every acked pair.
+  feng = std::make_unique<engine::Engine>();
+  if (!feng->EnableDurability(fdir, &err)) {
+    std::fprintf(stderr, "harness: follower re-recovery failed: %s\n",
+                 err.c_str());
+    ::kill(child, SIGKILL);
+    ::waitpid(child, nullptr, 0);
+    return 1;
+  }
+  rep->Start(feng.get());
+
+  std::string want_last = ValueFor(acked, value_size);
+  bool converged = (acked == 0);
+  for (int i = 0; i < 600 && !converged; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    engine::Table* t = feng->GetTable("netkv");
+    if (t == nullptr) continue;
+    auto* txn = feng->Begin();
+    Slice s;
+    converged = IsOk(txn->Read(t, acked, &s)) &&
+                std::string_view(s.data, s.size) == want_last;
+    txn->Abort();
+  }
+  if (!converged) {
+    std::fprintf(stderr, "harness: follower never reconverged (acked=%llu)\n",
+                 static_cast<unsigned long long>(acked));
+    ++failures;
+  } else if (acked > 0) {
+    engine::Table* t = feng->GetTable("netkv");
+    auto* txn = feng->Begin();
+    for (uint64_t k = 1; k <= acked; ++k) {
+      std::string want = ValueFor(k, value_size);
+      for (uint64_t key : {k, k + kPairOffset}) {
+        Slice s;
+        if (!IsOk(txn->Read(t, key, &s)) ||
+            std::string_view(s.data, s.size) != want) {
+          std::fprintf(stderr, "harness: ACKED key %llu lost on follower\n",
+                       static_cast<unsigned long long>(key));
+          ++failures;
+        }
+      }
+    }
+    txn->Abort();
+  }
+
+  rep->Stop();
+  rep.reset();
+  feng.reset();
+  ::kill(child, SIGKILL);
+  ::waitpid(child, nullptr, 0);
+
+  std::printf(
+      "crash_harness repl: acked=%llu clean_prefix=%llu torn_cut=%llu "
+      "converged=%d -> %s\n",
+      static_cast<unsigned long long>(acked),
+      static_cast<unsigned long long>(clean),
+      static_cast<unsigned long long>(after_boot), converged ? 1 : 0,
+      failures == 0 ? "PASS" : "FAIL");
+  if (failures == 0) {
+    std::string cmd = "rm -rf " + pdir + " " + fdir;
+    if (::system(cmd.c_str()) != 0) {
+      std::fprintf(stderr, "harness: cleanup failed\n");
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   FlagSet flags(argc, argv);
   std::string crash = flags.Get("crash", "midseg");
+  if (crash == "repl") return RunReplMode(flags);
   uint64_t default_nth = 100;  // let real traffic land first
   if (crash == "midckpt") default_nth = 3;
   if (crash == "midrename") default_nth = 1;

@@ -41,6 +41,10 @@
 //   --timeline-sample=N  in-process timeline echo sampling    (1)
 //   --slo-hp-us=T --slo-lp-us=T  in-process SLO p99 targets   (0 = off)
 //   --connect=H:P      use an external server instead
+//   --replica=H:P      read-split mode (open loop only): GET/ScanSum go to
+//                      the read-only replica at H:P, writes stay on the
+//                      primary; results print primary vs replica rows
+//                      side by side per class
 //   --trace-out=F --metrics-json=F   obs artifacts (see ObsSession)
 #include <poll.h>
 
@@ -195,10 +199,13 @@ net::RequestHeader MakeRequest(const Config& cfg, FastRandom& rng, bool hp,
   return h;
 }
 
-// Per-connection open-loop driver: a sender thread paces the schedule and a
-// receiver thread drains responses, matching ids to scheduled arrival times.
-// (Client supports exactly this split: disjoint socket halves.)
-struct OpenLoopConn {
+// One pipelined socket + its bookkeeping. An open-loop connection is one
+// channel to the primary and, in read-split mode (--replica), a second
+// channel to the replica: one sender paces the schedule and routes each
+// request (reads -> replica, writes -> primary), one receiver per channel
+// drains responses. Each channel carries its own ClassStats, so primary and
+// replica latency print side by side.
+struct Channel {
   struct Pending {
     uint64_t sched_ns;
     bool hp;
@@ -210,42 +217,33 @@ struct OpenLoopConn {
   std::atomic<uint64_t> sent{0};
   std::atomic<bool> send_done{false};
   std::string error;
+  ClassStats* hp_stats = nullptr;
+  ClassStats* lp_stats = nullptr;
 
-  void Sender(const Config& cfg, Schedule sched, uint64_t horizon_ns,
-              uint64_t seed, ClassStats* hp_stats, ClassStats* lp_stats) {
-    FastRandom rng(seed);
-    std::string payload;
-    for (;;) {
-      uint64_t t = sched.NextArrival();
-      if (t >= horizon_ns) break;
-      SleepUntilNs(t);
-      payload.clear();
-      bool hp =
-          (rng.Next() % 10000) < static_cast<uint64_t>(cfg.hp_frac * 10000);
-      net::RequestHeader h = MakeRequest(cfg, rng, hp, &payload);
-      uint64_t id = 0;
-      {
-        // Register before Send: the response can beat Send's return.
-        std::lock_guard<std::mutex> g(mu);
-        id = client.next_id();
-        pending.emplace(id, Pending{t, hp});
-      }
-      std::string err;
-      uint64_t sent_id = 0;
-      if (!client.Send(h, payload, &err, &sent_id)) {
-        std::lock_guard<std::mutex> g(mu);
-        pending.erase(id);
-        if (error.empty()) error = "send: " + err;
-        break;
-      }
-      PDB_CHECK(sent_id == id);
-      (hp ? hp_stats : lp_stats)->sent.fetch_add(1, std::memory_order_relaxed);
-      sent.fetch_add(1, std::memory_order_relaxed);
+  // Registers (before Send: the response can beat Send's return) and sends.
+  bool SendOne(const net::RequestHeader& h, const std::string& payload,
+               uint64_t sched_ns, bool hp) {
+    uint64_t id = 0;
+    {
+      std::lock_guard<std::mutex> g(mu);
+      id = client.next_id();
+      pending.emplace(id, Pending{sched_ns, hp});
     }
-    send_done.store(true, std::memory_order_release);
+    std::string err;
+    uint64_t sent_id = 0;
+    if (!client.Send(h, payload, &err, &sent_id)) {
+      std::lock_guard<std::mutex> g(mu);
+      pending.erase(id);
+      if (error.empty()) error = "send: " + err;
+      return false;
+    }
+    PDB_CHECK(sent_id == id);
+    (hp ? hp_stats : lp_stats)->sent.fetch_add(1, std::memory_order_relaxed);
+    sent.fetch_add(1, std::memory_order_relaxed);
+    return true;
   }
 
-  void Receiver(ClassStats* hp_stats, ClassStats* lp_stats) {
+  void Receiver() {
     uint64_t received = 0;
     for (;;) {
       if (received >= sent.load(std::memory_order_acquire)) {
@@ -289,6 +287,37 @@ struct OpenLoopConn {
       // Open-loop latency: scheduled arrival -> response, so a late sender
       // and a deep server queue both count.
       if (done_ns > p.sched_ns) s->latency.RecordNanos(done_ns - p.sched_ns);
+    }
+  }
+};
+
+// Per-connection open-loop driver (Client supports the sender/receiver
+// thread split: disjoint socket halves). `replica` is null without
+// --replica; with it, GET and ScanSum ride the replica channel.
+struct OpenLoopConn {
+  Channel primary;
+  std::unique_ptr<Channel> replica;
+
+  void Sender(const Config& cfg, Schedule sched, uint64_t horizon_ns,
+              uint64_t seed) {
+    FastRandom rng(seed);
+    std::string payload;
+    for (;;) {
+      uint64_t t = sched.NextArrival();
+      if (t >= horizon_ns) break;
+      SleepUntilNs(t);
+      payload.clear();
+      bool hp =
+          (rng.Next() % 10000) < static_cast<uint64_t>(cfg.hp_frac * 10000);
+      net::RequestHeader h = MakeRequest(cfg, rng, hp, &payload);
+      bool is_read = h.opcode == static_cast<uint8_t>(net::Op::kGet) ||
+                     h.opcode == static_cast<uint8_t>(net::Op::kScanSum);
+      Channel* ch = (replica != nullptr && is_read) ? replica.get() : &primary;
+      if (!ch->SendOne(h, payload, t, hp)) break;
+    }
+    primary.send_done.store(true, std::memory_order_release);
+    if (replica != nullptr) {
+      replica->send_done.store(true, std::memory_order_release);
     }
   }
 };
@@ -345,7 +374,7 @@ sched::Policy ParsePolicy(const std::string& s) {
 
 void PrintClass(const char* name, const ClassStats& s, double seconds) {
   std::printf(
-      "%-4s %9lu %9lu %8lu %6lu %6lu %6lu %9.0f %9.1f %9.1f %9.1f %9.1f\n",
+      "%-6s %9lu %9lu %8lu %6lu %6lu %6lu %9.0f %9.1f %9.1f %9.1f %9.1f\n",
       name, static_cast<unsigned long>(s.sent.load()),
       static_cast<unsigned long>(s.responses.load()),
       static_cast<unsigned long>(s.ok.load()),
@@ -439,7 +468,23 @@ int main(int argc, char** argv) {
     port = static_cast<uint16_t>(std::atoi(connect.c_str() + colon + 1));
   }
 
-  ClassStats hp_stats, lp_stats;
+  // Read-split mode: reads (GET / ScanSum) go to a read-only replica,
+  // writes stay on the primary. Open-loop only — the split needs the
+  // per-channel sender/receiver machinery.
+  std::string replica_addr = flags.Get("replica");
+  std::string replica_host;
+  uint16_t replica_port = 0;
+  if (!replica_addr.empty()) {
+    PDB_CHECK_MSG(cfg.mode == "open", "--replica requires --mode=open");
+    size_t colon = replica_addr.rfind(':');
+    PDB_CHECK_MSG(colon != std::string::npos, "--replica wants host:port");
+    replica_host = replica_addr.substr(0, colon);
+    replica_port =
+        static_cast<uint16_t>(std::atoi(replica_addr.c_str() + colon + 1));
+  }
+
+  ClassStats hp_stats, lp_stats;            // primary-channel classes
+  ClassStats hp_rep_stats, lp_rep_stats;    // replica-channel classes
   double per_conn_rate = cfg.rate / cfg.conns;
   uint64_t start_ns = MonoNanos() + 10'000'000;  // 10ms to spin up threads
   uint64_t horizon_ns = start_ns + static_cast<uint64_t>(cfg.seconds * 1e9);
@@ -466,8 +511,19 @@ int main(int argc, char** argv) {
   } else {
     for (int i = 0; i < cfg.conns; ++i) {
       auto conn = std::make_unique<OpenLoopConn>();
+      conn->primary.hp_stats = &hp_stats;
+      conn->primary.lp_stats = &lp_stats;
       std::string err;
-      PDB_CHECK_MSG(conn->client.Connect(host, port, &err), err.c_str());
+      PDB_CHECK_MSG(conn->primary.client.Connect(host, port, &err),
+                    err.c_str());
+      if (!replica_addr.empty()) {
+        conn->replica = std::make_unique<Channel>();
+        conn->replica->hp_stats = &hp_rep_stats;
+        conn->replica->lp_stats = &lp_rep_stats;
+        PDB_CHECK_MSG(
+            conn->replica->client.Connect(replica_host, replica_port, &err),
+            err.c_str());
+      }
       open_conns.push_back(std::move(conn));
     }
     for (int i = 0; i < cfg.conns; ++i) {
@@ -477,20 +533,26 @@ int main(int argc, char** argv) {
       threads.emplace_back([&, c, sched] {
         Schedule s = sched;
         c->Sender(cfg, s, horizon_ns,
-                  0xfeedull + static_cast<uint64_t>(c->client.fd()) * 104729,
-                  &hp_stats, &lp_stats);
+                  0xfeedull +
+                      static_cast<uint64_t>(c->primary.client.fd()) * 104729);
       });
-      threads.emplace_back([&, c] { c->Receiver(&hp_stats, &lp_stats); });
+      threads.emplace_back([c] { c->primary.Receiver(); });
+      if (c->replica != nullptr) {
+        threads.emplace_back([c] { c->replica->Receiver(); });
+      }
     }
   }
   for (auto& t : threads) t.join();
 
   uint64_t lost = 0;
   for (auto& c : open_conns) {
-    std::lock_guard<std::mutex> g(c->mu);
-    lost += c->pending.size();
-    if (!c->error.empty()) {
-      std::fprintf(stderr, "# conn error: %s\n", c->error.c_str());
+    for (Channel* ch : {&c->primary, c->replica.get()}) {
+      if (ch == nullptr) continue;
+      std::lock_guard<std::mutex> g(ch->mu);
+      lost += ch->pending.size();
+      if (!ch->error.empty()) {
+        std::fprintf(stderr, "# conn error: %s\n", ch->error.c_str());
+      }
     }
   }
   for (const std::string& e : closed_errors) {
@@ -502,11 +564,20 @@ int main(int argc, char** argv) {
       "policy=%s\n",
       cfg.schedule.c_str(), cfg.rate, cfg.conns, cfg.mode.c_str(), cfg.hp_frac,
       connect.empty() ? sched::PolicyName(policy) : "external");
-  std::printf("%-4s %9s %9s %8s %6s %6s %6s %9s %9s %9s %9s %9s\n", "cls",
+  std::printf("%-6s %9s %9s %8s %6s %6s %6s %9s %9s %9s %9s %9s\n", "cls",
               "sent", "resp", "ok", "busy", "t/out", "abort", "ok/s",
               "p50(us)", "p90", "p99", "p99.9");
-  PrintClass("HP", hp_stats, cfg.seconds);
-  PrintClass("LP", lp_stats, cfg.seconds);
+  if (replica_addr.empty()) {
+    PrintClass("HP", hp_stats, cfg.seconds);
+    PrintClass("LP", lp_stats, cfg.seconds);
+  } else {
+    // Read split: primary rows (writes + anything not split) next to the
+    // replica rows (GET / ScanSum) for a direct staleness-vs-latency view.
+    PrintClass("HP-pri", hp_stats, cfg.seconds);
+    PrintClass("HP-rep", hp_rep_stats, cfg.seconds);
+    PrintClass("LP-pri", lp_stats, cfg.seconds);
+    PrintClass("LP-rep", lp_rep_stats, cfg.seconds);
+  }
   std::printf("lost_responses=%lu\n", static_cast<unsigned long>(lost));
 
   if (obs.metrics()) {
@@ -524,6 +595,10 @@ int main(int argc, char** argv) {
     snap.AddCounter("loadgen.lost_responses", lost);
     snap.AddHistogramNanos("net.hp_latency", hp_stats.latency);
     snap.AddHistogramNanos("net.lp_latency", lp_stats.latency);
+    if (!replica_addr.empty()) {
+      snap.AddHistogramNanos("net.hp_replica_latency", hp_rep_stats.latency);
+      snap.AddHistogramNanos("net.lp_replica_latency", lp_rep_stats.latency);
+    }
     snap.AddTxnType("net_hp", hp_stats.ok.load(),
                     hp_stats.aborted.load() + hp_stats.busy.load() +
                         hp_stats.timeout.load(),

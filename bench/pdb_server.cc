@@ -26,9 +26,16 @@
 //   --log-dir=D        durability directory: recover it on boot, append
 //                      CRC-framed redo with group fdatasync ("" = off)
 //   --ckpt-interval-ms=P  fuzzy-checkpoint period when durable   (5000)
+//   --follow=H:P       follower mode: bootstrap from the primary at H:P
+//                      (checkpoint + redo tail), apply its shipped stream,
+//                      serve reads; writes answer kReadOnly with H:P as the
+//                      redirect hint. Requires --log-dir. A durable server
+//                      WITHOUT --follow is a replication primary: it accepts
+//                      kReplSubscribe and ships its redo log.
 //   --trace             enable event tracing (kTraceSnapshot needs this)
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 
 #include <atomic>
 #include <chrono>
@@ -39,6 +46,7 @@
 #include "core/preemptdb.h"
 #include "net/server.h"
 #include "obs/trace.h"
+#include "repl/replicator.h"
 
 using namespace preemptdb;
 using namespace preemptdb::bench;
@@ -75,6 +83,44 @@ int main(int argc, char** argv) {
   dbo.log_dir = flags.Get("log-dir", "");
   dbo.checkpoint_interval_ms =
       static_cast<uint64_t>(flags.GetInt("ckpt-interval-ms", 5000));
+
+  // Follower mode: reconcile the local directory with the primary BEFORE the
+  // DB opens it — a checkpoint bootstrap must land on disk so ordinary
+  // recovery below brings the engine up at the shipped state.
+  const std::string follow = flags.Get("follow", "");
+  std::unique_ptr<repl::Replicator> replicator;
+  if (!follow.empty()) {
+    if (dbo.log_dir.empty()) {
+      std::fprintf(stderr, "--follow requires --log-dir\n");
+      return 1;
+    }
+    size_t colon = follow.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "--follow expects host:port, got %s\n",
+                   follow.c_str());
+      return 1;
+    }
+    repl::Replicator::Options ro;
+    ro.host = follow.substr(0, colon);
+    ro.port = static_cast<uint16_t>(std::atoi(follow.c_str() + colon + 1));
+    ro.dir = dbo.log_dir;
+    replicator = std::make_unique<repl::Replicator>(ro);
+    std::string berr;
+    bool booted = false;
+    // The primary may still be starting (scripts launch both at once).
+    for (int attempt = 0; attempt < 40; ++attempt) {
+      if (replicator->Bootstrap(&berr)) {
+        booted = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    }
+    if (!booted) {
+      std::fprintf(stderr, "follower bootstrap failed: %s\n", berr.c_str());
+      return 1;
+    }
+  }
+
   auto db = DB::Open(dbo);
   if (!dbo.log_dir.empty()) {
     const engine::RecoveryStats& rs = db->recovery_stats();
@@ -104,6 +150,11 @@ int main(int argc, char** argv) {
       static_cast<uint64_t>(flags.GetInt("ctl-lp-us", 0));
   so.controller.period_ms =
       static_cast<uint64_t>(flags.GetInt("ctl-period-ms", 100));
+  // Replication roles: a durable server is a primary (ships its redo log to
+  // subscribers) unless it is itself following one.
+  so.enable_repl = !dbo.log_dir.empty() && follow.empty();
+  so.read_only = replicator != nullptr;
+  so.primary_hint = follow;
 
   net::Server server(db.get(), so);
   std::string err;
@@ -111,28 +162,33 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "server start failed: %s\n", err.c_str());
     return 1;
   }
+  if (replicator != nullptr) replicator->Start(&db->engine());
 
   // Preload through the engine so wire GET/ScanSum hit real data at once.
+  // A follower preloads nothing: every row it serves arrives replicated.
   uint64_t keys = static_cast<uint64_t>(flags.GetInt("keys", 10000));
+  if (replicator != nullptr) keys = 0;
   std::string value(static_cast<size_t>(flags.GetInt("value-size", 64)), 'v');
-  auto* table = db->GetTable(so.kv_table);
-  Rc rc = db->Execute([&](engine::Engine& eng) {
-    auto* txn = eng.Begin();
-    for (uint64_t k = 1; k <= keys; ++k) {
-      Rc r = txn->Insert(table, k, value);
-      // A durable restart recovers the previous run's rows; re-preloading
-      // over them is fine, existing keys just stay as recovered.
-      if (r == Rc::kKeyExists) continue;
-      if (!IsOk(r)) {
-        txn->Abort();
-        return r;
+  if (keys > 0) {
+    auto* table = db->GetTable(so.kv_table);
+    Rc rc = db->Execute([&](engine::Engine& eng) {
+      auto* txn = eng.Begin();
+      for (uint64_t k = 1; k <= keys; ++k) {
+        Rc r = txn->Insert(table, k, value);
+        // A durable restart recovers the previous run's rows; re-preloading
+        // over them is fine, existing keys just stay as recovered.
+        if (r == Rc::kKeyExists) continue;
+        if (!IsOk(r)) {
+          txn->Abort();
+          return r;
+        }
       }
+      return txn->Commit();
+    });
+    if (!IsOk(rc)) {
+      std::fprintf(stderr, "preload failed\n");
+      return 1;
     }
-    return txn->Commit();
-  });
-  if (!IsOk(rc)) {
-    std::fprintf(stderr, "preload failed\n");
-    return 1;
   }
 
   std::signal(SIGINT, OnSignal);
@@ -140,9 +196,13 @@ int main(int argc, char** argv) {
 
   // Line-buffered-friendly startup handshake: scripts wait for this line
   // (and parse the port out of it when --port=0 asked for an ephemeral one).
-  std::printf("pdb_server listening on %s:%u shards=%u workers=%d keys=%lu\n",
-              so.host.c_str(), server.port(), server.num_shards(),
-              dbo.scheduler.num_workers, static_cast<unsigned long>(keys));
+  std::printf(
+      "pdb_server listening on %s:%u shards=%u workers=%d keys=%lu role=%s\n",
+      so.host.c_str(), server.port(), server.num_shards(),
+      dbo.scheduler.num_workers, static_cast<unsigned long>(keys),
+      replicator != nullptr ? "follower"
+      : so.enable_repl      ? "primary"
+                            : "standalone");
   std::fflush(stdout);
 
   double seconds = flags.GetDouble("seconds", 0);
@@ -151,9 +211,18 @@ int main(int argc, char** argv) {
                       static_cast<int64_t>(seconds * 1000));
   while (!g_stop.load(std::memory_order_acquire)) {
     if (seconds > 0 && std::chrono::steady_clock::now() >= deadline) break;
+    if (replicator != nullptr && replicator->rebuild_required()) {
+      std::fprintf(stderr,
+                   "follower diverged from primary; restart to re-bootstrap "
+                   "from its checkpoint\n");
+      break;
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 
+  // Replicator first: it appends to the engine's log, which must stop
+  // before the DB (drained inside Stop()) goes away.
+  if (replicator != nullptr) replicator->Stop();
   server.Stop();
   net::ListenerStats s = server.stats();
   std::printf("pdb_server done: requests=%lu admitted=%lu replies=%lu\n",

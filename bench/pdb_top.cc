@@ -268,6 +268,33 @@ int main(int argc, char** argv) {
                       : "");
     }
 
+    const obs::JsonValue* repl = health.Find("repl");
+    if (repl != nullptr) {
+      const obs::JsonValue* role = repl->Find("role");
+      const std::string r = role != nullptr ? role->str : "none";
+      if (r == "primary") {
+        const obs::JsonValue* fol = repl->Find("followers");
+        size_t connected = 0;
+        if (fol != nullptr) {
+          for (const auto& f : fol->items) {
+            const obs::JsonValue* c = f.Path({"connected"});
+            if (c != nullptr && c->boolean) ++connected;
+          }
+        }
+        std::printf("repl: primary followers=%zu/%zu max_lag=%.0fB "
+                    "sessions=%.0f\n",
+                    connected, fol != nullptr ? fol->items.size() : 0,
+                    repl->NumberOr("max_lag_bytes", 0),
+                    repl->NumberOr("sessions_started", 0));
+      } else if (r == "follower") {
+        const obs::JsonValue* pri = repl->Find("primary");
+        std::printf("repl: follower of %s applied_ts=%.0f durable_seq=%.0f\n",
+                    pri != nullptr ? pri->str.c_str() : "?",
+                    repl->NumberOr("applied_ts", 0),
+                    repl->NumberOr("durable_seq", 0));
+      }
+    }
+
     const obs::JsonValue* cfg = health.Find("config");
     if (cfg != nullptr) {
       const obs::JsonValue* t = cfg->Find("tunables");

@@ -313,6 +313,64 @@ bool WriteFileDurably(const std::string& dir, const std::string& final_name,
 
 }  // namespace
 
+// --- Replication helpers ---
+
+bool LoadCheckpointManifest(const std::string& dir, uint64_t* seq,
+                            uint64_t* ts, uint64_t* redo_off,
+                            std::string* file, std::string* err) {
+  std::string mpath = dir + "/" + Checkpointer::kManifestName;
+  if (!FileExists(mpath)) {
+    *err = "no manifest in " + dir;
+    return false;
+  }
+  std::string mtext;
+  if (!ReadFileAll(mpath, &mtext)) {
+    *err = "cannot read manifest";
+    return false;
+  }
+  return ParseManifest(mtext, seq, ts, redo_off, file, err);
+}
+
+bool InstallCheckpointImage(const std::string& dir, const std::string& image,
+                            uint64_t* out_seq, uint64_t* out_ts,
+                            uint64_t* out_redo_off, std::string* err) {
+  if (image.size() < sizeof(CkptFileHeader) + sizeof(CkptTrailer)) {
+    *err = "shipped checkpoint truncated";
+    return false;
+  }
+  CkptTrailer trailer;
+  std::memcpy(&trailer, image.data() + image.size() - sizeof(trailer),
+              sizeof(trailer));
+  uint32_t body_crc =
+      util::Crc32c(0, image.data(), image.size() - sizeof(CkptTrailer));
+  if (trailer.magic != kCkptTrailerMagic ||
+      util::UnmaskCrc(trailer.masked_crc) != body_crc) {
+    *err = "shipped checkpoint crc mismatch";
+    return false;
+  }
+  CkptFileHeader fh;
+  std::memcpy(&fh, image.data(), sizeof(fh));
+  if (fh.magic != kCkptMagic || fh.version != kCkptVersion) {
+    *err = "shipped checkpoint header mismatch";
+    return false;
+  }
+  std::string final_name = CkptFileName(fh.seq);
+  if (!WriteFileDurably(dir, final_name, image)) {
+    *err = "cannot write shipped checkpoint " + final_name;
+    return false;
+  }
+  if (!WriteFileDurably(
+          dir, Checkpointer::kManifestName,
+          BuildManifest(fh.seq, fh.snapshot_ts, fh.redo_off, final_name))) {
+    *err = "cannot write manifest for shipped checkpoint";
+    return false;
+  }
+  *out_seq = fh.seq;
+  *out_ts = fh.snapshot_ts;
+  *out_redo_off = fh.redo_off;
+  return true;
+}
+
 // --- Checkpointer ---
 
 Checkpointer::Checkpointer(Engine* engine, std::string dir)
@@ -550,6 +608,9 @@ bool Engine::EnableDurability(const std::string& dir, std::string* err,
   recovering_ = false;
   if (!ok) return false;
   if (!log_manager_.OpenFile(dir + "/redo.log", err)) return false;
+  // Everything recovery kept on disk is durable; seed the replication
+  // shipping frontier (durable_bytes/durable_seq) to match.
+  log_manager_.NoteRecoveredDurable(stats->restored_ts);
   log_dir_ = dir;
   checkpointer_ = std::make_unique<Checkpointer>(this, dir);
   checkpointer_->NoteRecovered(stats->checkpoint_seq, stats->checkpoint_ts);

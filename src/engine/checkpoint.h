@@ -59,6 +59,27 @@ struct RecoveryStats {
   uint64_t restored_ts = 0;      // timestamp counter after recovery
 };
 
+// --- Replication helpers (the shipper/follower reuse the checkpoint file
+// format and manifest dance verbatim; implemented in checkpoint.cc) ---
+
+// Reads and CRC-validates `dir`/MANIFEST. Returns false with *err filled
+// when the manifest is absent, unreadable, or corrupt. On success fills the
+// checkpoint sequence/timestamp/redo-offset and the checkpoint file name
+// (relative to `dir`).
+bool LoadCheckpointManifest(const std::string& dir, uint64_t* seq,
+                            uint64_t* ts, uint64_t* redo_off,
+                            std::string* file, std::string* err);
+
+// Installs a checkpoint image received off the wire into `dir`: verifies the
+// whole-file CRC trailer and header, writes the checkpoint durably under its
+// canonical name (ckpt-<seq>.pdb), then writes the MANIFEST referencing it —
+// the same tmp+fsync+rename+dir-fsync dance the checkpointer uses, so a
+// crash mid-install leaves either nothing or a complete bootstrap. Fills the
+// header fields so the caller knows where streaming resumes (redo_off).
+bool InstallCheckpointImage(const std::string& dir, const std::string& image,
+                            uint64_t* out_seq, uint64_t* out_ts,
+                            uint64_t* out_redo_off, std::string* err);
+
 // Background fuzzy-checkpoint writer. One per durable engine, owned by it.
 class Checkpointer {
  public:

@@ -49,6 +49,18 @@ class Engine {
     return ts_.fetch_add(1, std::memory_order_acq_rel) + 1;
   }
 
+  // Replication apply: advances the commit-timestamp counter to at least
+  // `seq` so follower reads see the applied transaction (CAS-max; the
+  // follower's own read-only transactions draw begin timestamps from the
+  // same counter concurrently).
+  void AdvanceTs(uint64_t seq) {
+    uint64_t cur = ts_.load(std::memory_order_relaxed);
+    while (seq > cur &&
+           !ts_.compare_exchange_weak(cur, seq, std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+    }
+  }
+
   LogManager& log_manager() { return log_manager_; }
   GarbageCollector& gc() { return gc_; }
 
@@ -77,6 +89,13 @@ class Engine {
   // True while Recover() is rebuilding state from disk; suppresses redo
   // logging of replayed effects (DDL re-creation would otherwise re-log).
   bool recovering() const { return recovering_; }
+
+  // Replication apply: the follower's applier toggles the same suppression
+  // while installing shipped records — replayed DDL arrives already framed
+  // from the primary and lands via LogManager::AppendRaw, so re-logging it
+  // locally would diverge the follower's byte offsets from the primary's.
+  // Apply-thread-only (nothing else creates tables on a read-only replica).
+  void SetReplicaApply(bool on) { recovering_ = on; }
 
   // DDL redo hooks (no-ops while not file-backed or recovering).
   void LogTableCreate(uint32_t id, const std::string& name);

@@ -94,6 +94,9 @@ bool LogManager::OpenFile(const std::string& path, std::string* err,
   fd_ = fd;
   path_ = path;
   appended_bytes_ = existing;
+  // Surviving bytes are durable by definition — they are what the previous
+  // incarnation's crash left behind. NoteRecoveredDurable refines the seq.
+  durable_bytes_.store(existing, std::memory_order_release);
   poisoned_.store(false, std::memory_order_relaxed);
   return true;
 }
@@ -226,10 +229,15 @@ Rc LogManager::EnsureDurable(uint64_t ticket) {
   }
   uint64_t target_ticket;
   uint64_t target_seq;
+  uint64_t target_bytes;
   {
     std::lock_guard<std::mutex> a(append_mutex_);
     target_ticket = append_ticket_;
     target_seq = last_appended_seq_;
+    // Captured under append_mutex_, so this is always a frame boundary —
+    // the replication shipper relies on [0, durable_bytes) holding only
+    // whole frames when carving chunk boundaries.
+    target_bytes = appended_bytes_;
   }
   if (::fdatasync(fd_) != 0) {
     // The durability frontier is now unknown (some appended frames may or
@@ -244,10 +252,102 @@ Rc LogManager::EnsureDurable(uint64_t ticket) {
   fsyncs_.fetch_add(1, std::memory_order_relaxed);
   g_log_fsyncs.Add();
   synced_ticket_.store(target_ticket, std::memory_order_release);
+  uint64_t prev_bytes = durable_bytes_.load(std::memory_order_relaxed);
+  if (target_bytes > prev_bytes) {
+    durable_bytes_.store(target_bytes, std::memory_order_release);
+  }
   uint64_t prev = durable_seq_.load(std::memory_order_relaxed);
   if (target_seq > prev) {
     durable_seq_.store(target_seq, std::memory_order_release);
   }
+  return Rc::kOk;
+}
+
+Rc LogManager::AppendRaw(const char* data, size_t bytes, uint64_t frames,
+                         uint64_t max_seq) {
+  if (fd_ < 0 || bytes == 0) return Rc::kOk;
+  uint64_t my_ticket = 0;
+  {
+    std::lock_guard<std::mutex> g(append_mutex_);
+    if (PDB_UNLIKELY(poisoned_.load(std::memory_order_relaxed))) {
+      lost_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+      io_errors_.fetch_add(1, std::memory_order_relaxed);
+      g_log_io_errors.Add();
+      return Rc::kIoError;
+    }
+
+    if (PDB_UNLIKELY(fault::CrashArmed(fault::CrashSite::kMidSegment)) &&
+        fault::CrashNow(fault::CrashSite::kMidSegment)) {
+      // Same canonical torn tail as Sink: land half the chunk, then die.
+      // The follower's next bootstrap must truncate it exactly like local
+      // recovery would.
+      ssize_t ignored = ::write(fd_, data, bytes / 2);
+      (void)ignored;
+      fault::Die();
+    }
+
+    // Same write-retry / torn-repair discipline as Sink; the chunk arrives
+    // pre-framed off the wire (validated by the applier), so the all-or-
+    // nothing unit here is the whole chunk rather than a single frame.
+    size_t off = 0;
+    int transient_retries = 0;
+    int persistent_errno = 0;
+    while (off < bytes) {
+      size_t want = bytes - off;
+      ssize_t n;
+      if (PDB_UNLIKELY(fault::ShouldFire(fault::Point::kLogWrite))) {
+        uint64_t injected = fault::Param(fault::Point::kLogWrite);
+        if (injected == 0) {
+          n = ::write(fd_, data + off, want > 1 ? want / 2 : want);
+        } else if (injected == fault::kTornWriteParam) {
+          n = ::write(fd_, data + off, want > 1 ? want / 2 : want);
+          if (n > 0) off += static_cast<size_t>(n);
+          persistent_errno = EIO;
+          break;
+        } else {
+          n = -1;
+          errno = static_cast<int>(injected);
+        }
+      } else {
+        n = ::write(fd_, data + off, want);
+      }
+      if (n > 0) {
+        if (static_cast<size_t>(n) < want) g_log_short_writes.Add();
+        off += static_cast<size_t>(n);
+        continue;
+      }
+      int err = errno;
+      if ((err == EINTR || err == EAGAIN) && transient_retries++ < 64) {
+        continue;
+      }
+      persistent_errno = err;
+      break;
+    }
+    if (PDB_UNLIKELY(persistent_errno != 0)) {
+      last_errno_.store(persistent_errno, std::memory_order_relaxed);
+      io_errors_.fetch_add(1, std::memory_order_relaxed);
+      lost_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+      g_log_io_errors.Add();
+      if (off > 0) {
+        torn_bytes_.fetch_add(off, std::memory_order_relaxed);
+        g_log_torn_bytes.Add(off);
+        if (::ftruncate(fd_, static_cast<off_t>(appended_bytes_)) != 0) {
+          poisoned_.store(true, std::memory_order_relaxed);
+        }
+      }
+      return Rc::kIoError;
+    }
+    appended_bytes_ += bytes;
+    my_ticket = ++append_ticket_;
+    if (max_seq > last_appended_seq_) last_appended_seq_ = max_seq;
+    segments_.fetch_add(frames, std::memory_order_relaxed);
+    g_log_segments.Add(frames);
+  }
+  total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+  obs::Trace(obs::EventType::kLogFlush, 0, bytes);
+  fault::CrashPoint(fault::CrashSite::kPreSync);
+  if (sync_mode_ == SyncMode::kGroupCommit) return EnsureDurable(my_ticket);
   return Rc::kOk;
 }
 

@@ -179,6 +179,15 @@ class LogManager {
   Rc Sink(const char* data, size_t bytes, uint64_t records,
           uint64_t commit_seq, uint32_t flags);
 
+  // Replication apply path: appends `bytes` of already-framed segment data
+  // verbatim (the follower receives whole frames off the wire and must land
+  // them byte-identical, or its offsets diverge from the primary's). Same
+  // write-retry / torn-frame-repair / poisoning discipline as Sink, same
+  // group-commit durability before returning; `max_seq` is the highest
+  // commit_seq inside the chunk and `frames` its segment count (accounting).
+  Rc AppendRaw(const char* data, size_t bytes, uint64_t frames,
+               uint64_t max_seq);
+
   uint64_t total_bytes() const {
     return total_bytes_.load(std::memory_order_relaxed);
   }
@@ -213,6 +222,28 @@ class LogManager {
   uint64_t durable_seq() const {
     return durable_seq_.load(std::memory_order_relaxed);
   }
+  // Byte frontier covered by a completed fdatasync — always a frame
+  // boundary, because the sync snapshot is taken under the append latch.
+  // The replication shipper streams only [shipped, durable_bytes): bytes it
+  // ships survive a primary crash by construction, so a follower can never
+  // apply state the primary later loses.
+  uint64_t durable_bytes() const {
+    return durable_bytes_.load(std::memory_order_acquire);
+  }
+  // Seeds the durable frontiers after recovery: everything a fresh OpenFile
+  // found on disk already survived at least one crash, so the shipper may
+  // stream it before any new commit forces a sync.
+  void NoteRecoveredDurable(uint64_t seq) {
+    uint64_t bytes;
+    {
+      std::lock_guard<std::mutex> g(append_mutex_);
+      bytes = appended_bytes_;
+      if (seq > last_appended_seq_) last_appended_seq_ = seq;
+    }
+    durable_bytes_.store(bytes, std::memory_order_release);
+    uint64_t prev = durable_seq_.load(std::memory_order_relaxed);
+    if (seq > prev) durable_seq_.store(seq, std::memory_order_release);
+  }
   uint64_t fsyncs() const { return fsyncs_.load(std::memory_order_relaxed); }
   bool poisoned() const {
     return poisoned_.load(std::memory_order_relaxed);
@@ -246,6 +277,7 @@ class LogManager {
   std::mutex sync_mutex_;
   std::atomic<uint64_t> synced_ticket_{0};
   std::atomic<uint64_t> durable_seq_{0};
+  std::atomic<uint64_t> durable_bytes_{0};
 
   SyncMode sync_mode_ = SyncMode::kGroupCommit;
   std::string path_;

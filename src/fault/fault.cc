@@ -34,6 +34,7 @@ obs::Counter g_fire_counters[kNumPoints] = {
     obs::Counter("fault.allocfail"),    obs::Counter("fault.acceptfail"),
     obs::Counter("fault.partialread"),  obs::Counter("fault.partialwrite"),
     obs::Counter("fault.connreset"),    obs::Counter("fault.ckptwrite"),
+    obs::Counter("fault.replship"),
 };
 
 // Crash-site registry: nth == 0 means disarmed; `hits` counts reaches since
@@ -152,6 +153,8 @@ const char* PointName(Point p) {
       return "connreset";
     case Point::kCkptWrite:
       return "ckptwrite";
+    case Point::kReplShip:
+      return "replship";
     case Point::kNumPoints:
       break;
   }
@@ -314,6 +317,23 @@ bool ConfigureFromSpec(const std::string& spec, std::string* err) {
       p.point = Point::kCkptWrite;
       if (nf < 2 || !ParseErrnoName(f[1], &p.param, /*allow_extra=*/false)) {
         return fail("ckptwrite needs eio|enospc|short in '" + clause + "'");
+      }
+      if (nf == 3 && !ParseProbability(f[2], &p.probability)) {
+        return fail("bad probability in '" + clause + "'");
+      }
+    } else if (f[0] == "replship") {
+      p.point = Point::kReplShip;
+      if (nf < 2) {
+        return fail("replship needs drop|dup|connreset|stall in '" + clause +
+                    "'");
+      }
+      if (f[1] == "drop") p.param = kReplShipDrop;
+      else if (f[1] == "dup") p.param = kReplShipDup;
+      else if (f[1] == "connreset") p.param = kReplShipConnReset;
+      else if (f[1] == "stall") p.param = kReplShipStall;
+      else {
+        return fail("replship needs drop|dup|connreset|stall in '" + clause +
+                    "'");
       }
       if (nf == 3 && !ParseProbability(f[2], &p.probability)) {
         return fail("bad probability in '" + clause + "'");

@@ -26,6 +26,12 @@
 //   partialread[:P]      net server socket reads truncate to 1 byte
 //   partialwrite[:P]     net server socket writes truncate to 1 byte
 //   connreset[:P]        net server hard-closes a conn before its response
+//   replship:<M>[:P]     perturb the replication ship/apply path; M = drop
+//                        (skip one chunk, forcing the follower to detect the
+//                        offset gap and reconnect-resume) | dup (send a chunk
+//                        twice — the follower must apply idempotently) |
+//                        connreset (hard-close the replication socket) |
+//                        stall (sleep in the ship loop, inflating lag)
 //   crashpoint:<name>[:N]  SIGKILL the process the Nth time (default 1st)
 //                        the named crash site is reached; names: midseg
 //                        (partial redo frame on disk), presync (frame
@@ -62,8 +68,17 @@ enum class Point : uint8_t {
                      // response flushes (peer-reset simulation; the accepted
                      // submission still completes DB-side)
   kCkptWrite,        // engine::Checkpointer: fail checkpoint-file writes
+  kReplShip,         // repl shipping/apply path: param selects the mode
+                     // (kReplShip* below) — drop a chunk, duplicate it,
+                     // reset the replication socket, or stall the shipper
   kNumPoints,
 };
+
+// Param values for kReplShip (the `replship:` spec clauses).
+inline constexpr uint64_t kReplShipDrop = 1;      // skip sending one chunk
+inline constexpr uint64_t kReplShipDup = 2;       // send one chunk twice
+inline constexpr uint64_t kReplShipConnReset = 3; // hard-close the repl conn
+inline constexpr uint64_t kReplShipStall = 4;     // sleep in the ship loop
 
 // Sentinel for the logwrite/ckptwrite `param` meaning "write half the
 // attempt for real, then fail persistently" — a torn frame, the on-disk

@@ -114,4 +114,13 @@ size_t Connection::MarkClosed() {
   return dropped;
 }
 
+int Connection::DetachFd() {
+  bool was = closed_.exchange(true, std::memory_order_acq_rel);
+  if (was) return -1;  // already closed: the fd no longer exists
+  outbox_.clear();
+  wbuf_.clear();
+  woff_ = 0;
+  return fd_;
+}
+
 }  // namespace preemptdb::net

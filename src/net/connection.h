@@ -82,6 +82,13 @@ class Connection {
   size_t MarkClosed();
   bool closed() const { return closed_.load(std::memory_order_acquire); }
 
+  // Hands the socket to another owner (the replication shipper): marks the
+  // connection closed WITHOUT closing the fd, discards queued output, and
+  // returns the fd — or -1 when the connection was already closed (the fd is
+  // then gone; the caller must not use it). After a successful detach the
+  // destructor and MarkClosed are no-ops on the socket. Shard thread only.
+  int DetachFd();
+
   // In-flight submissions admitted on this connection (admission-side
   // backpressure: the server replies BUSY beyond Options::max_inflight).
   // Atomic because completion producers decrement it off-thread.

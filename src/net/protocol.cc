@@ -22,6 +22,8 @@ const char* WireStatusString(WireStatus s) {
       return "bad_request";
     case WireStatus::kShuttingDown:
       return "shutting_down";
+    case WireStatus::kReadOnly:
+      return "read_only";
   }
   return "?";
 }

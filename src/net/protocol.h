@@ -85,6 +85,24 @@ enum class Op : uint8_t {
                         // kBadRequest (error text in the response payload)
                         // and leaves the version unchanged. On success the
                         // response payload is the new config JSON.
+  // --- Replication plane (v2, src/repl/) ---
+  //
+  // A follower opens an ordinary connection and sends kReplSubscribe
+  // (params[0] = its durable redo-log byte offset, params[1] = its applied
+  // commit_seq). The serving shard detaches the socket from its event loop
+  // and hands it to the primary's shipper thread, which answers with a
+  // ResponseHeader whose payload is a ReplHelloWire, then streams
+  // RequestHeader-framed kReplSnapshot / kReplAppend frames. The follower
+  // sends RequestHeader-framed kReplAck frames back on the same socket.
+  kReplSubscribe = 21,  // follower -> primary: start (or resume) shipping
+  kReplSnapshot = 22,   // primary -> follower: checkpoint-file chunk;
+                        // params[0] = chunk offset, params[1] = total bytes,
+                        // params[2] = checkpoint seq
+  kReplAppend = 23,     // primary -> follower: whole CRC-framed redo
+                        // segments; params[0] = redo-log byte offset of the
+                        // first payload byte, params[1] = primary durable_seq
+  kReplAck = 24,        // follower -> primary: params[0] = follower durable
+                        // redo offset, params[1] = applied commit_seq
 };
 
 // Priority class carried on the wire; admission maps it to sched::Priority.
@@ -102,6 +120,8 @@ enum class WireStatus : uint8_t {
                       // after expiry (detail rc == Rc::kTimeout)
   kBadRequest = 6,    // malformed frame, unknown opcode, oversized payload
   kShuttingDown = 7,  // server/DB stopping; submission rejected
+  kReadOnly = 8,      // write op on a read-only replica; the payload is the
+                      // primary's address ("host:port") as a redirect hint
 };
 
 const char* WireStatusString(WireStatus s);
@@ -178,6 +198,31 @@ void AppendTimelineWire(const TimelineWire& t, std::string* out);
 // Decodes the trailing kTimelineWireSize bytes of `payload`; returns false
 // if the payload is too short.
 bool DecodeTimelineWire(std::string_view payload, TimelineWire* out);
+
+// --- Replication hello (v2) ---
+//
+// Payload of the response to kReplSubscribe: tells the follower whether it
+// can resume from its own offset or must bootstrap from a shipped
+// checkpoint first, and where the redo stream will start. Offsets are
+// absolute byte positions in the primary's redo log; the follower keeps its
+// local log at the same offsets (sparse-extended after a snapshot
+// bootstrap), so the two sides never translate.
+inline constexpr uint32_t kReplModeResume = 0;    // stream from start_off
+inline constexpr uint32_t kReplModeSnapshot = 1;  // ship ckpt, then stream
+
+struct ReplHelloWire {
+  uint32_t mode = kReplModeResume;  // kReplMode*
+  uint32_t reserved = 0;
+  uint64_t ckpt_seq = 0;        // checkpoint being shipped (mode snapshot)
+  uint64_t ckpt_ts = 0;         // its snapshot timestamp
+  uint64_t snapshot_bytes = 0;  // checkpoint-file bytes to follow (snapshot)
+  uint64_t start_off = 0;       // redo offset kReplAppend streaming starts at
+  uint64_t durable_seq = 0;     // primary durable commit frontier at hello
+};
+
+inline constexpr size_t kReplHelloWireSize = 48;
+static_assert(sizeof(ReplHelloWire) == kReplHelloWireSize,
+              "wire layout must be packed: 2*4 + 5*8");
 
 // --- Encode / decode ---
 //

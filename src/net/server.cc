@@ -12,6 +12,7 @@
 
 #include "net/shard.h"
 #include "obs/json.h"
+#include "repl/shipper.h"
 #include "obs/trace_export.h"
 #include "sched/scheduler.h"
 #include "util/clock.h"
@@ -93,7 +94,13 @@ bool Server::Start(std::string* err) {
 
   if (!opts_.handler) {
     kv_table_ = db_->GetTable(opts_.kv_table);
-    if (kv_table_ == nullptr) kv_table_ = db_->CreateTable(opts_.kv_table);
+    // A follower must NOT create the table: on a replica every table comes
+    // off the replicated stream (a local create would append a DDL frame
+    // and diverge the follower's log offsets from the primary's). The KV
+    // dispatch resolves it lazily once replication delivers it.
+    if (kv_table_ == nullptr && !opts_.read_only) {
+      kv_table_ = db_->CreateTable(opts_.kv_table);
+    }
   }
 
   const uint32_t n = opts_.num_shards;
@@ -174,6 +181,19 @@ bool Server::Start(std::string* err) {
     shard_gauges_.Add(p + "completions", gauge(&s->completions));
   }
 
+  // Durable-frontier gauge + log shipper. Both need a durable engine; a
+  // non-durable primary has no log to ship, so enable_repl degrades to off.
+  engine::Engine& eng = db_->engine();
+  if (eng.durable()) {
+    const engine::LogManager* lm = &eng.log_manager();
+    shard_gauges_.Add("engine.durable_seq", [lm] {
+      return static_cast<double>(lm->durable_seq());
+    });
+    if (opts_.enable_repl) {
+      shipper_ = std::make_unique<repl::Shipper>(&eng);
+    }
+  }
+
   // The controller's sensor is the SLO watchdog; an enabled controller with
   // no explicit SLO targets mirrors its own targets in so the percentile
   // trackers exist.
@@ -230,6 +250,12 @@ void Server::Stop() {
   // post-Stop stats() reads keep working.
   shard_gauges_.Clear();
   for (auto& s : shards_) s->TearDown();
+  // Shards are joined: no new followers can arrive, so the shipper's
+  // session threads can be stopped without racing AddFollower.
+  if (shipper_ != nullptr) {
+    shipper_->Stop();
+    shipper_.reset();
+  }
   // Controller before watchdog: it reads the watchdog's percentiles.
   if (controller_ != nullptr) {
     controller_->Stop();
@@ -340,6 +366,36 @@ std::string Server::BuildHealthJson() const {
     w.Key("ckpt_age_ms").Uint(age == UINT64_MAX ? 0 : age);
     w.Key("ckpt_completed").Uint(ck->completed());
     w.Key("ckpt_failures").Uint(ck->failures());
+  }
+  w.EndObject();
+
+  // Replication plane: role, per-follower ship/apply frontiers, lag.
+  w.Key("repl").BeginObject();
+  w.Key("role").String(shipper_ != nullptr ? "primary"
+                       : opts_.read_only   ? "follower"
+                                           : "none");
+  if (shipper_ != nullptr) {
+    w.Key("sessions_started").Uint(shipper_->sessions_started());
+    w.Key("max_lag_bytes").Uint(shipper_->max_lag_bytes());
+    w.Key("followers").BeginArray();
+    for (const repl::Shipper::FollowerView& f : shipper_->Followers()) {
+      w.BeginObject();
+      w.Key("slot").Uint(f.slot);
+      w.Key("connected").Bool(f.connected);
+      w.Key("shipped_bytes").Uint(f.shipped_bytes);
+      w.Key("acked_bytes").Uint(f.acked_bytes);
+      w.Key("applied_seq").Uint(f.applied_seq);
+      w.Key("lag_bytes").Uint(f.lag_bytes);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+  if (opts_.read_only) {
+    w.Key("primary").String(opts_.primary_hint);
+    w.Key("applied_ts").Uint(eng.ReadTs());
+    if (eng.durable()) {
+      w.Key("durable_seq").Uint(eng.log_manager().durable_seq());
+    }
   }
   w.EndObject();
 
@@ -462,13 +518,24 @@ Rc Server::Dispatch(engine::Engine& eng, const RequestHeader& req,
 
 Rc Server::DefaultKvHandler(engine::Engine& eng, const RequestHeader& req,
                             const std::string& payload, std::string* reply) {
+  if (static_cast<Op>(req.opcode) == Op::kPing) {
+    return Rc::kOk;  // liveness probe: no transaction at all
+  }
+  // On a follower the table materializes when replication delivers its DDL
+  // frame; resolve per-request (local, unsynchronized — the member cache is
+  // only written on Start()) until it exists.
+  engine::Table* kv = kv_table_;
+  if (kv == nullptr) {
+    kv = eng.GetTable(opts_.kv_table);
+    if (kv == nullptr) return Rc::kNotFound;
+  }
   switch (static_cast<Op>(req.opcode)) {
     case Op::kPing:
-      return Rc::kOk;  // liveness probe: no transaction at all
+      return Rc::kOk;  // handled above
     case Op::kGet: {
       auto* txn = eng.Begin();
       Slice s;
-      Rc r = txn->Read(kv_table_, req.params[0], &s);
+      Rc r = txn->Read(kv, req.params[0], &s);
       if (!IsOk(r)) {
         txn->Abort();
         return r;
@@ -478,9 +545,9 @@ Rc Server::DefaultKvHandler(engine::Engine& eng, const RequestHeader& req,
     }
     case Op::kPut: {
       auto* txn = eng.Begin();
-      Rc r = txn->Update(kv_table_, req.params[0], payload);
+      Rc r = txn->Update(kv, req.params[0], payload);
       if (r == Rc::kNotFound) {
-        r = txn->Insert(kv_table_, req.params[0], payload);
+        r = txn->Insert(kv, req.params[0], payload);
       }
       if (!IsOk(r)) {
         txn->Abort();
@@ -490,7 +557,7 @@ Rc Server::DefaultKvHandler(engine::Engine& eng, const RequestHeader& req,
     }
     case Op::kDelete: {
       auto* txn = eng.Begin();
-      Rc r = txn->Delete(kv_table_, req.params[0]);
+      Rc r = txn->Delete(kv, req.params[0]);
       if (!IsOk(r)) {
         txn->Abort();
         return r;
@@ -502,7 +569,7 @@ Rc Server::DefaultKvHandler(engine::Engine& eng, const RequestHeader& req,
       // — the wire-level Q2 analog net_loadgen uses as its LP stream.
       auto* txn = eng.Begin();
       uint64_t count = 0, bytes = 0;
-      Rc r = txn->Scan(kv_table_, req.params[0], req.params[1],
+      Rc r = txn->Scan(kv, req.params[0], req.params[1],
                        [&](index::Key, Slice v) {
                          ++count;
                          bytes += v.size;

@@ -47,6 +47,10 @@
 #include "obs/slo.h"
 #include "sched/controller.h"
 
+namespace preemptdb::repl {
+class Shipper;
+}  // namespace preemptdb::repl
+
 namespace preemptdb::net {
 
 class NetShard;
@@ -118,6 +122,18 @@ class Server {
     // Timelines are always *collected* (they feed the *.stage.* histograms);
     // this only gates the extra 72 bytes on the wire.
     uint32_t timeline_sample_every = 1;
+    // --- Replication (src/repl/) ---
+    // Primary role: accept kReplSubscribe on any shard and hand the socket
+    // to a log-shipping session (requires a durable engine; silently
+    // ignored otherwise — there is no log to ship).
+    bool enable_repl = false;
+    // Follower role: answer write opcodes (kPut / kDelete) with
+    // WireStatus::kReadOnly instead of executing them. Read ops serve the
+    // replicated state. Only meaningful with the built-in KV dispatch.
+    bool read_only = false;
+    // "host:port" of the primary, sent as the kReadOnly response payload so
+    // redirected clients know where writes go.
+    std::string primary_hint;
     // SLO watchdog over wire-level server_ns per priority class; disabled
     // unless a target is set (see obs/slo.h).
     obs::SloConfig slo;
@@ -170,6 +186,9 @@ class Server {
 
   // The SLO watchdog, when Options::slo enabled a class (null otherwise).
   obs::SloWatchdog* slo_watchdog() { return slo_watchdog_.get(); }
+  // The log shipper, when Options::enable_repl found a durable engine
+  // (null otherwise). Shards hand detached subscriber sockets here.
+  repl::Shipper* repl_shipper() { return shipper_.get(); }
   // The adaptive controller, when Options::controller enabled it.
   sched::Controller* controller() { return controller_.get(); }
 
@@ -220,6 +239,7 @@ class Server {
   obs::GaugeGroup shard_gauges_;
   std::unique_ptr<obs::SloWatchdog> slo_watchdog_;
   std::unique_ptr<sched::Controller> controller_;
+  std::unique_ptr<repl::Shipper> shipper_;
 };
 
 }  // namespace preemptdb::net

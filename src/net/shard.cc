@@ -1,6 +1,7 @@
 #include "net/shard.h"
 
 #include <errno.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sched.h>
@@ -15,6 +16,7 @@
 #include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "repl/shipper.h"
 #include "util/clock.h"
 
 namespace preemptdb::net {
@@ -43,6 +45,8 @@ obs::Counter g_eventfd_wakes("net.eventfd_wakes");
 obs::Counter g_responses_sent("net.responses_sent");
 obs::Counter g_completion_batches("net.completion_batches");
 obs::Counter g_accept_handoffs("net.accept_handoffs");
+obs::Counter g_repl_detaches("net.repl_detaches");
+obs::Counter g_readonly_redirects("net.readonly_redirects");
 
 }  // namespace
 
@@ -378,6 +382,45 @@ bool NetShard::HandleRequest(const std::shared_ptr<Connection>& conn,
   if (server_->stopping_.load(std::memory_order_acquire)) {
     g_rejected.Add();
     ReplyNow(conn, hdr, WireStatus::kShuttingDown, Rc::kError);
+    return true;
+  }
+  // Replication subscription: this socket stops being a request/response
+  // connection here. Detach it from the event loop and hand the raw fd to
+  // the shipper's session thread, which owns it end to end (hello, snapshot,
+  // stream, acks). Returning false stops DrainFrames; the CloseConn the
+  // caller then issues is a no-op because the conn is already unregistered.
+  if (static_cast<Op>(hdr.opcode) == Op::kReplSubscribe) {
+    repl::Shipper* shipper = server_->shipper_.get();
+    if (shipper == nullptr) {
+      // Not a replication primary (repl disabled or engine not durable).
+      stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+      g_rejected.Add();
+      ReplyNow(conn, hdr, WireStatus::kBadRequest, Rc::kError);
+      return true;
+    }
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd(), nullptr);
+    conns_.erase(conn->fd());
+    stats_.conns_closed.fetch_add(1, std::memory_order_relaxed);
+    stats_.open_conns.fetch_sub(1, std::memory_order_relaxed);
+    g_conns_closed.Add();
+    int fd = conn->DetachFd();
+    if (fd >= 0) {
+      // The shipper uses plain blocking I/O on its own thread.
+      int fl = ::fcntl(fd, F_GETFL, 0);
+      if (fl >= 0) ::fcntl(fd, F_SETFL, fl & ~O_NONBLOCK);
+      g_repl_detaches.Add();
+      shipper->AddFollower(fd, hdr);
+    }
+    return false;
+  }
+  // Read-only replica: writes bounce with a redirect to the primary
+  // instead of executing. Reads fall through and serve replicated state.
+  if (opts.read_only && !opts.handler &&
+      (static_cast<Op>(hdr.opcode) == Op::kPut ||
+       static_cast<Op>(hdr.opcode) == Op::kDelete)) {
+    g_readonly_redirects.Add();
+    ReplyNow(conn, hdr, WireStatus::kReadOnly, Rc::kError,
+             opts.primary_hint);
     return true;
   }
   bool known_op =

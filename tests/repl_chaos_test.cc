@@ -1,0 +1,209 @@
+// Replication chaos: `replship:connreset` churn kills the ship/apply
+// session over and over while a TPC-C-style multi-row write load runs on
+// the primary. Invariants: the primary never loses an acked transaction,
+// the follower keeps resubscribing from its durable offset, and once the
+// churn stops it reconverges with every acked transaction fully visible —
+// atomically, all rows or none.
+//
+// Labeled `chaos` in ctest; run alone via `ctest -L chaos`.
+#include <gtest/gtest.h>
+
+#include <stdlib.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "core/preemptdb.h"
+#include "fault/fault.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "repl/replicator.h"
+#include "repl/shipper.h"
+#include "util/clock.h"
+
+namespace preemptdb {
+namespace {
+
+using namespace std::chrono_literals;
+using net::WireClass;
+using net::WireStatus;
+
+// Sibling rows live far above the driven key range, same trick as the
+// crash harness: one wire PUT commits three rows in ONE transaction (the
+// shape of a new-order write hitting order, order-line, and stock).
+constexpr uint64_t kRowStride = 1ull << 40;
+constexpr int kRowsPerTxn = 3;
+
+bool WaitUntil(const std::function<bool()>& pred, int timeout_ms) {
+  uint64_t deadline = MonoNanos() + static_cast<uint64_t>(timeout_ms) * 1000000;
+  while (MonoNanos() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return pred();
+}
+
+struct TempDir {
+  TempDir() {
+    char tmpl[] = "/tmp/pdb_replchaos_XXXXXX";
+    PDB_CHECK(::mkdtemp(tmpl) != nullptr);
+    path = tmpl;
+  }
+  ~TempDir() {
+    std::string cmd = "rm -rf " + path;
+    int rc = ::system(cmd.c_str());
+    (void)rc;
+  }
+  std::string path;
+};
+
+std::string ValueFor(uint64_t key) { return "chaos-" + std::to_string(key); }
+
+TEST(ReplChaosTest, ConnresetChurnLosesNoAckedWrites) {
+  fault::Reset();
+  TempDir pdir, fdir;
+
+  // Primary: durable, shipping, with a multi-row-per-txn write handler.
+  DB::Options dbo;
+  dbo.scheduler.num_workers = 2;
+  dbo.log_dir = pdir.path;
+  dbo.checkpoint_interval_ms = 100;  // checkpoints churn under the stream too
+  auto pdb = DB::Open(dbo);
+  if (pdb->GetTable("netkv") == nullptr) pdb->CreateTable("netkv");
+  net::Server::Options so;
+  so.port = 0;
+  so.num_shards = 1;
+  so.enable_repl = true;
+  so.handler = [](engine::Engine& eng, const net::RequestHeader& req,
+                  const std::string& payload, std::string* reply) -> Rc {
+    engine::Table* t = eng.GetTable("netkv");
+    auto* txn = eng.Begin();
+    Rc rc = Rc::kError;
+    switch (static_cast<net::Op>(req.opcode)) {
+      case net::Op::kPut: {
+        for (int i = 0; i < kRowsPerTxn; ++i) {
+          uint64_t key = req.params[0] + static_cast<uint64_t>(i) * kRowStride;
+          rc = txn->Insert(t, key, payload);
+          if (rc == Rc::kKeyExists) rc = txn->Update(t, key, payload);
+          if (!IsOk(rc)) break;
+        }
+        break;
+      }
+      case net::Op::kGet: {
+        Slice s;
+        rc = txn->Read(t, req.params[0], &s);
+        if (IsOk(rc)) reply->assign(s.data, s.size);
+        break;
+      }
+      default:
+        break;
+    }
+    if (!IsOk(rc)) {
+      txn->Abort();
+      return rc;
+    }
+    return txn->Commit();
+  };
+  auto pserver = std::make_unique<net::Server>(pdb.get(), so);
+  std::string err;
+  ASSERT_TRUE(pserver->Start(&err)) << err;
+
+  // Follower: bootstrap, recover, stream.
+  repl::Replicator::Options ro;
+  ro.port = pserver->port();
+  ro.dir = fdir.path;
+  auto rep = std::make_unique<repl::Replicator>(ro);
+  ASSERT_TRUE(rep->Bootstrap(&err)) << err;
+  DB::Options fo;
+  fo.scheduler.num_workers = 2;
+  fo.log_dir = fdir.path;
+  fo.checkpoint_interval_ms = 60000;
+  auto fdb = DB::Open(fo);
+  rep->Start(&fdb->engine());
+
+  // Seeded churn on the ship/apply path: both sides draw from it, so
+  // sessions die mid-send AND mid-receive, reproducibly.
+  fault::SetSeed(0x5e551);
+  ASSERT_TRUE(fault::ConfigureFromSpec("replship:connreset:0.2", &err)) << err;
+
+  const uint64_t kTxns = 400;
+  uint64_t acked = 0;
+  {
+    net::Client c;
+    ASSERT_TRUE(c.Connect("127.0.0.1", pserver->port(), &err)) << err;
+    for (uint64_t k = 1; k <= kTxns; ++k) {
+      net::Client::Result res;
+      ASSERT_TRUE(c.Put(k, ValueFor(k), WireClass::kHigh, &res, &err)) << err;
+      ASSERT_EQ(res.status, WireStatus::kOk) << "key " << k;
+      acked = k;
+    }
+  }
+  ASSERT_EQ(acked, kTxns);
+
+  // The churn must actually have churned: sessions were torn down and the
+  // follower came back on its own.
+  EXPECT_TRUE(WaitUntil([&] { return rep->reconnects() > 0; }, 10000));
+
+  // Stop injecting and let the stream drain.
+  fault::Reset();
+  auto follower_has = [&](uint64_t key) {
+    engine::Engine& eng = fdb->engine();
+    engine::Table* t = eng.GetTable("netkv");
+    if (t == nullptr) return false;
+    auto* txn = eng.Begin();
+    Slice s;
+    bool ok = IsOk(txn->Read(t, key, &s)) &&
+              std::string_view(s.data, s.size) == ValueFor(key);
+    txn->Abort();
+    return ok;
+  };
+  ASSERT_TRUE(WaitUntil(
+      [&] {
+        return follower_has(kTxns +
+                            static_cast<uint64_t>(kRowsPerTxn - 1) *
+                                kRowStride) ||
+               follower_has(kTxns);
+      },
+      20000));
+  ASSERT_TRUE(WaitUntil([&] { return follower_has(kTxns); }, 20000));
+
+  // Zero acked-write loss, and every transaction landed atomically: all
+  // kRowsPerTxn rows of every acked PUT are present with the same value.
+  {
+    engine::Engine& eng = fdb->engine();
+    engine::Table* t = eng.GetTable("netkv");
+    ASSERT_NE(t, nullptr);
+    auto* txn = eng.Begin();
+    for (uint64_t k = 1; k <= acked; ++k) {
+      std::string want = ValueFor(k);
+      for (int i = 0; i < kRowsPerTxn; ++i) {
+        uint64_t key = k + static_cast<uint64_t>(i) * kRowStride;
+        Slice s;
+        ASSERT_TRUE(IsOk(txn->Read(t, key, &s)))
+            << "acked row lost: txn " << k << " row " << i;
+        EXPECT_EQ(std::string_view(s.data, s.size), want)
+            << "txn " << k << " row " << i;
+      }
+    }
+    txn->Abort();
+  }
+
+  // Lag drained to zero on the primary's books as well.
+  repl::Shipper* shipper = pserver->repl_shipper();
+  ASSERT_NE(shipper, nullptr);
+  EXPECT_TRUE(WaitUntil([&] { return shipper->max_lag_bytes() == 0; }, 10000));
+  EXPECT_GT(shipper->sessions_started(), 1u);  // churn forced resubscribes
+
+  rep->Stop();
+  rep.reset();
+  fdb.reset();
+  pserver->Stop();
+  pserver.reset();
+  pdb.reset();
+  fault::Reset();
+}
+
+}  // namespace
+}  // namespace preemptdb

@@ -1,0 +1,288 @@
+// Replication tests: checkpoint bootstrap, redo-tail streaming, committed
+// reads on the follower, the read-only write redirect, resume-from-offset
+// reconnects, and lag draining back to zero after a burst. Primary and
+// follower both run in-process: the primary is a durable DB + net::Server
+// with enable_repl, the follower is a repl::Replicator feeding a second DB
+// opened over the bootstrapped directory and served read-only.
+#include <gtest/gtest.h>
+
+#include <stdlib.h>
+#include <sys/stat.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "core/preemptdb.h"
+#include "engine/checkpoint.h"
+#include "fault/fault.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "repl/applier.h"
+#include "repl/replicator.h"
+#include "repl/shipper.h"
+#include "util/clock.h"
+
+namespace preemptdb {
+namespace {
+
+using namespace std::chrono_literals;
+using net::WireClass;
+using net::WireStatus;
+
+bool WaitUntil(const std::function<bool()>& pred, int timeout_ms) {
+  uint64_t deadline = MonoNanos() + static_cast<uint64_t>(timeout_ms) * 1000000;
+  while (MonoNanos() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return pred();
+}
+
+struct TempDir {
+  TempDir() {
+    char tmpl[] = "/tmp/pdb_repl_XXXXXX";
+    PDB_CHECK(::mkdtemp(tmpl) != nullptr);
+    path = tmpl;
+  }
+  ~TempDir() {
+    std::string cmd = "rm -rf " + path;
+    int rc = ::system(cmd.c_str());
+    (void)rc;
+  }
+  std::string path;
+};
+
+std::string ValueFor(uint64_t key) {
+  return "repl-val-" + std::to_string(key);
+}
+
+// Primary (durable DB + shipping server) and follower (replicator + second
+// DB served read-only), torn down in dependency order.
+class ReplTest : public ::testing::Test {
+ protected:
+  void StartPrimary(uint64_t ckpt_interval_ms = 60000) {
+    DB::Options dbo;
+    dbo.scheduler.num_workers = 2;
+    dbo.log_dir = pdir_.path;
+    dbo.checkpoint_interval_ms = ckpt_interval_ms;
+    pdb_ = DB::Open(dbo);
+    net::Server::Options so;
+    so.port = 0;
+    so.num_shards = 1;
+    so.enable_repl = true;
+    pserver_ = std::make_unique<net::Server>(pdb_.get(), so);
+    std::string err;
+    ASSERT_TRUE(pserver_->Start(&err)) << err;
+  }
+
+  // Mirrors pdb_server --follow: bootstrap the directory BEFORE the DB
+  // opens it, then recover, serve read-only, and start streaming.
+  void StartFollower() {
+    std::string hint = "127.0.0.1:" + std::to_string(pserver_->port());
+    repl::Replicator::Options ro;
+    ro.port = pserver_->port();
+    ro.dir = fdir_.path;
+    rep_ = std::make_unique<repl::Replicator>(ro);
+    std::string err;
+    ASSERT_TRUE(rep_->Bootstrap(&err)) << err;
+    DB::Options dbo;
+    dbo.scheduler.num_workers = 2;
+    dbo.log_dir = fdir_.path;
+    dbo.checkpoint_interval_ms = 60000;
+    fdb_ = DB::Open(dbo);
+    net::Server::Options so;
+    so.port = 0;
+    so.num_shards = 1;
+    so.read_only = true;
+    so.primary_hint = hint;
+    fserver_ = std::make_unique<net::Server>(fdb_.get(), so);
+    ASSERT_TRUE(fserver_->Start(&err)) << err;
+    rep_->Start(&fdb_->engine());
+  }
+
+  void TearDown() override {
+    // The replicator appends into the follower DB's log: stop it first.
+    if (rep_) rep_->Stop();
+    if (fserver_) fserver_->Stop();
+    fserver_.reset();
+    rep_.reset();
+    fdb_.reset();
+    if (pserver_) pserver_->Stop();
+    pserver_.reset();
+    pdb_.reset();
+    fault::Reset();
+  }
+
+  net::Client ConnectPrimary() {
+    net::Client c;
+    std::string err;
+    EXPECT_TRUE(c.Connect("127.0.0.1", pserver_->port(), &err)) << err;
+    return c;
+  }
+
+  // Drives acked wire PUTs [from, to] at the primary.
+  void PutRange(uint64_t from, uint64_t to) {
+    net::Client c = ConnectPrimary();
+    std::string err;
+    for (uint64_t k = from; k <= to; ++k) {
+      net::Client::Result res;
+      ASSERT_TRUE(c.Put(k, ValueFor(k), WireClass::kHigh, &res, &err)) << err;
+      ASSERT_EQ(res.status, WireStatus::kOk) << "key " << k;
+    }
+  }
+
+  // Reads `key` on the FOLLOWER engine; true when present with its value.
+  bool FollowerHas(uint64_t key) {
+    engine::Engine& eng = fdb_->engine();
+    engine::Table* t = eng.GetTable("netkv");
+    if (t == nullptr) return false;
+    auto* txn = eng.Begin();
+    Slice s;
+    bool ok = IsOk(txn->Read(t, key, &s)) &&
+              std::string_view(s.data, s.size) == ValueFor(key);
+    txn->Abort();
+    return ok;
+  }
+
+  TempDir pdir_;
+  TempDir fdir_;
+  std::unique_ptr<DB> pdb_;
+  std::unique_ptr<net::Server> pserver_;
+  std::unique_ptr<DB> fdb_;
+  std::unique_ptr<net::Server> fserver_;
+  std::unique_ptr<repl::Replicator> rep_;
+};
+
+// A follower attached to an empty primary streams the redo tail and serves
+// every committed write — read-your-committed through the engine and on
+// its own wire port.
+TEST_F(ReplTest, TailStreamingServesCommittedReads) {
+  StartPrimary();
+  StartFollower();
+  PutRange(1, 50);
+  ASSERT_TRUE(WaitUntil([&] { return FollowerHas(50); }, 10000));
+  for (uint64_t k = 1; k <= 50; ++k) {
+    EXPECT_TRUE(FollowerHas(k)) << "key " << k;
+  }
+  // Same rows over the follower's wire port.
+  net::Client c;
+  std::string err;
+  ASSERT_TRUE(c.Connect("127.0.0.1", fserver_->port(), &err)) << err;
+  net::Client::Result res;
+  ASSERT_TRUE(c.Get(7, WireClass::kHigh, &res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kOk);
+  EXPECT_EQ(res.payload, ValueFor(7));
+}
+
+// A follower joining a primary that already checkpointed bootstraps from
+// the shipped image (a manifest lands in its directory) and then converges
+// through the streamed tail.
+TEST_F(ReplTest, BootstrapFromCheckpoint) {
+  StartPrimary(/*ckpt_interval_ms=*/50);
+  PutRange(1, 100);
+  // Wait for a checkpoint that covers some of that traffic.
+  ASSERT_TRUE(WaitUntil(
+      [&] {
+        uint64_t seq = 0, ts = 0, off = 0;
+        std::string file, err;
+        return engine::LoadCheckpointManifest(pdir_.path, &seq, &ts, &off,
+                                              &file, &err) &&
+               off > 0;
+      },
+      10000));
+  StartFollower();
+  // The bootstrap installed a checkpoint image, not just an empty log.
+  uint64_t seq = 0, ts = 0, off = 0;
+  std::string file, err;
+  EXPECT_TRUE(
+      engine::LoadCheckpointManifest(fdir_.path, &seq, &ts, &off, &file, &err))
+      << err;
+  EXPECT_GT(off, 0u);
+  ASSERT_TRUE(WaitUntil([&] { return FollowerHas(100); }, 10000));
+  for (uint64_t k = 1; k <= 100; ++k) {
+    EXPECT_TRUE(FollowerHas(k)) << "key " << k;
+  }
+  // Post-bootstrap writes still flow.
+  PutRange(101, 120);
+  ASSERT_TRUE(WaitUntil([&] { return FollowerHas(120); }, 10000));
+}
+
+// Writes sent to the follower come back kReadOnly carrying the primary's
+// address as the redirect hint; reads keep working on the same connection.
+TEST_F(ReplTest, WriteRedirectsToPrimary) {
+  StartPrimary();
+  StartFollower();
+  PutRange(1, 5);
+  ASSERT_TRUE(WaitUntil([&] { return FollowerHas(5); }, 10000));
+
+  net::Client c;
+  std::string err;
+  ASSERT_TRUE(c.Connect("127.0.0.1", fserver_->port(), &err)) << err;
+  net::Client::Result res;
+  ASSERT_TRUE(c.Put(6, "nope", WireClass::kHigh, &res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kReadOnly);
+  EXPECT_EQ(res.payload, "127.0.0.1:" + std::to_string(pserver_->port()));
+  // The redirected write never became visible anywhere.
+  net::Client::Result get;
+  ASSERT_TRUE(c.Get(6, WireClass::kHigh, &get, &err)) << err;
+  EXPECT_EQ(get.status, WireStatus::kNotFound);
+  // And the connection survives for reads.
+  ASSERT_TRUE(c.Get(3, WireClass::kHigh, &get, &err)) << err;
+  EXPECT_EQ(get.status, WireStatus::kOk);
+  EXPECT_EQ(get.payload, ValueFor(3));
+}
+
+// A follower that detaches and resubscribes resumes from its durable
+// offset — no wipe, no re-bootstrap — and keeps converging.
+TEST_F(ReplTest, ReconnectResumesFromDurableOffset) {
+  StartPrimary();
+  StartFollower();
+  PutRange(1, 30);
+  ASSERT_TRUE(WaitUntil([&] { return FollowerHas(30); }, 10000));
+
+  // Tear the session down the way a network blip would and come back.
+  rep_->Stop();
+  rep_.reset();
+  PutRange(31, 60);  // primary keeps committing while the follower is away
+
+  repl::Replicator::Options ro;
+  ro.port = pserver_->port();
+  ro.dir = fdir_.path;
+  rep_ = std::make_unique<repl::Replicator>(ro);
+  std::string err;
+  ASSERT_TRUE(rep_->Bootstrap(&err)) << err;  // resume: offsets line up
+  EXPECT_FALSE(rep_->rebuild_required());
+  rep_->Start(&fdb_->engine());
+  ASSERT_TRUE(WaitUntil([&] { return FollowerHas(60); }, 10000));
+  for (uint64_t k = 1; k <= 60; ++k) {
+    EXPECT_TRUE(FollowerHas(k)) << "key " << k;
+  }
+}
+
+// After a write burst the shipper's per-follower lag drains back to zero
+// and the follower's applied sequence is visible to the primary.
+TEST_F(ReplTest, LagDrainsToZeroAfterBurst) {
+  StartPrimary();
+  StartFollower();
+  PutRange(1, 300);
+  repl::Shipper* shipper = pserver_->repl_shipper();
+  ASSERT_NE(shipper, nullptr);
+  ASSERT_TRUE(WaitUntil(
+      [&] {
+        return shipper->follower_count() == 1 &&
+               shipper->max_lag_bytes() == 0;
+      },
+      10000));
+  ASSERT_TRUE(WaitUntil([&] { return FollowerHas(300); }, 10000));
+  auto views = shipper->Followers();
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_TRUE(views[0].connected);
+  EXPECT_GT(views[0].applied_seq, 0u);
+  EXPECT_EQ(views[0].lag_bytes, 0u);
+  EXPECT_GE(views[0].acked_bytes, views[0].lag_bytes);
+}
+
+}  // namespace
+}  // namespace preemptdb
