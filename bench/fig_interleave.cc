@@ -1,0 +1,399 @@
+// fig_interleave: CoroBase-style intra-worker interleaving across batch
+// depths, with the preemptive HP path live.
+//
+// The scheduler's interleaving dispatcher (sched::StepFn + the
+// interleave_slots tunable) round-robins 1-8 resumable transactions per
+// worker: each LP transaction splits its point accesses at their memory-
+// stall sites (Transaction::PrepareRead / PrefetchVisible / FinishRead —
+// see engine/transaction.h) and yields its slot after issuing the prefetch,
+// so a sibling transaction computes while the cache line arrives. This
+// driver sweeps the slot depth over a table deliberately sized out of LLC
+// and reports LP throughput + open-loop HP p99 per depth, under the full
+// preemption policy — the point being that software batching recovers
+// memory-level parallelism WITHOUT giving up microsecond-scale HP latency,
+// because uintr preemption still lands inside (between) the steps.
+//
+// Two LP mixes:
+//   read-heavy  16 random point reads per transaction (CoroBase's favorite)
+//   tpcc-ish    8 reads + 4 read-modify-writes per transaction, with
+//               first-committer-wins aborts counted honestly
+//
+// Self-check (enforced under --smoke, exit 1 on failure):
+//   * read-heavy: some depth >= 2 beats depth-1 LP throughput, AND
+//   * at that depth, HP p99 regresses < 10% vs the depth-1 baseline.
+//
+//   ./bench/fig_interleave            # full sweep (PDB_SECONDS per depth)
+//   ./bench/fig_interleave --smoke    # short CI run, verdict enforced
+//
+// Flags (bench::FlagSet):
+//   --seconds=S     seconds per depth point       (PDB_SECONDS, default 2)
+//   --rows=N        table rows (~176 B footprint each; default 400000 —
+//                   keep it well past LLC or there is nothing to hide)
+//   --hp-rate=R     open-loop HP arrivals per second          (2000)
+//   --smoke         0.8 s per depth, verdict enforced by exit status
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "engine/transaction.h"
+#include "util/clock.h"
+#include "util/histogram.h"
+
+using namespace preemptdb;
+using namespace preemptdb::bench;
+
+namespace {
+
+constexpr int kLpReadsReadHeavy = 16;
+constexpr int kLpReadsRmw = 8;
+constexpr int kLpWritesRmw = 4;
+constexpr int kHpReads = 3;
+constexpr uint32_t kTxnType = 6;  // "ycsb" row in kTxnTypeNames
+constexpr size_t kValueBytes = 120;
+
+// Per-run context handed to the StepFn. Counters are atomics and the
+// histogram has atomic buckets, so workers record without locks.
+struct RunCtx {
+  engine::Engine* engine = nullptr;
+  engine::Table* table = nullptr;
+  uint64_t rows = 0;
+  bool rmw = false;  // tpcc-ish mix
+  std::atomic<uint64_t> lp_committed{0};
+  std::atomic<uint64_t> lp_aborted{0};
+  std::atomic<uint64_t> hp_done{0};
+  LatencyHistogram hp_lat;
+};
+
+// Heap state of one in-flight LP transaction, owned by its dispatcher slot
+// via StepContext::ptr[0]. The Transaction object lives here (not in the
+// engine's per-context CLS slot) because several LP transactions are active
+// in ONE context at once — that is the whole point of the dispatcher.
+struct LpState {
+  engine::Transaction txn;
+  engine::Transaction::ReadHandle h;
+  FastRandom rng;
+  int idx = 0;
+  int nreads = 0;
+  int nwrites = 0;
+  explicit LpState(uint64_t seed) : rng(seed) {}
+};
+
+uint64_t PickKey(RunCtx* c, FastRandom* rng) {
+  return 1 + rng->Next() % c->rows;
+}
+
+Rc RunHp(RunCtx* c, const sched::Request& req) {
+  // Short HP transaction, run to completion in one step (the dispatcher
+  // never suspends HP work): a few point reads, plus one blind write in the
+  // rmw mix so HP/LP write conflicts exist.
+  FastRandom rng(req.params[0] | 1);
+  engine::Transaction* txn = c->engine->Begin();
+  for (int i = 0; i < kHpReads; ++i) {
+    Slice out;
+    Rc r = txn->Read(c->table, PickKey(c, &rng), &out);
+    if (!IsOk(r) && r != Rc::kNotFound) {
+      txn->Abort();
+      return r;
+    }
+  }
+  if (c->rmw) {
+    char buf[kValueBytes];
+    std::memset(buf, 'h', sizeof(buf));
+    Rc r = txn->Update(c->table, PickKey(c, &rng),
+                       std::string_view(buf, sizeof(buf)));
+    if (!IsOk(r) && r != Rc::kNotFound) {
+      txn->Abort();
+      return r;
+    }
+  }
+  return txn->Commit();
+}
+
+// The resumable-step contract (sched::StepFn). LP transactions cycle
+// stages 1 -> 2 -> 3 per point access:
+//   1  PrepareRead: index lookup + prefetch the version-chain head  [yield]
+//   2  PrefetchVisible: load head, prefetch the Version record      [yield]
+//   3  FinishRead / FinishUpdate with the chain warm; next access or commit
+sched::StepResult Step(const sched::Request& req, void* ctx, int /*wid*/,
+                       sched::StepContext* sc) {
+  auto* c = static_cast<RunCtx*>(ctx);
+  if (req.priority == sched::Priority::kHigh) {
+    Rc r = RunHp(c, req);
+    if (req.params[3] != 0) {
+      c->hp_lat.RecordNanos(MonoNanos() - req.params[3]);
+      c->hp_done.fetch_add(1, std::memory_order_relaxed);
+    }
+    return {sched::StepStatus::kDone, r};
+  }
+  auto* st = static_cast<LpState*>(sc->ptr[0]);
+  switch (sc->stage) {
+    case 0: {  // begin + first prepare
+      st = new LpState(req.params[0] | 1);
+      sc->ptr[0] = st;
+      st->nreads = c->rmw ? kLpReadsRmw : kLpReadsReadHeavy;
+      st->nwrites = c->rmw ? kLpWritesRmw : 0;
+      c->engine->BeginOn(&st->txn);
+      st->txn.PrepareRead(c->table, PickKey(c, &st->rng), &st->h);
+      sc->stage = 1;
+      return {sched::StepStatus::kYieldedStall, Rc::kOk};
+    }
+    case 1: {  // head slot (ideally) cached: chase it, prefetch the version
+      st->txn.PrefetchVisible(&st->h);
+      sc->stage = 2;
+      return {sched::StepStatus::kYieldedStall, Rc::kOk};
+    }
+    default: {  // finish this access; advance or commit
+      Rc r;
+      if (st->idx >= st->nreads) {
+        char buf[kValueBytes];
+        std::memset(buf, 'l', sizeof(buf));
+        r = st->txn.FinishUpdate(&st->h, std::string_view(buf, sizeof(buf)));
+      } else {
+        Slice out;
+        r = st->txn.FinishRead(&st->h, &out);
+      }
+      sc->prefetches += st->h.prefetches;
+      if (!IsOk(r) && r != Rc::kNotFound) {
+        st->txn.Abort();
+        c->lp_aborted.fetch_add(1, std::memory_order_relaxed);
+        delete st;
+        sc->ptr[0] = nullptr;
+        return {sched::StepStatus::kDone, r};
+      }
+      if (++st->idx >= st->nreads + st->nwrites) {
+        Rc cr = st->txn.Commit();
+        (IsOk(cr) ? c->lp_committed : c->lp_aborted)
+            .fetch_add(1, std::memory_order_relaxed);
+        delete st;
+        sc->ptr[0] = nullptr;
+        return {sched::StepStatus::kDone, cr};
+      }
+      st->txn.PrepareRead(c->table, PickKey(c, &st->rng), &st->h);
+      sc->stage = 1;
+      return {sched::StepStatus::kYieldedStall, Rc::kOk};
+    }
+  }
+}
+
+// Open-loop HP arrival source (same coordinated-omission-safe shape as
+// fig_adaptive): scheduled arrival stamped in params[3], shed requests
+// replayed FIFO with the stamp intact.
+struct HpArrivals {
+  FastRandom rng{0x11eaf1ull};
+  uint64_t interval_ns = 500'000;
+  uint64_t next_ns = 0;
+  std::deque<sched::Request> backlog;
+
+  bool Gen(sched::Request* out) {
+    if (!backlog.empty()) {
+      *out = backlog.front();
+      backlog.pop_front();
+      return true;
+    }
+    uint64_t now = MonoNanos();
+    if (next_ns == 0) next_ns = now;
+    if (next_ns > now) return false;
+    sched::Request r;
+    r.type = kTxnType;
+    r.priority = sched::Priority::kHigh;
+    r.params[0] = rng.Next();
+    r.params[3] = next_ns;
+    *out = r;
+    next_ns += interval_ns;
+    return true;
+  }
+};
+
+struct DepthResult {
+  int depth = 1;
+  double lp_tps = 0;
+  uint64_t lp_committed = 0;
+  uint64_t lp_aborted = 0;
+  uint64_t hp_done = 0;
+  double hp_p50_us = 0;
+  double hp_p99_us = 0;
+};
+
+DepthResult RunDepth(engine::Engine* engine, engine::Table* table,
+                     uint64_t rows, bool rmw, int depth, int workers,
+                     double seconds, uint64_t hp_rate, bool saturate) {
+  RunCtx ctx;
+  ctx.engine = engine;
+  ctx.table = table;
+  ctx.rows = rows;
+  ctx.rmw = rmw;
+
+  HpArrivals arrivals;
+  arrivals.interval_ns = 1'000'000'000 / (hp_rate > 0 ? hp_rate : 1);
+
+  FastRandom lp_rng(0x10adull + static_cast<uint64_t>(depth));
+  sched::SchedulerConfig cfg = BaseConfig(sched::Policy::kPreempt, workers);
+  cfg.tunables.interleave_slots = depth;
+  if (saturate) {
+    // Throughput mode. The paper-default LP shape (queue of 1, 1 ms refill)
+    // is generator-bound for short staged transactions — the workers would
+    // idle between ticks and every depth would measure the arrival rate.
+    // Keep the dispatcher saturated so the sweep measures execution.
+    cfg.lp_queue_capacity = 256;
+    cfg.arrival_interval_us = 200;
+  }
+  // else: latency mode — paper-default LP admission, so HP p99 isolates
+  // the preemption path (queueing behind a saturated LP backlog would
+  // otherwise swamp the signal this sweep is after).
+
+  sched::Scheduler::Workload w;
+  w.step = &Step;
+  w.exec_ctx = &ctx;
+  w.gen_low = [&lp_rng](sched::Request* out) {
+    sched::Request r;
+    r.type = kTxnType;
+    r.priority = sched::Priority::kLow;
+    r.params[0] = lp_rng.Next();
+    *out = r;
+    return true;
+  };
+  if (hp_rate > 0) {
+    w.gen_high = [&arrivals](sched::Request* out) {
+      return arrivals.Gen(out);
+    };
+    w.on_shed = [&arrivals](const sched::Request& req) {
+      arrivals.backlog.push_back(req);
+    };
+  }
+
+  sched::Scheduler sched(cfg, std::move(w));
+  sched.Start();
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int64_t>(seconds * 1000)));
+  sched.Stop();
+
+  DepthResult r;
+  r.depth = depth;
+  r.lp_committed = ctx.lp_committed.load();
+  r.lp_aborted = ctx.lp_aborted.load();
+  r.lp_tps = static_cast<double>(r.lp_committed) / seconds;
+  r.hp_done = ctx.hp_done.load();
+  r.hp_p50_us = ctx.hp_lat.PercentileMicros(50);
+  r.hp_p99_us = ctx.hp_lat.PercentileMicros(99);
+  return r;
+}
+
+engine::Table* LoadTable(engine::Engine* engine, uint64_t rows) {
+  std::fprintf(stderr, "# loading %" PRIu64 " rows (~%.0f MB versions)...\n",
+               rows, static_cast<double>(rows) * (kValueBytes + 56) / 1e6);
+  engine::Table* t = engine->CreateTable("ilv_kv");
+  char buf[kValueBytes];
+  std::memset(buf, 'v', sizeof(buf));
+  engine::Transaction* txn = engine->Begin();
+  for (uint64_t k = 1; k <= rows; ++k) {
+    PDB_CHECK(IsOk(
+        txn->Insert(t, k, std::string_view(buf, sizeof(buf)))));
+    if (k % 2000 == 0) {
+      PDB_CHECK(IsOk(txn->Commit()));
+      txn = engine->Begin();
+    }
+  }
+  PDB_CHECK(IsOk(txn->Commit()));
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags(argc, argv);
+  ObsSession obs_session(flags);
+  BenchEnv env = BenchEnv::FromEnv();
+  const bool smoke = flags.Has("smoke");
+  const double seconds = smoke ? 0.8 : flags.GetDouble("seconds", env.seconds);
+  const uint64_t rows =
+      static_cast<uint64_t>(flags.GetInt("rows", 400'000));
+  const uint64_t hp_rate =
+      static_cast<uint64_t>(flags.GetInt("hp-rate", 2000));
+  const int depths[] = {1, 2, 4, 8};
+
+  engine::Engine engine;
+  engine::Table* table = LoadTable(&engine, rows);
+
+  std::printf(
+      "# fig_interleave: batch depth sweep, StepFn slots, preempt policy\n"
+      "# workers=%d rows=%" PRIu64 " hp-rate=%" PRIu64
+      "/s %.1fs per point; LP read-heavy=%d reads, tpcc-ish=%dr+%dw\n",
+      env.workers, rows, hp_rate, seconds, kLpReadsReadHeavy, kLpReadsRmw,
+      kLpWritesRmw);
+  std::printf("%-10s %5s %12s %10s %10s %10s %12s %12s\n", "mix", "depth",
+              "lp_tps", "lp_done", "lp_abort", "hp_done", "hp_p50(us)",
+              "hp_p99(us)");
+
+  std::vector<DepthResult> read_heavy, rmw, hp_lat;
+  for (bool is_rmw : {false, true}) {
+    for (int d : depths) {
+      DepthResult r = RunDepth(&engine, table, rows, is_rmw, d, env.workers,
+                               seconds, hp_rate, /*saturate=*/true);
+      std::printf("%-10s %5d %12.0f %10" PRIu64 " %10" PRIu64 " %10" PRIu64
+                  " %12.1f %12.1f\n",
+                  is_rmw ? "tpcc-ish" : "read-heavy", r.depth, r.lp_tps,
+                  r.lp_committed, r.lp_aborted, r.hp_done, r.hp_p50_us,
+                  r.hp_p99_us);
+      (is_rmw ? rmw : read_heavy).push_back(r);
+    }
+  }
+  // HP-latency sweep: paper-default LP admission (read-heavy mix), so the
+  // p99 measures the preemption path per depth rather than queueing behind
+  // a deliberately saturated LP backlog.
+  for (int d : depths) {
+    DepthResult r = RunDepth(&engine, table, rows, /*rmw=*/false, d,
+                             env.workers, seconds, hp_rate,
+                             /*saturate=*/false);
+    std::printf("%-10s %5d %12.0f %10" PRIu64 " %10" PRIu64 " %10" PRIu64
+                " %12.1f %12.1f\n",
+                "hp-lat", r.depth, r.lp_tps, r.lp_committed, r.lp_aborted,
+                r.hp_done, r.hp_p50_us, r.hp_p99_us);
+    hp_lat.push_back(r);
+  }
+
+  // Self-check on the read-heavy mix: some interleaved depth must beat the
+  // depth-1 LP throughput baseline (saturated runs), while that depth's HP
+  // p99 under preemption (latency runs) stays within 10% of depth-1.
+  const DepthResult& base = read_heavy.front();
+  const DepthResult& lat_base = hp_lat.front();
+  const DepthResult* winner = nullptr;
+  const DepthResult* winner_lat = nullptr;
+  for (size_t i = 1; i < read_heavy.size(); ++i) {
+    const DepthResult& r = read_heavy[i];
+    const DepthResult& l = hp_lat[i];
+    bool lp_ok = r.lp_tps > base.lp_tps;
+    bool hp_ok =
+        lat_base.hp_p99_us <= 0 || l.hp_p99_us <= lat_base.hp_p99_us * 1.10;
+    std::printf("# depth %d: lp %+.1f%% vs depth-1 (%s), hp p99 %+.1f%% "
+                "(%s)\n",
+                r.depth, 100.0 * (r.lp_tps / base.lp_tps - 1.0),
+                lp_ok ? "WIN" : "LOSS",
+                lat_base.hp_p99_us > 0
+                    ? 100.0 * (l.hp_p99_us / lat_base.hp_p99_us - 1.0)
+                    : 0.0,
+                hp_ok ? "OK" : "REGRESSED");
+    if (lp_ok && hp_ok &&
+        (winner == nullptr || r.lp_tps > winner->lp_tps)) {
+      winner = &r;
+      winner_lat = &l;
+    }
+  }
+  if (winner != nullptr) {
+    std::printf("# verdict: OK — depth %d wins LP (%.0f vs %.0f tps) with "
+                "hp p99 %.1fus vs %.1fus\n",
+                winner->depth, winner->lp_tps, base.lp_tps,
+                winner_lat->hp_p99_us, lat_base.hp_p99_us);
+  } else {
+    std::printf("# verdict: FAIL — no depth beat depth-1 LP throughput "
+                "within the HP p99 budget\n");
+  }
+  if (smoke && winner == nullptr) {
+    std::fprintf(stderr, "# SMOKE FAIL: interleaving never won\n");
+    return 1;
+  }
+  return 0;
+}

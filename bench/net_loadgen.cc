@@ -34,6 +34,11 @@
 //   --burst-size=N     arrivals per burst (burst schedule)    (32)
 //   --mode=open|closed open loop or closed loop               (open)
 //   --pipeline=N       closed-loop window per connection      (1)
+//   --batch=N          open loop only: coalesce N due arrivals into one
+//                      protocol-v2 batch frame (one write syscall per N
+//                      requests); prints per-batch syscall accounting  (1)
+//   --hint-backoff=D   batched mode: hold the next batch while the last
+//                      response's queue-depth hint is >= D; 0 disables (64)
 //   --policy=preempt|wait|coop   in-process server policy     (preempt)
 //   --shards=N         in-process event-loop shards           (1)
 //   --workers=N        in-process worker threads              (PDB_WORKERS)
@@ -115,6 +120,8 @@ struct Config {
   uint64_t burst_size = 32;
   std::string mode = "open";
   int pipeline = 1;
+  int batch = 1;
+  uint32_t hint_backoff = 64;
 };
 
 // Arrival-time generator for one connection's share of the schedule
@@ -216,6 +223,11 @@ struct Channel {
   std::unordered_map<uint64_t, Pending> pending;
   std::atomic<uint64_t> sent{0};
   std::atomic<bool> send_done{false};
+  // Server flow-control: queue-depth hint from the most recent response
+  // (protocol v2 stamps the shard's in-flight depth in a reserved byte).
+  std::atomic<uint32_t> last_hint{0};
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> backoffs{0};
   std::string error;
   ClassStats* hp_stats = nullptr;
   ClassStats* lp_stats = nullptr;
@@ -240,6 +252,39 @@ struct Channel {
     PDB_CHECK(sent_id == id);
     (hp ? hp_stats : lp_stats)->sent.fetch_add(1, std::memory_order_relaxed);
     sent.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Batched send: all of `items` leave in ONE kReqFlagBatch envelope — one
+  // write syscall for the lot. Client::SendBatch stamps ids in item order
+  // starting at next_id(), so pending registration happens first under the
+  // same lock (responses can beat SendBatch's return). On failure every
+  // registered id is unwound. Consumes items/meta on success.
+  bool SendBatchItems(std::vector<net::Client::BatchItem>* items,
+                      std::vector<Pending>* meta) {
+    uint64_t first_id = 0;
+    {
+      std::lock_guard<std::mutex> g(mu);
+      first_id = client.next_id();
+      for (size_t i = 0; i < items->size(); ++i) {
+        pending.emplace(first_id + i, (*meta)[i]);
+      }
+    }
+    std::string err;
+    if (!client.SendBatch(items, &err)) {
+      std::lock_guard<std::mutex> g(mu);
+      for (size_t i = 0; i < items->size(); ++i) pending.erase(first_id + i);
+      if (error.empty()) error = "batch send: " + err;
+      return false;
+    }
+    for (const Pending& p : *meta) {
+      (p.hp ? hp_stats : lp_stats)
+          ->sent.fetch_add(1, std::memory_order_relaxed);
+    }
+    sent.fetch_add(items->size(), std::memory_order_relaxed);
+    batches.fetch_add(1, std::memory_order_relaxed);
+    items->clear();
+    meta->clear();
     return true;
   }
 
@@ -282,6 +327,7 @@ struct Channel {
         pending.erase(it);
       }
       ++received;
+      last_hint.store(res.queue_hint, std::memory_order_relaxed);
       ClassStats* s = p.hp ? hp_stats : lp_stats;
       s->Count(res.status);
       // Open-loop latency: scheduled arrival -> response, so a late sender
@@ -302,6 +348,10 @@ struct OpenLoopConn {
               uint64_t seed) {
     FastRandom rng(seed);
     std::string payload;
+    if (cfg.batch > 1) {
+      SenderBatched(cfg, sched, horizon_ns, seed);
+      return;
+    }
     for (;;) {
       uint64_t t = sched.NextArrival();
       if (t >= horizon_ns) break;
@@ -319,6 +369,51 @@ struct OpenLoopConn {
     if (replica != nullptr) {
       replica->send_done.store(true, std::memory_order_release);
     }
+  }
+
+  // Batched open loop: arrivals still follow the schedule, but frames
+  // accumulate and leave `cfg.batch` at a time in one envelope — the first
+  // arrival of a batch therefore pays up to (batch-1) inter-arrival gaps of
+  // send-side delay, and that delay COUNTS (latency is measured from the
+  // scheduled arrival, coordinated-omission style). Before each envelope the
+  // sender honors the server's queue-depth hint: while the last response
+  // advertised >= hint_backoff in-flight requests, it holds the batch and
+  // lets the window drain instead of farming BUSY rejections.
+  void SenderBatched(const Config& cfg, Schedule& sched, uint64_t horizon_ns,
+                     uint64_t seed) {
+    FastRandom rng(seed);
+    std::string payload;
+    std::vector<net::Client::BatchItem> items;
+    std::vector<Channel::Pending> meta;
+    auto flush = [&]() {
+      if (items.empty()) return true;
+      if (cfg.hint_backoff > 0) {
+        // Hints refresh as responses drain; cap the hold at 100ms so a
+        // stalled server cannot wedge the sender.
+        uint64_t give_up = MonoNanos() + 100'000'000;
+        while (primary.last_hint.load(std::memory_order_relaxed) >=
+                   cfg.hint_backoff &&
+               MonoNanos() < give_up) {
+          primary.backoffs.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      }
+      return primary.SendBatchItems(&items, &meta);
+    };
+    for (;;) {
+      uint64_t t = sched.NextArrival();
+      if (t >= horizon_ns) break;
+      SleepUntilNs(t);
+      payload.clear();
+      bool hp =
+          (rng.Next() % 10000) < static_cast<uint64_t>(cfg.hp_frac * 10000);
+      net::RequestHeader h = MakeRequest(cfg, rng, hp, &payload);
+      items.push_back(net::Client::BatchItem{h, payload});
+      meta.push_back(Channel::Pending{t, hp});
+      if (items.size() >= static_cast<size_t>(cfg.batch) && !flush()) break;
+    }
+    flush();  // partial tail batch
+    primary.send_done.store(true, std::memory_order_release);
   }
 };
 
@@ -406,7 +501,15 @@ int main(int argc, char** argv) {
   cfg.burst_size = static_cast<uint64_t>(flags.GetInt("burst-size", 32));
   cfg.mode = flags.Get("mode", cfg.mode);
   cfg.pipeline = static_cast<int>(flags.GetInt("pipeline", 1));
+  cfg.batch = static_cast<int>(flags.GetInt("batch", 1));
+  cfg.hint_backoff =
+      static_cast<uint32_t>(flags.GetInt("hint-backoff", 64));
   PDB_CHECK_MSG(cfg.conns > 0 && cfg.rate > 0, "need --conns>0 and --rate>0");
+  PDB_CHECK_MSG(cfg.batch >= 1 &&
+                    cfg.batch <= static_cast<int>(net::kMaxBatchCount),
+                "--batch out of range [1, kMaxBatchCount]");
+  PDB_CHECK_MSG(cfg.batch == 1 || cfg.mode == "open",
+                "--batch needs --mode=open");
 
   // --- Target: in-process server (default) or an external one ---
   std::unique_ptr<DB> db;
@@ -476,6 +579,8 @@ int main(int argc, char** argv) {
   uint16_t replica_port = 0;
   if (!replica_addr.empty()) {
     PDB_CHECK_MSG(cfg.mode == "open", "--replica requires --mode=open");
+    PDB_CHECK_MSG(cfg.batch == 1, "--replica and --batch are exclusive "
+                  "(per-request read/write routing defeats a shared batch)");
     size_t colon = replica_addr.rfind(':');
     PDB_CHECK_MSG(colon != std::string::npos, "--replica wants host:port");
     replica_host = replica_addr.substr(0, colon);
@@ -580,6 +685,25 @@ int main(int argc, char** argv) {
   }
   std::printf("lost_responses=%lu\n", static_cast<unsigned long>(lost));
 
+  if (cfg.batch > 1) {
+    // Syscall accounting: every envelope is one write() where unbatched
+    // sending would have issued one per request.
+    uint64_t frames = 0, requests = 0, backoffs = 0;
+    for (auto& c : open_conns) {
+      frames += c->primary.batches.load();
+      requests += c->primary.sent.load();
+      backoffs += c->primary.backoffs.load();
+    }
+    std::printf(
+        "batch=%d frames=%lu requests=%lu write_syscalls_saved=%lu "
+        "reqs/frame=%.1f hint_backoff_waits=%lu\n",
+        cfg.batch, static_cast<unsigned long>(frames),
+        static_cast<unsigned long>(requests),
+        static_cast<unsigned long>(requests - frames),
+        frames > 0 ? static_cast<double>(requests) / frames : 0.0,
+        static_cast<unsigned long>(backoffs));
+  }
+
   if (obs.metrics()) {
     auto& snap = obs.snapshot();
     snap.SetMeta("schedule", cfg.schedule);
@@ -593,6 +717,15 @@ int main(int argc, char** argv) {
     snap.AddCounter("loadgen.hp_timeout", hp_stats.timeout.load());
     snap.AddCounter("loadgen.lp_timeout", lp_stats.timeout.load());
     snap.AddCounter("loadgen.lost_responses", lost);
+    if (cfg.batch > 1) {
+      uint64_t frames = 0, backoffs = 0;
+      for (auto& c : open_conns) {
+        frames += c->primary.batches.load();
+        backoffs += c->primary.backoffs.load();
+      }
+      snap.AddCounter("loadgen.batch_frames", frames);
+      snap.AddCounter("loadgen.hint_backoffs", backoffs);
+    }
     snap.AddHistogramNanos("net.hp_latency", hp_stats.latency);
     snap.AddHistogramNanos("net.lp_latency", lp_stats.latency);
     if (!replica_addr.empty()) {

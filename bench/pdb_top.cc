@@ -224,6 +224,28 @@ int main(int argc, char** argv) {
                   sched->NumberOr("demotions", 0));
     }
 
+    // Interleaving dispatcher health: slot occupancy is steps per
+    // round-robin pass (== average live slots), prefetch rate is prefetches
+    // issued per step. Printed only once the dispatcher has done work.
+    const obs::JsonValue* ctrs = metrics.Find("counters");
+    if (ctrs != nullptr) {
+      double steps = ctrs->NumberOr("sched.interleave.steps", 0);
+      double rounds = ctrs->NumberOr("sched.interleave.rounds", 0);
+      double txns = ctrs->NumberOr("sched.interleave.txns", 0);
+      double prefetch = ctrs->NumberOr("sched.interleave.prefetch_issued", 0);
+      if (steps > 0) {
+        const obs::JsonValue* cfg_now = health.Find("config");
+        const obs::JsonValue* tun =
+            cfg_now != nullptr ? cfg_now->Find("tunables") : nullptr;
+        std::printf("ilv: slots=%.0f occupancy=%.2f steps/txn=%.1f "
+                    "prefetch/step=%.2f txns=%.0f\n",
+                    tun != nullptr ? tun->NumberOr("interleave_slots", 1) : 1,
+                    rounds > 0 ? steps / rounds : 0.0,
+                    txns > 0 ? steps / txns : 0.0,
+                    steps > 0 ? prefetch / steps : 0.0, txns);
+      }
+    }
+
     std::printf("  %-26s %10s %10s %10s\n", "stage", "count", "p50(us)",
                 "p99(us)");
     PrintStageRow(metrics, "net.stage.admit", "net.stage.admit");

@@ -141,4 +141,11 @@ Transaction* Engine::Begin(IsolationLevel iso) {
   return t;
 }
 
+Transaction* Engine::BeginOn(Transaction* t, IsolationLevel iso) {
+  PDB_CHECK_MSG(t->state() != TxnState::kActive,
+                "caller-owned transaction object is still active");
+  t->Reset(this, iso);
+  return t;
+}
+
 }  // namespace preemptdb::engine

@@ -43,6 +43,14 @@ class Engine {
   // low-priority transaction's state on the same worker (paper §4.3).
   Transaction* Begin(IsolationLevel iso = IsolationLevel::kSnapshot);
 
+  // Begins a transaction on a caller-owned object. The interleaving
+  // dispatcher (sched::StepFn slots) runs several transactions concurrently
+  // in ONE context, so the per-context CLS object Begin() hands out cannot
+  // hold them all — each slot owns its Transaction instead. The object must
+  // not currently be active; returns `t` for call-chaining.
+  Transaction* BeginOn(Transaction* t,
+                       IsolationLevel iso = IsolationLevel::kSnapshot);
+
   // Timestamp counter (paper §2.2: "drawn from a centralized counter").
   uint64_t ReadTs() const { return ts_.load(std::memory_order_acquire); }
   uint64_t NextCommitTs() {

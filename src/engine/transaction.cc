@@ -111,13 +111,73 @@ Rc Transaction::ReadOid(Table* table, Oid oid, Slice* out) {
   return Rc::kOk;
 }
 
-Rc Transaction::Read(Table* table, index::Key key, Slice* out) {
+void Transaction::PrepareRead(Table* table, index::Key key, ReadHandle* h) {
+  h->table = table;
+  h->key = key;
   index::Value oid;
-  if (!table->primary().Lookup(key, &oid)) {
-    hooks::OnRecordAccess();
-    return Rc::kNotFound;
+  h->found = table->primary().Lookup(key, &oid);
+  h->oid = h->found ? oid : 0;
+  if (h->found) {
+    // The next line the access touches is the version-chain head slot;
+    // issue its prefetch now so a suspension here hides the miss.
+    __builtin_prefetch(static_cast<const void*>(&table->Head(h->oid)), 0, 3);
+    ++h->prefetches;
   }
-  return ReadOid(table, oid, out);
+}
+
+void Transaction::PrefetchVisible(ReadHandle* h) {
+  if (!h->found) return;
+  // The head slot is (ideally) cached by PrepareRead's prefetch; load the
+  // pointer and prefetch the Version record the visibility walk starts at.
+  Version* head = h->table->Head(h->oid).load(std::memory_order_acquire);
+  if (head != nullptr) {
+    __builtin_prefetch(static_cast<const void*>(head), 0, 3);
+    ++h->prefetches;
+  }
+}
+
+Rc Transaction::FinishRead(ReadHandle* h, Slice* out) {
+  PDB_DCHECK(state_ == TxnState::kActive);
+  hooks::OnRecordAccess();
+  if (!h->found) return Rc::kNotFound;
+  Version* v = FindVisible(h->table, h->oid);
+  TrackRead(h->table, h->oid, v);
+  if (v == nullptr || v->deleted) return Rc::kNotFound;
+  *out = Slice(v->Data(), v->size);
+  return Rc::kOk;
+}
+
+Rc Transaction::FinishUpdate(ReadHandle* h, std::string_view payload) {
+  PDB_DCHECK(state_ == TxnState::kActive);
+  hooks::OnRecordAccess();
+  if (!h->found) return Rc::kNotFound;
+  Version* vis = FindVisible(h->table, h->oid);
+  if (vis == nullptr || vis->deleted) return Rc::kNotFound;
+  return InstallWrite(h->table, h->oid, h->key, payload, /*deleted=*/false);
+}
+
+void Transaction::PrepareInsert(Table* table, index::Key key, ReadHandle* h) {
+  h->table = table;
+  h->key = key;
+  h->found = false;
+  h->prefetches +=
+      static_cast<uint64_t>(table->primary().PrefetchLookup(key));
+}
+
+Rc Transaction::FinishInsert(ReadHandle* h, std::string_view payload) {
+  // The descent path is warm from PrepareInsert; the authoritative lookup
+  // and all insert-race handling stay in one place.
+  return InsertWithSecondaries(h->table, h->key, payload, nullptr, 0);
+}
+
+Rc Transaction::Read(Table* table, index::Key key, Slice* out) {
+  // Degenerate staged read: all three stages back-to-back (the prefetches
+  // are then pure overlap within one access, which is what the pre-staged
+  // code path did implicitly by touching the same lines in order).
+  ReadHandle h;
+  PrepareRead(table, key, &h);
+  PrefetchVisible(&h);
+  return FinishRead(&h, out);
 }
 
 Rc Transaction::ReadBySecondary(Table* table, const index::BTree* sec,
@@ -216,13 +276,10 @@ void Transaction::TrackSecondary(Table* table, const index::BTree* sec,
 }
 
 Rc Transaction::Update(Table* table, index::Key key, std::string_view payload) {
-  PDB_DCHECK(state_ == TxnState::kActive);
-  hooks::OnRecordAccess();
-  index::Value oid;
-  if (!table->primary().Lookup(key, &oid)) return Rc::kNotFound;
-  Version* vis = FindVisible(table, oid);
-  if (vis == nullptr || vis->deleted) return Rc::kNotFound;
-  return InstallWrite(table, oid, key, payload, /*deleted=*/false);
+  ReadHandle h;
+  PrepareRead(table, key, &h);
+  PrefetchVisible(&h);
+  return FinishUpdate(&h, payload);
 }
 
 Rc Transaction::Delete(Table* table, index::Key key) {
@@ -235,18 +292,54 @@ Rc Transaction::Delete(Table* table, index::Key key) {
   return InstallWrite(table, oid, key, std::string_view(), /*deleted=*/true);
 }
 
-Rc Transaction::Scan(Table* table, index::Key lo, index::Key hi,
-                     const ScanCallback& cb) {
+void Transaction::PrepareScan(Table* table, index::Key lo, index::Key hi,
+                              ScanCursor* cursor) {
+  cursor->table = table;
+  cursor->next_lo = lo;
+  cursor->hi = hi;
+  cursor->done = lo > hi;
+}
+
+Rc Transaction::ScanStep(ScanCursor* cursor, size_t max_records,
+                         const ScanCallback& cb) {
   PDB_DCHECK(state_ == TxnState::kActive);
-  Rc rc = Rc::kOk;
-  table->primary().Scan(lo, hi, [&](index::Key k, index::Value oid) {
+  if (cursor->done) return Rc::kOk;
+  Table* table = cursor->table;
+  size_t visited = 0;
+  bool stopped = false;
+  index::Key last = cursor->next_lo;
+  table->primary().Scan(cursor->next_lo, cursor->hi,
+                        [&](index::Key k, index::Value oid) {
+    last = k;
+    ++visited;
     hooks::OnRecordAccess();
     Version* v = FindVisible(table, oid);
     TrackRead(table, oid, v);
-    if (v == nullptr || v->deleted) return true;  // invisible: keep scanning
-    return cb(k, Slice(v->Data(), v->size));
+    if (v != nullptr && !v->deleted && !cb(k, Slice(v->Data(), v->size))) {
+      stopped = true;
+      return false;  // consumer ended the scan
+    }
+    return visited < max_records;  // chunk budget
   });
-  return rc;
+  if (stopped || visited < max_records || last >= cursor->hi) {
+    // Ended early (consumer), ran dry (range exhausted), or hit the bound.
+    cursor->done = true;
+  } else {
+    cursor->next_lo = last + 1;
+  }
+  return Rc::kOk;
+}
+
+Rc Transaction::Scan(Table* table, index::Key lo, index::Key hi,
+                     const ScanCallback& cb) {
+  // Degenerate chunked scan: drive the cursor to completion in one call.
+  ScanCursor cursor;
+  PrepareScan(table, lo, hi, &cursor);
+  while (!cursor.done) {
+    Rc rc = ScanStep(&cursor, SIZE_MAX, cb);
+    if (!IsOk(rc)) return rc;
+  }
+  return Rc::kOk;
 }
 
 Rc Transaction::ScanSecondary(Table* table, const index::BTree* sec,

@@ -73,6 +73,45 @@ class Transaction {
   Rc Update(Table* table, index::Key key, std::string_view payload);
   Rc Delete(Table* table, index::Key key);
 
+  // --- Staged point operations (prefetch-then-access) ---
+  //
+  // CoroBase-style split of the point-op hot path at its memory-stall
+  // sites, for the scheduler's interleaving dispatcher (sched::StepFn): a
+  // resumable transaction issues the access it would stall on, yields its
+  // slot so a sibling transaction runs while the line arrives, then resumes
+  // with the data (ideally) cached. Three stages per point access:
+  //
+  //   PrepareRead     index lookup -> OID, prefetch the version-chain head
+  //                   slot (the next line the access needs)    [suspend]
+  //   PrefetchVisible load the head pointer (now cached), prefetch the
+  //                   newest Version record itself             [suspend]
+  //   FinishRead /    visibility walk + payload (or install) with the chain
+  //   FinishUpdate    head already in cache
+  //
+  // Each stage is safe to run with other transactions' stages interposed on
+  // the same thread: no latches are held across stages (index lookups
+  // latch only internally) and visibility is resolved entirely in the
+  // finish stage. Running the stages back-to-back is exactly Read()/
+  // Update() — which are implemented on top of them.
+  struct ReadHandle {
+    Table* table = nullptr;
+    Oid oid = 0;
+    index::Key key = 0;
+    bool found = false;       // index hit
+    uint64_t prefetches = 0;  // prefetch instructions issued so far
+  };
+  void PrepareRead(Table* table, index::Key key, ReadHandle* h);
+  void PrefetchVisible(ReadHandle* h);
+  Rc FinishRead(ReadHandle* h, Slice* out);
+  // Update tail on a prepared handle: visibility check + InstallWrite.
+  Rc FinishUpdate(ReadHandle* h, std::string_view payload);
+
+  // Staged insert: PrepareInsert warms the index descent path (prefetch
+  // only — the authoritative lookup happens in FinishInsert, which redoes
+  // the now-cached walk inside the proper race-handling path).
+  void PrepareInsert(Table* table, index::Key key, ReadHandle* h);
+  Rc FinishInsert(ReadHandle* h, std::string_view payload);
+
   // --- Range operations ---
 
   // Visible-version scan over primary-key range [lo, hi]. The callback
@@ -80,6 +119,21 @@ class Transaction {
   // (feeding the cooperative-yield hook).
   using ScanCallback = std::function<bool(index::Key, Slice)>;
   Rc Scan(Table* table, index::Key lo, index::Key hi, const ScanCallback& cb);
+
+  // Chunked scan for the interleaving dispatcher: ScanStep visits at most
+  // `max_records` keys of the remaining range, then returns so the caller
+  // can yield its slot; `cursor->done` flips when the range is exhausted or
+  // the callback stopped the scan. Scan() is the degenerate
+  // drive-to-completion loop over ScanStep.
+  struct ScanCursor {
+    Table* table = nullptr;
+    index::Key next_lo = 0;
+    index::Key hi = 0;
+    bool done = false;
+  };
+  void PrepareScan(Table* table, index::Key lo, index::Key hi,
+                   ScanCursor* cursor);
+  Rc ScanStep(ScanCursor* cursor, size_t max_records, const ScanCallback& cb);
 
   // Scan over a secondary index; emits (secondary key, row payload).
   Rc ScanSecondary(Table* table, const index::BTree* sec, index::Key lo,

@@ -111,6 +111,28 @@ bool BTree::Lookup(Key key, Value* value) const {
   return found;
 }
 
+int BTree::PrefetchLookup(Key key) const {
+  uintr::NonPreemptibleRegion guard;
+  int issued = 0;
+  NodeBase* node = root_.load(std::memory_order_acquire);
+  uint64_t v = node->latch.ReadLock();
+  if (node != root_.load(std::memory_order_acquire)) return issued;
+  while (!node->IsLeaf()) {
+    auto* inner = static_cast<const InnerNode*>(node);
+    NodeBase* child = inner->children[inner->ChildIndex(key)];
+    if (!node->latch.Validate(v)) return issued;  // racing writer: give up
+    // Prefetch before the child's latch read so the line is (ideally) in
+    // flight by the time ReadLock touches it.
+    __builtin_prefetch(static_cast<const void*>(child), 0, 3);
+    ++issued;
+    uint64_t cv = child->latch.ReadLock();
+    if (!node->latch.Validate(v)) return issued;
+    node = child;
+    v = cv;
+  }
+  return issued;
+}
+
 bool BTree::InsertOnce(Key key, Value value, bool upsert, bool* inserted) {
   NodeBase* node = root_.load(std::memory_order_acquire);
   uint64_t v = node->latch.ReadLock();

@@ -76,6 +76,15 @@ class BTree {
   // Returns false if the key is absent.
   bool Lookup(Key key, Value* value) const;
 
+  // Best-effort cache warm-up for a later operation on `key`: descends the
+  // tree once, issuing a __builtin_prefetch per node on the path, and gives
+  // up (no retry) on any optimistic-latch conflict — it is a hint, not a
+  // read. Returns the number of prefetches issued. Used by the staged
+  // (prefetch-then-access) transaction API so an interleaved transaction can
+  // warm the descent path, yield its slot, and redo the now-cached walk on
+  // resume.
+  int PrefetchLookup(Key key) const;
+
   // Inserts key->value; returns false (no change) if the key exists.
   bool Insert(Key key, Value value);
 

@@ -134,6 +134,7 @@ bool Client::Recv(Result* out, std::string* err) {
   out->rc = static_cast<Rc>(rh.rc);
   out->server_ns = rh.server_ns;
   out->version = rh.version;
+  out->queue_hint = rh.reserved & 0xff;  // v1 responses carry 0
   out->has_timeline = false;
   out->payload.resize(rh.payload_len);
   if (rh.payload_len > 0 &&
@@ -152,6 +153,33 @@ bool Client::Recv(Result* out, std::string* err) {
     out->payload.resize(out->payload.size() - kTimelineWireSize);
   }
   return true;
+}
+
+bool Client::SendBatch(std::vector<BatchItem>* items, std::string* err) {
+  if (fd_ < 0) {
+    if (err != nullptr) *err = "not connected";
+    return false;
+  }
+  if (items == nullptr || items->empty() || items->size() > kMaxBatchCount) {
+    if (err != nullptr) *err = "batch count must be in [1, kMaxBatchCount]";
+    return false;
+  }
+  std::string inner;
+  for (BatchItem& it : *items) {
+    it.hdr.request_id = next_id_++;
+    EncodeRequest(it.hdr, it.payload, &inner);
+  }
+  if (inner.size() > kMaxPayload) {
+    if (err != nullptr) *err = "encoded batch exceeds kMaxPayload";
+    return false;
+  }
+  RequestHeader env;  // opcode is ignored on an envelope; leave kPing
+  env.flags = kReqFlagBatch;
+  env.request_id = next_id_++;
+  env.params[0] = items->size();
+  std::string frame;
+  EncodeRequest(env, inner, &frame);
+  return WriteAll(frame.data(), frame.size(), err);
 }
 
 bool Client::Call(RequestHeader h, std::string_view payload, Result* out,

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "net/protocol.h"
 #include "util/macros.h"
@@ -35,6 +36,10 @@ class Client {
     Rc rc = Rc::kError;
     uint64_t server_ns = 0;
     uint8_t version = 0;  // protocol version the server answered with
+    // Flow-control hint (v2 responses): the serving shard's in-flight
+    // submission depth at reply time, saturated at 255. Pipelined senders
+    // back off when it climbs instead of discovering BUSY the hard way.
+    uint32_t queue_hint = 0;
     std::string payload;  // timeline bytes (if any) already stripped
     // Server-side lifecycle timeline, present when the response carried
     // kRespFlagTimeline (the request asked via kReqFlagWantTimeline and
@@ -83,6 +88,22 @@ class Client {
   // Blocks for the next response frame (arrival order, which under
   // preemption is NOT send order — match via Result::request_id).
   bool Recv(Result* out, std::string* err);
+
+  // --- Batched mode (protocol v2) ---
+
+  // One inner request of a batch envelope. `hdr.request_id` is overwritten
+  // with the assigned id on send, so the caller can match the responses.
+  struct BatchItem {
+    RequestHeader hdr;
+    std::string payload;
+  };
+
+  // Encodes the items as one kReqFlagBatch envelope and sends it in a
+  // single write syscall. The server answers with items.size() ordinary
+  // response frames (coalesced into one writev on its side) — Recv() each.
+  // Fails locally when the batch is empty, exceeds kMaxBatchCount, or the
+  // encoded envelope would exceed kMaxPayload.
+  bool SendBatch(std::vector<BatchItem>* items, std::string* err);
 
   // --- Blocking RPC mode ---
 

@@ -48,6 +48,17 @@ inline constexpr uint8_t kMinProtocolVersion = 1;
 
 // Request flags (v2+).
 inline constexpr uint8_t kReqFlagWantTimeline = 0x1;
+// Batch frame (v2+): the payload holds params[0] complete inner request
+// frames (header + payload each), submitted in order in one read syscall;
+// the responses come back as ordinary frames, one per inner request (the
+// connection coalesces them into one writev). Constraints enforced by the
+// server, each answered with kBadRequest against the *outer* frame: the
+// count must be in [1, kMaxBatchCount], inner frames must not themselves be
+// batches or admin/repl opcodes, and the count must exactly tile the outer
+// payload (a count/length mismatch poisons framing and closes the
+// connection). A v1 frame carrying any flag bit is kBadRequest.
+inline constexpr uint8_t kReqFlagBatch = 0x2;
+inline constexpr uint32_t kMaxBatchCount = 256;
 // Response flags (v2+): the last kTimelineWireSize bytes of the payload are
 // an encoded TimelineWire (included in payload_len, so version-unaware
 // framing still works).
@@ -159,8 +170,17 @@ struct ResponseHeader {
   uint64_t request_id = 0;
   uint64_t server_ns = 0;  // accept-to-completion latency measured serverside
   uint32_t payload_len = 0;
+  // v2+: low byte = flow-control hint — the serving shard's in-flight
+  // submission depth at reply time, saturated at 255. Pipelined clients use
+  // it to back off before hitting BUSY; v1 clients (and v1 responses, where
+  // this stays 0) ignore it. Upper three bytes reserved, 0.
   uint32_t reserved = 0;
 };
+
+// Saturating encode of a shard queue depth into ResponseHeader::reserved.
+inline uint32_t EncodeQueueHint(uint64_t depth) {
+  return depth > 255 ? 255u : static_cast<uint32_t>(depth);
+}
 
 inline constexpr size_t kResponseHeaderSize = 32;
 static_assert(sizeof(ResponseHeader) == kResponseHeaderSize,

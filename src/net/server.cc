@@ -190,7 +190,9 @@ bool Server::Start(std::string* err) {
       return static_cast<double>(lm->durable_seq());
     });
     if (opts_.enable_repl) {
-      shipper_ = std::make_unique<repl::Shipper>(&eng);
+      repl::Shipper::Options sopts;
+      sopts.max_bytes_per_sec = opts_.repl_max_bytes_per_sec;
+      shipper_ = std::make_unique<repl::Shipper>(&eng, sopts);
     }
   }
 

@@ -127,6 +127,9 @@ class Server {
     // to a log-shipping session (requires a durable engine; silently
     // ignored otherwise — there is no log to ship).
     bool enable_repl = false;
+    // Per-follower redo-stream shipping rate cap (bytes/sec, token bucket
+    // with one-chunk burst; see repl::Shipper::Options). 0 = unlimited.
+    uint64_t repl_max_bytes_per_sec = 0;
     // Follower role: answer write opcodes (kPut / kDelete) with
     // WireStatus::kReadOnly instead of executing them. Read ops serve the
     // replicated state. Only meaningful with the built-in KV dispatch.

@@ -47,6 +47,10 @@ obs::Counter g_completion_batches("net.completion_batches");
 obs::Counter g_accept_handoffs("net.accept_handoffs");
 obs::Counter g_repl_detaches("net.repl_detaches");
 obs::Counter g_readonly_redirects("net.readonly_redirects");
+// Batch envelopes accepted, and the inner requests they carried — the read
+// syscall savings mirror: N requests arrived framed as one envelope.
+obs::Counter g_batch_frames("net.batch_frames");
+obs::Counter g_batch_requests("net.batch_requests");
 
 }  // namespace
 
@@ -372,6 +376,19 @@ bool NetShard::HandleRequest(const std::shared_ptr<Connection>& conn,
     ReplyNow(conn, hdr, WireStatus::kBadRequest, Rc::kError);
     return true;
   }
+  // Flag bits carry v2 semantics a v1 peer cannot mean; a v1 frame with any
+  // bit set is a confused client, not an old one.
+  if (hdr.version < 2 && hdr.flags != 0) {
+    stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    g_rejected.Add();
+    ReplyNow(conn, hdr, WireStatus::kBadRequest, Rc::kError);
+    return true;
+  }
+  // Batch envelope: expand before the admin check so the envelope's own
+  // (ignored) opcode can never hijack the introspection plane.
+  if ((hdr.flags & kReqFlagBatch) != 0) {
+    return HandleBatchRequest(conn, hdr, payload);
+  }
 
   // Introspection plane: served by this loop directly — no admission
   // control, no engine, and deliberately *before* the stopping check so a
@@ -502,6 +519,75 @@ bool NetShard::HandleRequest(const std::shared_ptr<Connection>& conn,
   return true;
 }
 
+bool NetShard::HandleBatchRequest(const std::shared_ptr<Connection>& conn,
+                                  const RequestHeader& hdr,
+                                  std::string_view payload) {
+  auto reject = [&] {
+    stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    g_rejected.Add();
+    ReplyNow(conn, hdr, WireStatus::kBadRequest, Rc::kError);
+    return true;
+  };
+  const uint64_t count = hdr.params[0];
+  if (count == 0 || count > kMaxBatchCount) return reject();
+  // Validation walk first, dispatch second: either the whole envelope is
+  // well formed or none of it runs, so a malformed tail can never leave a
+  // prefix of the batch already admitted.
+  const uint8_t* base = reinterpret_cast<const uint8_t*>(payload.data());
+  size_t off = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    if (payload.size() - off < kRequestHeaderSize) {
+      // Truncated mid-batch: the envelope lied about its contents, so inner
+      // framing can no longer be trusted — poison and close (no reply; the
+      // peer's framing state is unknown).
+      stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+      g_rejected.Add();
+      return false;
+    }
+    RequestHeader ih;
+    if (!DecodeRequestHeader(base + off, &ih)) {
+      stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+      g_rejected.Add();
+      return false;  // bad magic / oversized length: framing poisoned
+    }
+    if ((ih.flags & kReqFlagBatch) != 0 ||
+        ih.opcode >= static_cast<uint8_t>(Op::kMetrics)) {
+      // Nested batches and admin/repl opcodes are not batchable; the
+      // envelope itself is the bad request.
+      return reject();
+    }
+    size_t frame = kRequestHeaderSize + ih.payload_len;
+    if (payload.size() - off < frame) {
+      stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+      g_rejected.Add();
+      return false;  // inner payload truncated
+    }
+    off += frame;
+  }
+  if (off != payload.size()) {
+    // Count does not tile the payload: trailing bytes whose framing intent
+    // is unknowable. Poison and close.
+    stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    g_rejected.Add();
+    return false;
+  }
+  g_batch_frames.Add();
+  g_batch_requests.Add(count);
+  // Dispatch: each inner frame takes the ordinary single-request path, so
+  // admission control, classification, and BUSY apply per request and each
+  // produces its own response frame (coalesced into one writev on flush).
+  off = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    RequestHeader ih;
+    DecodeRequestHeader(base + off, &ih);
+    std::string_view inner(payload.data() + off + kRequestHeaderSize,
+                           ih.payload_len);
+    if (!HandleRequest(conn, ih, inner)) return false;
+    off += kRequestHeaderSize + ih.payload_len;
+  }
+  return true;
+}
+
 bool NetShard::HandleAdminRequest(const std::shared_ptr<Connection>& conn,
                                   const RequestHeader& hdr,
                                   std::string_view payload) {
@@ -573,6 +659,9 @@ void NetShard::ProcessCompletion(PendingOp* raw) {
   rh.rc = static_cast<uint8_t>(rc);
   rh.request_id = op->hdr.request_id;
   rh.server_ns = op->tl.reply_ns - op->accept_ns;
+  // Flow-control hint (v2+): current in-flight depth, so pipelined clients
+  // can back off before hitting BUSY. v1 responses keep the byte 0.
+  if (op->hdr.version >= 2) rh.reserved = EncodeQueueHint(QueueDepthHint());
   server_->RecordSlo(op->hdr.prio_class == 1, rh.server_ns);
   std::string_view body = IsOk(rc) ? op->out : std::string_view();
   std::string with_tl;
@@ -664,6 +753,9 @@ void NetShard::ReplyNow(const std::shared_ptr<Connection>& conn,
   rh.status = static_cast<uint8_t>(status);
   rh.rc = static_cast<uint8_t>(rc);
   rh.request_id = req.request_id;
+  if (VersionSupported(req.version) && req.version >= 2) {
+    rh.reserved = EncodeQueueHint(QueueDepthHint());
+  }
   std::string frame;
   EncodeResponse(rh, payload, &frame);
   if (conn->EnqueueResponse(std::move(frame))) {
@@ -675,6 +767,14 @@ void NetShard::ReplyNow(const std::shared_ptr<Connection>& conn,
     stats_.responses_dropped.fetch_add(1, std::memory_order_relaxed);
     g_responses_dropped.Add();
   }
+}
+
+uint64_t NetShard::QueueDepthHint() const {
+  // admitted and completions are monotonic and admitted leads, but the two
+  // relaxed loads can be torn by in-flight completions — clamp at 0.
+  uint64_t a = stats_.admitted.load(std::memory_order_relaxed);
+  uint64_t c = stats_.completions.load(std::memory_order_relaxed);
+  return a > c ? a - c : 0;
 }
 
 void NetShard::FlushConn(const std::shared_ptr<Connection>& conn) {

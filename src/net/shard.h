@@ -195,6 +195,15 @@ class NetShard {
   void HandleConnReadable(const std::shared_ptr<Connection>& conn);
   bool HandleRequest(const std::shared_ptr<Connection>& conn,
                      const RequestHeader& hdr, std::string_view payload);
+  // Batch frame (kReqFlagBatch): validates the whole envelope first (count
+  // in range, inner frames decode, no nested batch / admin / repl opcodes,
+  // count exactly tiles the payload), then feeds each inner frame through
+  // HandleRequest so admission, classification, and per-request BUSY all
+  // behave exactly as if the frames had arrived separately. Returns false
+  // (poisoning the connection) when the envelope breaks framing — a
+  // truncated inner frame or a count/length mismatch.
+  bool HandleBatchRequest(const std::shared_ptr<Connection>& conn,
+                          const RequestHeader& hdr, std::string_view payload);
   // Admin-plane opcodes (kMetrics/kHealth/kTraceSnapshot/kGetConfig/
   // kSetConfig): served inline on the shard thread, never submitted to the
   // engine, answered even while the server is draining. `payload` is the
@@ -209,6 +218,10 @@ class NetShard {
   void ReplyNow(const std::shared_ptr<Connection>& conn,
                 const RequestHeader& req, WireStatus status, Rc rc,
                 std::string_view payload = {});
+  // In-flight submission depth (admitted minus completed), the flow-control
+  // hint encoded into v2 response headers so pipelined clients back off
+  // before hitting BUSY.
+  uint64_t QueueDepthHint() const;
   void FlushConn(const std::shared_ptr<Connection>& conn);
   void CloseConn(const std::shared_ptr<Connection>& conn);
   void UpdateEpollInterest(const std::shared_ptr<Connection>& conn);

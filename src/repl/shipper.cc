@@ -16,6 +16,7 @@
 #include "engine/log.h"
 #include "fault/fault.h"
 #include "obs/trace.h"
+#include "util/clock.h"
 
 namespace preemptdb::repl {
 
@@ -58,7 +59,10 @@ size_t WholeFramePrefix(const char* data, size_t n) {
 
 }  // namespace
 
-Shipper::Shipper(engine::Engine* engine) : engine_(engine) {}
+Shipper::Shipper(engine::Engine* engine) : Shipper(engine, Options()) {}
+
+Shipper::Shipper(engine::Engine* engine, Options opts)
+    : engine_(engine), opts_(opts) {}
 
 Shipper::~Shipper() {
   Stop();
@@ -341,6 +345,20 @@ void Shipper::Run(Slot* slot, net::RequestHeader sub) {
     slot->shipped.store(shipped, std::memory_order_relaxed);
     g_ship_chunks.Add();
     g_ship_bytes.Add(chunk);
+    if (opts_.max_bytes_per_sec > 0) {
+      // Token-bucket pacing (one-chunk burst): the chunk just sent must
+      // drain at the configured rate before the next one may leave. Sliced
+      // sleep so Stop() stays prompt even at very low rates.
+      uint64_t until =
+          MonoNanos() + chunk * 1'000'000'000ull / opts_.max_bytes_per_sec;
+      while (!stopping_.load(std::memory_order_acquire)) {
+        uint64_t now = MonoNanos();
+        if (now >= until) break;
+        uint64_t left = until - now;
+        std::this_thread::sleep_for(std::chrono::nanoseconds(
+            left < 10'000'000 ? left : 10'000'000));
+      }
+    }
   }
 
   if (lfd >= 0) ::close(lfd);

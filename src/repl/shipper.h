@@ -50,6 +50,16 @@ class Shipper {
   // well under the wire payload cap.
   static constexpr size_t kChunkBudget = 256 * 1024;
 
+  struct Options {
+    // Per-follower redo-stream pacing (token bucket, one-chunk burst): a
+    // kReplAppend chunk of B bytes blocks the NEXT chunk for B /
+    // max_bytes_per_sec seconds, so a bootstrapping or far-behind follower
+    // cannot saturate the primary's NIC against foreground traffic.
+    // 0 = unlimited (ship as fast as the socket takes bytes). Snapshot
+    // chunks are not paced — bootstrap is a one-shot bulk copy.
+    uint64_t max_bytes_per_sec = 0;
+  };
+
   struct FollowerView {
     uint32_t slot = 0;
     bool connected = false;
@@ -60,6 +70,7 @@ class Shipper {
   };
 
   explicit Shipper(engine::Engine* engine);
+  Shipper(engine::Engine* engine, Options opts);
   ~Shipper();
   PDB_DISALLOW_COPY_AND_ASSIGN(Shipper);
 
@@ -97,6 +108,7 @@ class Shipper {
   bool DrainAcks(Slot* slot, std::string* ackbuf, bool* dead);
 
   engine::Engine* const engine_;
+  const Options opts_;
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> sessions_started_{0};
   mutable std::mutex mu_;  // slot assignment / join

@@ -70,6 +70,11 @@ bool TunableConfig::Validate(const TunableValues& v, std::string* err) {
     Fail(err, "probe_interval_ticks: out of range [1, 1000000]");
     return false;
   }
+  if (v.interleave_slots < kInterleaveSlotsMin ||
+      v.interleave_slots > kInterleaveSlotsMax) {
+    Fail(err, "interleave_slots: out of range [1, 8]");
+    return false;
+  }
   return true;
 }
 
@@ -83,6 +88,7 @@ void TunableConfig::Store(const TunableValues& v) {
   demote_latency_ns_.store(v.demote_latency_ns, std::memory_order_relaxed);
   probe_interval_ticks_.store(v.probe_interval_ticks,
                               std::memory_order_relaxed);
+  interleave_slots_.store(v.interleave_slots, std::memory_order_relaxed);
 }
 
 bool TunableConfig::Apply(const ChangeSet& cs, std::string* err) {
@@ -101,6 +107,8 @@ bool TunableConfig::Apply(const ChangeSet& cs, std::string* err) {
       demote_latency_ns_.load(std::memory_order_relaxed));
   next.probe_interval_ticks = cs.probe_interval_ticks.value_or(
       probe_interval_ticks_.load(std::memory_order_relaxed));
+  next.interleave_slots = cs.interleave_slots.value_or(
+      interleave_slots_.load(std::memory_order_relaxed));
   if (!Validate(next, err)) return false;
   Store(next);
   uint64_t v = version_.fetch_add(1, std::memory_order_acq_rel) + 1;
@@ -120,6 +128,7 @@ TunableValues TunableConfig::Snapshot() const {
   v.demote_latency_ns = demote_latency_ns_.load(std::memory_order_relaxed);
   v.probe_interval_ticks =
       probe_interval_ticks_.load(std::memory_order_relaxed);
+  v.interleave_slots = interleave_slots_.load(std::memory_order_relaxed);
   return v;
 }
 
@@ -139,6 +148,7 @@ void TunableConfig::ToJson(obs::JsonWriter& w) const {
     v.demote_latency_ns = demote_latency_ns_.load(std::memory_order_relaxed);
     v.probe_interval_ticks =
         probe_interval_ticks_.load(std::memory_order_relaxed);
+    v.interleave_slots = interleave_slots_.load(std::memory_order_relaxed);
   }
   w.BeginObject();
   w.Key("version").Uint(ver);
@@ -153,6 +163,7 @@ void TunableConfig::ToJson(obs::JsonWriter& w) const {
       .Int(static_cast<int64_t>(v.demote_failure_threshold));
   w.Key("demote_latency_ns").Uint(v.demote_latency_ns);
   w.Key("probe_interval_ticks").Uint(v.probe_interval_ticks);
+  w.Key("interleave_slots").Int(static_cast<int64_t>(v.interleave_slots));
   w.EndObject();
   w.EndObject();
 }
@@ -199,6 +210,9 @@ bool TunableConfig::ChangeSetFromJson(std::string_view json, ChangeSet* out,
         return false;
       }
       cs.probe_interval_ticks = u;
+    } else if (key == "interleave_slots") {
+      if (!ToIntegral(val, 1e9, &u, err, "interleave_slots")) return false;
+      cs.interleave_slots = static_cast<int>(u);
     } else {
       Fail(err, "unknown config key");
       if (err != nullptr) *err = "unknown config key: " + key;

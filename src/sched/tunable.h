@@ -45,6 +45,8 @@ inline constexpr uint64_t kDemoteLatencyNsMin = 1'000'000;          // 1 ms
 inline constexpr uint64_t kDemoteLatencyNsMax = 60'000'000'000ULL;  // 60 s
 inline constexpr uint64_t kProbeIntervalTicksMin = 1;
 inline constexpr uint64_t kProbeIntervalTicksMax = 1'000'000;
+inline constexpr int kInterleaveSlotsMin = 1;  // 1 = no interleaving
+inline constexpr int kInterleaveSlotsMax = 8;
 
 // The tunable subset of the scheduler knob surface (see sched/config.h for
 // the immutable structural fields). Plain value struct: used as the seed in
@@ -68,6 +70,13 @@ struct TunableValues {
   int demote_failure_threshold = 3;        // 0 disables
   uint64_t demote_latency_ns = 50'000'000;  // 0 disables; 50 ms
   uint64_t probe_interval_ticks = 10;
+
+  // Interleaving slots per worker (CoroBase-style batch depth): how many
+  // resumable low-priority transactions a worker round-robins at once.
+  // 1 = classic one-at-a-time execution; only consulted when the workload
+  // installs a StepFn. Runtime-tunable so the adaptive controller can trade
+  // LP throughput (deeper batch) against cache pressure.
+  int interleave_slots = 1;
 };
 
 class TunableConfig {
@@ -81,11 +90,12 @@ class TunableConfig {
     std::optional<int> demote_failure_threshold;
     std::optional<uint64_t> demote_latency_ns;
     std::optional<uint64_t> probe_interval_ticks;
+    std::optional<int> interleave_slots;
 
     bool empty() const {
       return !starvation_enabled && !starvation_threshold && !hp_batch_size &&
              !demote_failure_threshold && !demote_latency_ns &&
-             !probe_interval_ticks;
+             !probe_interval_ticks && !interleave_slots;
     }
   };
 
@@ -118,6 +128,9 @@ class TunableConfig {
   }
   uint64_t probe_interval_ticks() const {
     return probe_interval_ticks_.load(std::memory_order_relaxed);
+  }
+  int interleave_slots() const {
+    return interleave_slots_.load(std::memory_order_relaxed);
   }
 
   // Monotonic config generation; starts at 1, bumped once per successful
@@ -161,6 +174,7 @@ class TunableConfig {
   std::atomic<int> demote_failure_threshold_;
   std::atomic<uint64_t> demote_latency_ns_;
   std::atomic<uint64_t> probe_interval_ticks_;
+  std::atomic<int> interleave_slots_;
 
   std::atomic<uint64_t> version_{1};
   mutable std::mutex write_mu_;

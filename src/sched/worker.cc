@@ -14,6 +14,17 @@
 namespace preemptdb::sched {
 
 namespace {
+
+// Interleaving observability (sched.interleave.*). Average slot occupancy is
+// steps/rounds (each round steps every active slot once), steps-per-txn is
+// steps/txns, prefetch rate is prefetch_issued/steps.
+obs::Counter g_ilv_steps("sched.interleave.steps");
+obs::Counter g_ilv_rounds("sched.interleave.rounds");
+obs::Counter g_ilv_txns("sched.interleave.txns");
+obs::Counter g_ilv_prefetch("sched.interleave.prefetch_issued");
+obs::Counter g_ilv_stall_yields("sched.interleave.stall_yields");
+obs::Counter g_ilv_voluntary_yields("sched.interleave.voluntary_yields");
+
 // The worker owning the current thread (for hook thunks).
 thread_local Worker* tls_worker = nullptr;
 // Set by YieldHook just before swapping so PreemptLoop can tell a voluntary
@@ -24,12 +35,13 @@ thread_local bool tls_entered_via_yield = false;
 }  // namespace
 
 Worker::Worker(int id, const SchedulerConfig& config,
-               const TunableConfig* tunables, ExecuteFn execute,
+               const TunableConfig* tunables, ExecuteFn execute, StepFn step,
                void* exec_ctx, Metrics* metrics)
     : id_(id),
       config_(config),
       tunables_(tunables),
       execute_(execute),
+      step_(step),
       exec_ctx_(exec_ctx),
       metrics_(metrics),
       lp_queue_(config.lp_queue_capacity),
@@ -118,7 +130,22 @@ void Worker::RunRequest(const Request& req, bool count_starvation) {
     prev_tl = obs::SetActiveTimeline(req.timeline);
   }
   uint64_t c0 = count_starvation ? RdtscP() : 0;
-  Rc rc = execute_(req, exec_ctx_, id_);
+  Rc rc;
+  if (step_ == nullptr) {
+    rc = execute_(req, exec_ctx_, id_);
+  } else {
+    // StepFn workload: drive the resumable executor to completion
+    // back-to-back. High-priority requests take this route, so a StepFn
+    // workload needs no separate one-shot executor and preemption latency
+    // is unchanged (no sibling work is interposed here).
+    StepContext sc;
+    StepResult sr;
+    do {
+      sr = step_(req, exec_ctx_, id_, &sc);
+      ++sc.steps;
+    } while (sr.status != StepStatus::kDone);
+    rc = sr.rc;
+  }
   if (req.timeline != nullptr) obs::SetActiveTimeline(prev_tl);
   uint64_t done = MonoNanos();
   metrics_->Record(req.type, req.gen_ns, done, rc);
@@ -150,6 +177,10 @@ bool Worker::StarvationExceeded() const {
 }
 
 void Worker::MainLoop() {
+  if (step_ != nullptr) {
+    InterleaveLoop();
+    return;
+  }
   // Regular-path queue preference (paper §4.1): under Wait/Cooperative the
   // worker checks the high-priority queue first at every transaction
   // boundary and exhausts it before the next Q2 — that is the only way HP
@@ -209,6 +240,165 @@ void Worker::MainLoop() {
     if (idle_polls > 100) {
       // Deep idle: sleep instead of spinning so active threads (and signal
       // deliveries) get the core promptly on small machines.
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    } else {
+      sched_yield();
+    }
+  }
+}
+
+void Worker::InterleaveLoop() {
+  // Interleaving variant of MainLoop (step_ != nullptr). The queue
+  // preference rules are the legacy loop's, applied at dispatch-round
+  // boundaries: every active slot is suspended between rounds, so running a
+  // high-priority request to completion there is exactly the cooperative
+  // yield-point behaviour (HP work nests above paused LP transactions that
+  // hold no latches at suspension points).
+  const bool policy_prefers_hp = config_.policy != Policy::kPreempt;
+
+  struct Slot {
+    Request req;
+    StepContext sc;
+    bool active = false;
+  };
+  Slot slots[kInterleaveSlotsMax];
+  size_t active = 0;
+  // Starvation-window anchor (paper Fig. 7 generalized to a batch): t0/th
+  // track the lifetime of one in-progress LP transaction. With a slot batch
+  // the window is anchored to one designated active slot; when that slot's
+  // transaction completes the window restarts on a surviving slot, so the
+  // denominator stays "one LP transaction's wall time" instead of growing
+  // without bound across a continuously refilled batch.
+  int window_slot = -1;
+  size_t rr = 0;  // round-robin start cursor, advanced once per round
+  int idle_polls = 0;
+
+  while (!stop_.load(std::memory_order_acquire) || active > 0) {
+    const bool prefer_hp =
+        policy_prefers_hp || degraded_.load(std::memory_order_relaxed);
+    Request hp_req;
+    auto try_hp = [&] {
+      uintr::NonPreemptibleRegion guard;
+      return hp_queue_.TryPop(&hp_req);
+    };
+    auto run_hp = [&] {
+      idle_polls = 0;
+      obs::Trace(obs::EventType::kHpDequeue, /*popped_by_preempt=*/0);
+      RunRequest(hp_req, /*count_starvation=*/false);
+      hp_executed_.fetch_add(1, std::memory_order_relaxed);
+    };
+    if (prefer_hp && try_hp()) {
+      run_hp();
+      continue;
+    }
+
+    // Refill free slots up to the live interleave depth. Depth shrink takes
+    // effect by attrition (extra active slots finish and are not refilled).
+    if (!stop_.load(std::memory_order_acquire)) {
+      int want = tunables_->interleave_slots();
+      if (want < kInterleaveSlotsMin) want = kInterleaveSlotsMin;
+      if (want > kInterleaveSlotsMax) want = kInterleaveSlotsMax;
+      for (int i = 0; i < kInterleaveSlotsMax && static_cast<int>(active) < want;
+           ++i) {
+        Slot& s = slots[i];
+        if (s.active) continue;
+        if (!lp_queue_.TryPop(&s.req)) break;
+        if (active == 0) {
+          // Start-of-LP bookkeeping (paper Fig. 7): record T0, reset T_h.
+          th_cycles_.store(0, std::memory_order_release);
+          t0_cycles_.store(RdtscP(), std::memory_order_release);
+          window_slot = i;
+        }
+        obs::Trace(obs::EventType::kTxnStart, s.req.type, s.req.shard_id);
+        s.sc.Reset();
+        s.active = true;
+        ++active;
+      }
+    }
+
+    if (active > 0) {
+      idle_polls = 0;
+      // One dispatch round: step each active slot once, starting at the
+      // round-robin cursor so no slot monopolizes first-step position.
+      uint64_t stepped = 0, stalls = 0, voluntary = 0;
+      for (size_t i = 0; i < kInterleaveSlotsMax; ++i) {
+        size_t idx = (rr + i) % kInterleaveSlotsMax;
+        Slot& s = slots[idx];
+        if (!s.active) continue;
+        // Timeline bookkeeping per step: between steps another slot's
+        // transaction owns the thread's active timeline, so install/restore
+        // brackets every step. Restores only the pointer — on the final
+        // step the executor's completion callback may have freed *timeline.
+        obs::TxnTimeline* prev_tl = nullptr;
+        if (s.req.timeline != nullptr) {
+          if (s.req.timeline->first_run_ns == 0) {
+            s.req.timeline->first_run_ns = MonoNanos();
+          }
+          prev_tl = obs::SetActiveTimeline(s.req.timeline);
+        }
+        // Interrupt delivery is enabled exactly while a low-priority step
+        // runs (same Stui/Clui window as the legacy loop's RunRequest): a
+        // preempt pauses whichever slot is live and the starvation drain in
+        // PreemptLoop accounts its cycles into the current t0/th window.
+        uintr::Stui();
+        StepResult sr = step_(s.req, exec_ctx_, id_, &s.sc);
+        uintr::Clui();
+        ++s.sc.steps;
+        ++stepped;
+        if (s.req.timeline != nullptr) obs::SetActiveTimeline(prev_tl);
+        if (sr.status == StepStatus::kDone) {
+          uint64_t done = MonoNanos();
+          metrics_->Record(s.req.type, s.req.gen_ns, done, sr.rc);
+          if (IsOk(sr.rc)) {
+            obs::Trace(obs::EventType::kTxnCommit, s.req.type,
+                       done - s.req.gen_ns);
+          } else {
+            obs::Trace(obs::EventType::kTxnAbort, s.req.type);
+          }
+          g_ilv_txns.Add();
+          g_ilv_prefetch.Add(s.sc.prefetches);
+          s.active = false;
+          --active;
+          lp_executed_.fetch_add(1, std::memory_order_relaxed);
+          if (static_cast<int>(idx) == window_slot) {
+            // The window transaction finished: restart the starvation
+            // window on a surviving slot (else close it below).
+            window_slot = -1;
+            if (active > 0) {
+              for (int j = 0; j < kInterleaveSlotsMax; ++j) {
+                if (slots[j].active) {
+                  window_slot = j;
+                  break;
+                }
+              }
+              th_cycles_.store(0, std::memory_order_release);
+              t0_cycles_.store(RdtscP(), std::memory_order_release);
+            }
+          }
+        } else if (sr.status == StepStatus::kYieldedStall) {
+          ++stalls;
+        } else {
+          ++voluntary;
+        }
+      }
+      rr = (rr + 1) % kInterleaveSlotsMax;
+      g_ilv_rounds.Add();
+      g_ilv_steps.Add(stepped);
+      if (stalls > 0) g_ilv_stall_yields.Add(stalls);
+      if (voluntary > 0) g_ilv_voluntary_yields.Add(voluntary);
+      if (active == 0) {
+        t0_cycles_.store(0, std::memory_order_release);
+        window_slot = -1;
+      }
+      continue;
+    }
+
+    if (!prefer_hp && try_hp()) {
+      run_hp();
+      continue;
+    }
+    idle_polls = idle_polls < 1000 ? idle_polls + 1 : idle_polls;
+    if (idle_polls > 100) {
       std::this_thread::sleep_for(std::chrono::microseconds(50));
     } else {
       sched_yield();

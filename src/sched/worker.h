@@ -22,9 +22,13 @@ namespace preemptdb::sched {
 class Worker {
  public:
   // `tunables` is the owning scheduler's runtime knob registry (outlives the
-  // worker); the worker reads the starvation knobs from it on every drain.
+  // worker); the worker reads the starvation knobs from it on every drain
+  // and the interleave depth on every slot refill. Exactly one of
+  // `execute` / `step` must be non-null for the worker to run work; when
+  // `step` is set the main loop dispatches low-priority transactions through
+  // the interleaving slot array (see InterleaveLoop).
   Worker(int id, const SchedulerConfig& config, const TunableConfig* tunables,
-         ExecuteFn execute, void* exec_ctx, Metrics* metrics);
+         ExecuteFn execute, StepFn step, void* exec_ctx, Metrics* metrics);
   ~Worker();
   PDB_DISALLOW_COPY_AND_ASSIGN(Worker);
 
@@ -85,6 +89,13 @@ class Worker {
 
   void ThreadBody();
   void MainLoop();
+  // CoroBase-style interleaving dispatcher (MainLoop body when a StepFn is
+  // installed): round-robins up to tunables->interleave_slots() resumable
+  // low-priority transactions over a fixed slot array so a stalled slot's
+  // sibling runs while the stalled one's prefetched line arrives. Preserves
+  // the legacy loop's Stui/Clui brackets (per step), t0/th starvation
+  // window (per oldest-active-slot), and HP queue preference rules.
+  void InterleaveLoop();
   void PreemptLoop();  // context-2 body; never returns
   void YieldHook();    // cooperative yield point
 
@@ -101,6 +112,7 @@ class Worker {
   const SchedulerConfig& config_;
   const TunableConfig* const tunables_;
   const ExecuteFn execute_;
+  const StepFn step_;
   void* const exec_ctx_;
   Metrics* const metrics_;
 

@@ -8,9 +8,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -1314,6 +1316,198 @@ TEST_F(NetTest, StopAnswersDrainAndRejectsAfterwards) {
   // The connection is gone; a fresh connect is refused (listener closed).
   net::Client c2;
   EXPECT_FALSE(c2.Connect("127.0.0.1", server_->port(), &err));
+}
+
+// --- Protocol-v2 batch frames ---
+
+TEST_F(NetTest, BatchRoundTripAnswersEveryInnerFrame) {
+  StartDefault();
+  net::Client c = Connect();
+  std::string err;
+
+  std::vector<net::Client::BatchItem> items;
+  for (int i = 0; i < 8; ++i) {
+    net::Client::BatchItem it;
+    it.hdr.opcode = static_cast<uint8_t>(Op::kPut);
+    it.hdr.prio_class = static_cast<uint8_t>(WireClass::kHigh);
+    it.hdr.params[0] = 100 + static_cast<uint64_t>(i);
+    it.payload = "b" + std::to_string(i);
+    items.push_back(it);
+  }
+  // One envelope, one write syscall; first id is known before the send.
+  // Completion order across the scheduler is not guaranteed, so assert the
+  // id SET: exactly one response per inner frame, none invented or lost.
+  uint64_t first_id = c.next_id();
+  ASSERT_TRUE(c.SendBatch(&items, &err)) << err;
+  std::set<uint64_t> ids;
+  for (int i = 0; i < 8; ++i) {
+    net::Client::Result res;
+    ASSERT_TRUE(c.Recv(&res, &err)) << err << " after " << i;
+    EXPECT_EQ(res.status, WireStatus::kOk);
+    ids.insert(res.request_id);
+  }
+  EXPECT_EQ(ids.size(), 8u);
+  EXPECT_EQ(*ids.begin(), first_id);
+  EXPECT_EQ(*ids.rbegin(), first_id + 7);
+  // Every inner frame went through the ordinary KV path.
+  net::Client::Result res;
+  ASSERT_TRUE(c.Get(103, WireClass::kHigh, &res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kOk);
+  EXPECT_EQ(res.payload, "b3");
+  EXPECT_EQ(server_->bad_requests(), 0u);
+}
+
+TEST_F(NetTest, BatchZeroAndOversizedCountsRejectedConnectionSurvives) {
+  StartDefault();
+  net::Client c = Connect();
+  net::Client::Result res;
+  std::string err;
+
+  // A zero-count envelope is a confused client, not a framing error: the
+  // envelope itself is answered kBadRequest and the connection lives on.
+  net::RequestHeader env;
+  env.flags = net::kReqFlagBatch;
+  env.params[0] = 0;
+  ASSERT_TRUE(c.Call(env, {}, &res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kBadRequest);
+
+  env.params[0] = net::kMaxBatchCount + 1;
+  ASSERT_TRUE(c.Call(env, {}, &res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kBadRequest);
+
+  EXPECT_EQ(server_->bad_requests(), 2u);
+  ASSERT_TRUE(c.Ping(&res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kOk);
+}
+
+TEST_F(NetTest, BatchWithNestedBatchOrAdminOpcodeRejected) {
+  StartDefault();
+  net::Client c = Connect();
+  net::Client::Result res;
+  std::string err;
+
+  auto send_batch_of_one = [&](net::RequestHeader inner) {
+    std::string body;
+    net::EncodeRequest(inner, {}, &body);
+    net::RequestHeader env;
+    env.flags = net::kReqFlagBatch;
+    env.params[0] = 1;
+    ASSERT_TRUE(c.Call(env, body, &res, &err)) << err;
+  };
+
+  net::RequestHeader nested;
+  nested.flags = net::kReqFlagBatch;  // batch inside a batch
+  nested.params[0] = 1;
+  send_batch_of_one(nested);
+  EXPECT_EQ(res.status, WireStatus::kBadRequest);
+
+  net::RequestHeader admin;
+  admin.opcode = static_cast<uint8_t>(Op::kMetrics);  // introspection plane
+  send_batch_of_one(admin);
+  EXPECT_EQ(res.status, WireStatus::kBadRequest);
+
+  ASSERT_TRUE(c.Ping(&res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kOk);
+}
+
+TEST_F(NetTest, BatchTruncatedMidFrameClosesConnectionNoHang) {
+  StartDefault();
+  net::Client c = Connect();
+  std::string err;
+
+  // Envelope claims 2 inner frames but carries one full frame plus a
+  // header fragment: the count can no longer be trusted against the bytes,
+  // so framing is poisoned and the server must close, not guess or hang.
+  net::RequestHeader inner;
+  inner.opcode = static_cast<uint8_t>(Op::kGet);
+  inner.params[0] = 1;
+  std::string body;
+  net::EncodeRequest(inner, {}, &body);
+  body.append(8, 'x');  // fragment of a second header
+  net::RequestHeader env;
+  env.flags = net::kReqFlagBatch;
+  env.request_id = 777;
+  env.params[0] = 2;
+  std::string frame;
+  net::EncodeRequest(env, body, &frame);
+  ASSERT_EQ(::send(c.fd(), frame.data(), frame.size(), 0),
+            static_cast<ssize_t>(frame.size()));
+
+  net::Client::Result res;
+  EXPECT_FALSE(c.Recv(&res, &err)) << "poisoned framing must close, and the "
+                                      "truncated batch must not be admitted";
+  ASSERT_TRUE(WaitUntil([&] { return server_->conns_closed() >= 1; }, 5000));
+
+  net::Client c2 = Connect();
+  ASSERT_TRUE(c2.Ping(&res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kOk);
+}
+
+TEST_F(NetTest, V1FrameWithFlagBitsRejected) {
+  StartDefault();
+  net::Client c = Connect();
+  net::Client::Result res;
+  std::string err;
+
+  // Flag bits carry v2 semantics; a v1 frame with any bit set is a confused
+  // client. Reject explicitly rather than silently ignoring the flag.
+  net::RequestHeader h;
+  h.version = 1;
+  h.flags = net::kReqFlagBatch;
+  h.opcode = static_cast<uint8_t>(Op::kPing);
+  ASSERT_TRUE(c.Call(h, {}, &res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kBadRequest);
+  EXPECT_EQ(server_->bad_requests(), 1u);
+
+  ASSERT_TRUE(c.Ping(&res, &err)) << err;
+  EXPECT_EQ(res.status, WireStatus::kOk);
+}
+
+TEST_F(NetTest, QueueDepthHintRidesV2ResponsesOnly) {
+  // Wedged pipeline (tiny submit queue, glacial tick): the burst's BUSY
+  // rejections are stamped while 4 submissions sit admitted-and-incomplete,
+  // so their queue-depth hint is deterministic.
+  DB::Options dbo;
+  dbo.scheduler.policy = sched::Policy::kPreempt;
+  dbo.scheduler.num_workers = 1;
+  dbo.scheduler.arrival_interval_us = 200000;
+  dbo.submit_queue_capacity = 4;
+  Start(dbo);
+
+  net::Client c = Connect();
+  std::string err;
+  constexpr int kBurst = 16;
+  for (int i = 0; i < kBurst; ++i) {
+    net::RequestHeader h;
+    h.opcode = static_cast<uint8_t>(Op::kGet);
+    h.prio_class = static_cast<uint8_t>(WireClass::kLow);
+    h.params[0] = 1;
+    ASSERT_TRUE(c.Send(h, {}, &err)) << err;
+  }
+  uint32_t max_hint = 0;
+  int busy = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    net::Client::Result res;
+    ASSERT_TRUE(c.Recv(&res, &err)) << err << " after " << i;
+    if (res.status == WireStatus::kBusy) {
+      ++busy;
+      EXPECT_EQ(res.queue_hint, 4u)
+          << "BUSY is stamped while exactly the queue's worth is in flight";
+    }
+    max_hint = std::max(max_hint, res.queue_hint);
+  }
+  EXPECT_GT(busy, 0);
+  EXPECT_GE(max_hint, 1u);
+
+  // v1 responses never grow the hint: the reserved byte stays zero.
+  net::RequestHeader v1;
+  v1.version = 1;
+  v1.opcode = static_cast<uint8_t>(Op::kGet);
+  v1.prio_class = static_cast<uint8_t>(WireClass::kHigh);
+  v1.params[0] = 1;
+  net::Client::Result res;
+  ASSERT_TRUE(c.Call(v1, {}, &res, &err)) << err;
+  EXPECT_EQ(res.queue_hint, 0u);
 }
 
 }  // namespace

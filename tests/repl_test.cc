@@ -62,7 +62,8 @@ std::string ValueFor(uint64_t key) {
 // DB served read-only), torn down in dependency order.
 class ReplTest : public ::testing::Test {
  protected:
-  void StartPrimary(uint64_t ckpt_interval_ms = 60000) {
+  void StartPrimary(uint64_t ckpt_interval_ms = 60000,
+                    uint64_t ship_rate_bps = 0) {
     DB::Options dbo;
     dbo.scheduler.num_workers = 2;
     dbo.log_dir = pdir_.path;
@@ -72,6 +73,7 @@ class ReplTest : public ::testing::Test {
     so.port = 0;
     so.num_shards = 1;
     so.enable_repl = true;
+    so.repl_max_bytes_per_sec = ship_rate_bps;
     pserver_ = std::make_unique<net::Server>(pdb_.get(), so);
     std::string err;
     ASSERT_TRUE(pserver_->Start(&err)) << err;
@@ -282,6 +284,76 @@ TEST_F(ReplTest, LagDrainsToZeroAfterBurst) {
   EXPECT_GT(views[0].applied_seq, 0u);
   EXPECT_EQ(views[0].lag_bytes, 0u);
   EXPECT_GE(views[0].acked_bytes, views[0].lag_bytes);
+}
+
+// With a redo-stream rate cap, chunk pacing spaces kReplAppend sends: every
+// shipped chunk blocks the next for chunk/rate seconds (one-chunk burst).
+// The cumulative consequence is testable without timing individual sends —
+// a marker written AFTER a B-byte burst rides a later chunk, and the sleeps
+// for the burst's chunks sum to B/rate, so the marker cannot reach the
+// follower earlier than that (minus the unpaced first-chunk burst).
+TEST_F(ReplTest, ShipperPacingSpacesRedoChunks) {
+  constexpr uint64_t kRate = 32 * 1024;   // bytes/sec
+  constexpr size_t kRecords = 40;         // 40 x 1 KiB in ONE transaction
+  constexpr size_t kValueBytes = 1024;    // => one ~41 KiB redo frame
+  StartPrimary(/*ckpt_interval_ms=*/60000, /*ship_rate_bps=*/kRate);
+  StartFollower();
+  // Sync point: the stream is live and caught up before the measured burst.
+  PutRange(1, 5);
+  ASSERT_TRUE(WaitUntil([&] { return FollowerHas(5); }, 10000));
+
+  // One multi-record transaction commits (and fsyncs) a single large redo
+  // frame, which the shipper sends as ONE chunk (WholeFramePrefix never
+  // splits a frame below kChunkBudget). The burst chunk itself leaves
+  // unpaced, but the bucket then owes ~1.3 s before the NEXT chunk may go.
+  engine::LogManager& lm = pdb_->engine().log_manager();
+  uint64_t bytes0 = lm.durable_bytes();
+  const std::string big(kValueBytes, 'p');
+  ASSERT_TRUE(IsOk(pdb_->Execute([&](engine::Engine& eng) {
+    engine::Table* t = eng.GetTable("netkv");
+    auto* txn = eng.Begin();
+    for (size_t i = 0; i < kRecords; ++i) {
+      Rc r = txn->Insert(t, 500 + i, big);
+      if (!IsOk(r)) {
+        txn->Abort();
+        return r;
+      }
+    }
+    return txn->Commit();
+  })));
+  uint64_t burst_bytes = lm.durable_bytes() - bytes0;
+  ASSERT_GT(burst_bytes, kRecords * kValueBytes);
+  ASSERT_TRUE(WaitUntil(
+      [&] {
+        engine::Engine& eng = fdb_->engine();
+        engine::Table* t = eng.GetTable("netkv");
+        if (t == nullptr) return false;
+        auto* txn = eng.Begin();
+        Slice sl;
+        bool ok = IsOk(txn->Read(t, 500 + kRecords - 1, &sl)) &&
+                  sl.size == kValueBytes;
+        txn->Abort();
+        return ok;
+      },
+      20000));
+
+  // The big chunk has been sent (the follower applied it), so the pacing
+  // sleep is in progress. A marker put now rides the next chunk and cannot
+  // arrive before the bucket drains.
+  uint64_t t0 = MonoNanos();
+  PutRange(601, 601);
+  ASSERT_TRUE(WaitUntil([&] { return FollowerHas(601); }, 30000));
+  double elapsed_s = static_cast<double>(MonoNanos() - t0) / 1e9;
+  double full_drain_s =
+      static_cast<double>(burst_bytes) / static_cast<double>(kRate);
+  EXPECT_GE(elapsed_s, 0.33 * full_drain_s)
+      << "the chunk after a " << burst_bytes << "-byte send at " << kRate
+      << " B/s must wait out the token bucket";
+
+  // Pacing delays the stream but never wedges it: lag drains to zero.
+  repl::Shipper* shipper = pserver_->repl_shipper();
+  ASSERT_NE(shipper, nullptr);
+  EXPECT_TRUE(WaitUntil([&] { return shipper->max_lag_bytes() == 0; }, 30000));
 }
 
 }  // namespace
